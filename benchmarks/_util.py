@@ -1,0 +1,17 @@
+"""Small shared helpers for the benchmark files."""
+
+from __future__ import annotations
+
+
+def print_table(title: str, rows: list[tuple], headers: tuple[str, ...]) -> None:
+    """Render an aligned text table (benchmarks print paper-vs-measured)."""
+    widths = [len(h) for h in headers]
+    rendered = [[str(cell) for cell in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    print(f"\n=== {title} ===")
+    print("  " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in rendered:
+        print("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))

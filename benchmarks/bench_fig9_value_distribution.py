@@ -1,0 +1,53 @@
+"""Fig. 9 — value distribution in the train split.
+
+Paper: of 7,000 train questions, 3,469 contain no values, 2,494 one value,
+945 two, 62 three and 30 four; 3,531 samples contain 4,690 values total.
+We regenerate the same histogram over the synthetic train split and check
+the *shape*: no-value and one-value dominate, with a thin >=3 tail.
+"""
+
+from __future__ import annotations
+
+from _util import print_table
+from repro.spider import (
+    PAPER_SAMPLES_WITH_VALUES,
+    PAPER_TOTAL_VALUES,
+    PAPER_VALUE_DISTRIBUTION,
+    value_distribution,
+)
+
+PAPER_TOTAL = sum(PAPER_VALUE_DISTRIBUTION.values())
+
+
+def test_fig9_value_distribution(bench, benchmark):
+    distribution = benchmark(value_distribution, bench.corpus.train)
+
+    rows = []
+    for count in range(0, 5):
+        paper = PAPER_VALUE_DISTRIBUTION.get(count, 0)
+        measured = distribution.counts.get(count, 0)
+        rows.append((
+            f"{count} values",
+            f"{paper} ({paper / PAPER_TOTAL:.1%})",
+            f"{measured} ({measured / distribution.total_samples:.1%})",
+        ))
+    rows.append((
+        "samples w/ values",
+        f"{PAPER_SAMPLES_WITH_VALUES} ({PAPER_SAMPLES_WITH_VALUES / PAPER_TOTAL:.1%})",
+        f"{distribution.samples_with_values} "
+        f"({distribution.samples_with_values / distribution.total_samples:.1%})",
+    ))
+    rows.append(("total values", str(PAPER_TOTAL_VALUES), str(distribution.total_values)))
+    print_table(
+        "Fig. 9: value distribution in the train split",
+        rows,
+        ("bucket", "paper (Spider)", "measured (synthetic)"),
+    )
+
+    # Shape assertions: same ordering and a thin tail.
+    assert distribution.fraction(0) > 0.25
+    assert distribution.fraction(1) > 0.25
+    assert distribution.fraction(0) + distribution.fraction(1) > 0.65
+    assert distribution.fraction(2) < 0.30
+    assert distribution.fraction(3) < 0.05
+    assert distribution.samples_with_values > 0.3 * distribution.total_samples

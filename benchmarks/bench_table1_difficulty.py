@@ -1,0 +1,43 @@
+"""Table I — ValueNet accuracy by Spider query hardness.
+
+Paper: Easy 0.77, Medium 0.62, Hard 0.57, Extra-hard 0.43.  The shape
+criterion is monotonicity: accuracy decreases as the Spider hardness
+class increases (allowing small-sample noise between adjacent classes).
+"""
+
+from __future__ import annotations
+
+from _util import print_table
+from repro.baselines import PAPER_ACCURACY_BY_HARDNESS
+from repro.evaluation import Hardness
+
+
+def test_table1_accuracy_by_difficulty(bench, valuenet_report, benchmark):
+    by_hardness = valuenet_report.accuracy_by_hardness()
+
+    rows = []
+    measured: list[float] = []
+    for hardness in Hardness:
+        paper = PAPER_ACCURACY_BY_HARDNESS[hardness.value]
+        accuracy, n = by_hardness.get(hardness, (float("nan"), 0))
+        measured.append(accuracy)
+        rows.append((hardness.value, f"{paper:.2f}", f"{accuracy:.2f} (n={n})"))
+    print_table(
+        "Table I: ValueNet Execution Accuracy by query hardness",
+        rows,
+        ("difficulty", "paper", "measured"),
+    )
+
+    # Benchmark decoding on one hard dev example.
+    hard_examples = [
+        e for e in bench.corpus.dev if e.hardness in (Hardness.HARD, Hardness.EXTRA_HARD)
+    ]
+    pipelines = bench.valuenet_pipelines()
+    example = hard_examples[0]
+    benchmark(pipelines[example.db_id].translate, example.question)
+
+    # Shape: easy clearly beats extra-hard; the sequence trends downward
+    # (adjacent classes may swap within small-sample noise).
+    assert measured[0] > measured[3], "easy must beat extra-hard"
+    assert measured[0] >= measured[1] - 0.05
+    assert measured[1] >= measured[3] - 0.05

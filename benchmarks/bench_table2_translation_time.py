@@ -1,0 +1,51 @@
+"""Table II — translation time per pipeline stage.
+
+Paper (1,034 dev samples, V100 + Xeon): pre-processing 80 ms, value lookup
+234 ms, encoder/decoder 76 ms, post-processing 13 ms, query execution
+15 ms — about 418 ms per question, with value lookup the dominant stage.
+
+Our databases are far smaller than Spider's, so absolute lookup times
+shrink; the shape criteria are (1) interactive total latency (well under a
+second) and (2) post-processing and execution being minor stages, exactly
+as the paper reports.
+"""
+
+from __future__ import annotations
+
+from _util import print_table
+from repro.baselines import PAPER_TRANSLATION_TIME_MS
+from repro.pipeline import STAGES
+
+
+def test_table2_translation_time(bench, valuenet_report, benchmark):
+    timings = valuenet_report.timings
+
+    rows = []
+    for stage in STAGES:
+        paper_mean, paper_std = PAPER_TRANSLATION_TIME_MS[stage]
+        rows.append((
+            stage,
+            f"{paper_mean:.0f} ± {paper_std:.0f} ms",
+            f"{timings.mean_ms(stage):.1f} ± {timings.std_ms(stage):.1f} ms",
+        ))
+    rows.append((
+        "total",
+        f"{sum(m for m, _ in PAPER_TRANSLATION_TIME_MS.values()):.0f} ms",
+        f"{timings.mean_total_ms():.1f} ms",
+    ))
+    print_table(
+        f"Table II: per-stage translation time "
+        f"(avg over {len(timings.samples)} dev samples)",
+        rows,
+        ("stage", "paper (V100, Spider)", "measured (CPU, synthetic)"),
+    )
+
+    # Benchmark the full end-to-end translate call.
+    pipelines = bench.valuenet_pipelines()
+    example = bench.corpus.dev[1]
+    benchmark(pipelines[example.db_id].translate, example.question)
+
+    # Shape criteria.
+    assert timings.mean_total_ms() < 1000, "translation must stay interactive"
+    assert timings.mean_ms("postprocessing") < timings.mean_ms("encoder_decoder")
+    assert timings.mean_ms("execution") < timings.mean_total_ms() * 0.5

@@ -1,0 +1,207 @@
+"""Shared benchmark fixtures: corpus, trained models, evaluation reports.
+
+Training a model is the expensive step, so it happens once per *profile*
+and is cached on disk under ``benchmarks/_artifacts/<profile>/``; later
+benchmark runs load the checkpoints.  The corpus itself is regenerated
+deterministically (stable seeds) and never cached.
+
+Profiles (select with ``REPRO_BENCH_PROFILE``):
+
+* ``quick`` (default) — scaled down so a cold run of the full benchmark
+  suite finishes in roughly ten minutes on a laptop CPU.
+* ``full`` — the configuration used for the numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from _util import print_table  # noqa: F401  (re-export for bench files)
+
+from repro.config import ModelConfig, TrainingConfig
+from repro.evaluation import AccuracyReport, evaluate_pipeline
+from repro.model import (
+    Trainer,
+    ValueNetModel,
+    build_preprocessors,
+    build_vocabulary,
+    prepare_samples,
+)
+from repro.ner import GazetteerRecognizer, PerceptronTagger, ValueExtractor
+from repro.pipeline import ValueNetLightPipeline, ValueNetPipeline
+from repro.spider import CorpusConfig, SpiderCorpus, generate_corpus
+
+ARTIFACTS = Path(__file__).parent / "_artifacts"
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    name: str
+    train_per_domain: int
+    dev_per_domain: int
+    epochs: int
+    model: ModelConfig
+
+
+PROFILES = {
+    "quick": BenchProfile(
+        name="quick",
+        train_per_domain=100,
+        dev_per_domain=50,
+        epochs=6,
+        model=ModelConfig(dim=48, ff_dim=96, summary_hidden=32,
+                          decoder_hidden=96, pointer_hidden=48),
+    ),
+    "full": BenchProfile(
+        name="full",
+        train_per_domain=150,
+        dev_per_domain=80,
+        epochs=12,
+        model=ModelConfig(dim=48, ff_dim=96, summary_hidden=32,
+                          decoder_hidden=96, pointer_hidden=48),
+    ),
+}
+
+
+def active_profile() -> BenchProfile:
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+    if name not in PROFILES:
+        raise ValueError(f"unknown REPRO_BENCH_PROFILE {name!r}")
+    return PROFILES[name]
+
+
+def _value_spans(example):
+    spans = []
+    for value in example.values:
+        text = str(value)
+        index = example.question.lower().find(text.lower())
+        if index >= 0:
+            spans.append((index, index + len(text)))
+    return spans
+
+
+def build_extractor(corpus: SpiderCorpus) -> ValueExtractor:
+    """Heuristics + gazetteer + a perceptron tagger trained on the train
+    split (the paper's 'custom NER model')."""
+    tagger = PerceptronTagger()
+    tagger.train(
+        [(e.question, _value_spans(e)) for e in corpus.train if e.values],
+        epochs=3,
+    )
+    return ValueExtractor(tagger=tagger, gazetteer=GazetteerRecognizer())
+
+
+@dataclass
+class BenchSetup:
+    """Everything the benchmark files share."""
+
+    profile: BenchProfile
+    corpus: SpiderCorpus
+    extractor: ValueExtractor
+    preprocessors: dict
+    light_model: ValueNetModel
+    valuenet_model: ValueNetModel
+    valuenet_dropped: int
+
+    def light_pipelines(self) -> dict:
+        return {
+            db_id: ValueNetLightPipeline(
+                self.light_model, self.corpus.database(db_id),
+                preprocessor=self.preprocessors[db_id],
+            )
+            for db_id in self.corpus.dev_domains
+        }
+
+    def valuenet_pipelines(self) -> dict:
+        return {
+            db_id: ValueNetPipeline(
+                self.valuenet_model, self.corpus.database(db_id),
+                preprocessor=self.preprocessors[db_id],
+            )
+            for db_id in self.corpus.dev_domains
+        }
+
+
+def _train_model(
+    mode: str,
+    corpus: SpiderCorpus,
+    preprocessors: dict,
+    profile: BenchProfile,
+) -> tuple[ValueNetModel, int]:
+    vocab = build_vocabulary(
+        [e.question for e in corpus.train],
+        [corpus.schema(d) for d in corpus.domains],
+        [str(v) for e in corpus.train for v in e.values],
+        vocab_size=profile.model.vocab_size,
+    )
+    model = ValueNetModel(vocab, profile.model)
+    samples, dropped = prepare_samples(corpus.train, preprocessors, model, mode=mode)
+    trainer = Trainer(model, TrainingConfig(epochs=profile.epochs, batch_size=16))
+    trainer.train(samples)
+    return model, dropped
+
+
+@pytest.fixture(scope="session")
+def bench(request) -> BenchSetup:
+    profile = active_profile()
+    corpus = generate_corpus(CorpusConfig(
+        train_per_domain=profile.train_per_domain,
+        dev_per_domain=profile.dev_per_domain,
+    ))
+    extractor = build_extractor(corpus)
+    preprocessors = build_preprocessors(corpus, extractor)
+
+    cache = ARTIFACTS / profile.name
+    manifest_path = cache / "manifest.json"
+    manifest = {
+        "train_per_domain": profile.train_per_domain,
+        "epochs": profile.epochs,
+        "dim": profile.model.dim,
+    }
+
+    if manifest_path.exists() and json.loads(manifest_path.read_text()) == manifest:
+        light_model = ValueNetModel.load(cache / "light")
+        valuenet_model = ValueNetModel.load(cache / "valuenet")
+        dropped = json.loads((cache / "stats.json").read_text())["valuenet_dropped"]
+    else:
+        light_model, _ = _train_model("light", corpus, preprocessors, profile)
+        valuenet_model, dropped = _train_model(
+            "valuenet", corpus, preprocessors, profile
+        )
+        cache.mkdir(parents=True, exist_ok=True)
+        light_model.save(cache / "light")
+        valuenet_model.save(cache / "valuenet")
+        (cache / "stats.json").write_text(json.dumps({"valuenet_dropped": dropped}))
+        manifest_path.write_text(json.dumps(manifest))
+
+    setup = BenchSetup(
+        profile=profile,
+        corpus=corpus,
+        extractor=extractor,
+        preprocessors=preprocessors,
+        light_model=light_model,
+        valuenet_model=valuenet_model,
+        valuenet_dropped=dropped,
+    )
+    request.session.__dict__.setdefault("_bench_setup", setup)
+    return setup
+
+
+@pytest.fixture(scope="session")
+def light_report(bench) -> AccuracyReport:
+    return evaluate_pipeline(
+        bench.light_pipelines(), bench.corpus.dev, bench.corpus, light=True
+    )
+
+
+@pytest.fixture(scope="session")
+def valuenet_report(bench) -> AccuracyReport:
+    return evaluate_pipeline(
+        bench.valuenet_pipelines(), bench.corpus.dev, bench.corpus, light=False
+    )
+

@@ -1,0 +1,137 @@
+"""Quickstart: the paper's running example, end to end.
+
+Builds the Fig. 1 database (student / has_pet / pet), trains a small
+ValueNet on a handful of question/SQL pairs, and then translates the
+paper's running question — including the values 'France' and 20 — into
+executable SQL.
+
+Run:  python examples/quickstart.py        (about a minute on a laptop CPU)
+"""
+
+from __future__ import annotations
+
+from repro.config import ModelConfig, TrainingConfig
+from repro.db import Database
+from repro.model import (
+    Trainer,
+    TrainSample,
+    ValueNetModel,
+    build_vocabulary,
+)
+from repro.model.supervision import tree_to_steps
+from repro.pipeline import ValueNetPipeline
+from repro.preprocessing import Preprocessor
+from repro.schema import Column, ColumnType, ForeignKey, Schema, Table
+from repro.semql import query_to_semql
+from repro.sql import parse_sql
+
+
+def build_pets_database() -> Database:
+    """The paper's Fig. 1 schema with a few rows of base data."""
+    student = Table("student", (
+        Column("stuid", "student", ColumnType.NUMBER, is_primary_key=True),
+        Column("name", "student", ColumnType.TEXT),
+        Column("age", "student", ColumnType.NUMBER),
+        Column("home_country", "student", ColumnType.TEXT),
+    ))
+    pet = Table("pet", (
+        Column("petid", "pet", ColumnType.NUMBER, is_primary_key=True),
+        Column("pet_type", "pet", ColumnType.TEXT),
+        Column("weight", "pet", ColumnType.NUMBER),
+    ))
+    has_pet = Table("has_pet", (
+        Column("stuid", "has_pet", ColumnType.NUMBER),
+        Column("petid", "has_pet", ColumnType.NUMBER),
+    ))
+    schema = Schema("pets", [student, pet, has_pet], [
+        ForeignKey("has_pet", "stuid", "student", "stuid"),
+        ForeignKey("has_pet", "petid", "pet", "petid"),
+    ])
+    db = Database.create(schema)
+    db.insert_rows("student", [
+        (1, "Ann Miller", 22, "France"),
+        (2, "Bob Smith", 19, "France"),
+        (3, "Cid Rossi", 25, "Italy"),
+        (4, "Dana Levi", 21, "Spain"),
+        (5, "Eva Novak", 23, "France"),
+    ])
+    db.insert_rows("pet", [
+        (10, "Dog", 12.0), (11, "Cat", 3.5), (12, "Dog", 20.0), (13, "Parrot", 0.4),
+    ])
+    db.insert_rows("has_pet", [(1, 10), (3, 11), (4, 12), (5, 13)])
+    return db
+
+
+TRAINING_PAIRS = [
+    ("How many students are there?", "SELECT count(*) FROM student"),
+    ("List the name of all students.", "SELECT name FROM student"),
+    ("List the name of students from Italy.",
+     "SELECT name FROM student WHERE home_country = 'Italy'"),
+    ("List the name of students from Spain.",
+     "SELECT name FROM student WHERE home_country = 'Spain'"),
+    ("List the name of students older than 21.",
+     "SELECT name FROM student WHERE age > 21"),
+    ("List the name of students older than 24.",
+     "SELECT name FROM student WHERE age > 24"),
+    ("How many pets are owned by students from Italy that are older than 20?",
+     "SELECT count(T2.*) FROM student AS T1 JOIN has_pet AS T2 ON "
+     "T1.stuid = T2.stuid WHERE T1.home_country = 'Italy' AND T1.age > 20"),
+    ("How many pets are owned by students from Spain that are older than 19?",
+     "SELECT count(T2.*) FROM student AS T1 JOIN has_pet AS T2 ON "
+     "T1.stuid = T2.stuid WHERE T1.home_country = 'Spain' AND T1.age > 19"),
+]
+
+
+def main() -> None:
+    db = build_pets_database()
+    schema = db.schema
+    preprocessor = Preprocessor(db)
+
+    print("== Training a small ValueNet on", len(TRAINING_PAIRS), "examples ==")
+    vocab = build_vocabulary(
+        [q for q, _ in TRAINING_PAIRS] * 3, [schema], ["France", "Italy", "Spain"],
+        vocab_size=400,
+    )
+    model = ValueNetModel(vocab, ModelConfig(
+        dim=48, num_layers=1, num_heads=2, ff_dim=64, summary_hidden=24,
+        decoder_hidden=64, pointer_hidden=32, dropout=0.0, word_dropout=0.05,
+    ))
+
+    samples = []
+    for question, sql in TRAINING_PAIRS:
+        pre = preprocessor.run(question)
+        tree = query_to_semql(parse_sql(sql, schema), schema)
+        steps = tree_to_steps(tree, schema, pre.candidates)
+        if steps is None:
+            raise RuntimeError(f"candidates missing for: {question}")
+        samples.append(TrainSample(example=None, pre=pre, schema=schema, steps=steps))
+
+    trainer = Trainer(model, TrainingConfig(
+        epochs=40, batch_size=4,
+        encoder_lr=2e-3, decoder_lr=3e-3, connection_lr=2e-3,
+    ))
+    history = trainer.train(samples)
+    print(f"final training loss: {history.final_loss:.3f}")
+
+    print("\n== Translating the paper's running example ==")
+    pipeline = ValueNetPipeline(model, db, preprocessor=preprocessor)
+    question = "How many pets are owned by French students that are older than 20?"
+    result = pipeline.translate(question, execute=True)
+
+    print("question:  ", question)
+    print("candidates:", ", ".join(c.describe() for c in result.candidates))
+    print("SemQL:     ", result.semql.to_sexpr() if result.semql else None)
+    print("SQL:       ", result.sql)
+    print("result:    ", result.rows)
+    print("timings:   ", {k: f"{v * 1000:.1f}ms" for k, v in result.timings.as_dict().items()})
+
+    # Sanity: Ann (France, 22) owns 1 pet; Eva (France, 23) owns 1 -> 2.
+    if result.rows == [(2,)]:
+        print("\nCorrect! 'French' was resolved to the stored value 'France' "
+              "via similarity search, and 20 was extracted as a number.")
+    else:
+        print("\nNote: the tiny model missed this one — rerun or raise epochs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Developer calibration: train both variants, print dev Execution Accuracy.
+
+A lighter-weight companion to run_experiments.py used while tuning
+hyper-parameters: ``python scripts/calibrate.py [train_per_domain] [epochs]
+[dim]``.  Saves checkpoints under _artifacts/ for post-hoc error analysis.
+"""
+import sys, time
+from repro.spider import generate_corpus, CorpusConfig
+from repro.model import ValueNetModel, Trainer, build_preprocessors, prepare_samples, build_vocabulary
+from repro.config import ModelConfig, TrainingConfig
+from repro.ner import ValueExtractor, GazetteerRecognizer, PerceptronTagger
+from repro.pipeline import ValueNetPipeline, ValueNetLightPipeline
+from repro.evaluation import evaluate_pipeline
+
+train_n = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+epochs = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+dim = int(sys.argv[3]) if len(sys.argv) > 3 else 48
+
+t0 = time.time()
+corpus = generate_corpus(CorpusConfig(train_per_domain=train_n, dev_per_domain=60))
+print(f"corpus train={corpus.num_train} dev={corpus.num_dev}", flush=True)
+
+questions = [e.question for e in corpus.train]
+schemas = [corpus.schema(d) for d in corpus.train_domains]
+vocab = build_vocabulary(questions, schemas, [str(v) for e in corpus.train for v in e.values], vocab_size=2000)
+
+# custom NER tagger trained on train-split value spans
+def spans_for(e):
+    spans = []
+    for v in e.values:
+        text = str(v)
+        idx = e.question.lower().find(text.lower())
+        if idx >= 0:
+            spans.append((idx, idx + len(text)))
+    return spans
+tagger = PerceptronTagger()
+tagger.train([(e.question, spans_for(e)) for e in corpus.train if e.values], epochs=3)
+extractor = ValueExtractor(tagger=tagger, gazetteer=GazetteerRecognizer())
+
+mc = ModelConfig(dim=dim, num_layers=2, num_heads=4, ff_dim=2*dim, summary_hidden=32, decoder_hidden=96, pointer_hidden=48, dropout=0.1)
+tc = TrainingConfig(epochs=epochs, batch_size=16)
+
+pres = build_preprocessors(corpus, extractor)
+
+for mode in ("light", "valuenet"):
+    model = ValueNetModel(vocab, mc)
+    samples, dropped = prepare_samples(corpus.train, pres, model, mode=mode)
+    print(f"[{mode}] prepared={len(samples)} dropped={dropped}", flush=True)
+    trainer = Trainer(model, tc)
+    hist = trainer.train(samples)
+    print(f"[{mode}] losses:", [f"{e.mean_loss:.2f}" for e in hist.epochs], flush=True)
+    pipes = {}
+    for db_id in corpus.dev_domains:
+        db = corpus.database(db_id)
+        pre = pres[db_id]
+        if mode == "light":
+            pipes[db_id] = ValueNetLightPipeline(model, db, preprocessor=pre)
+        else:
+            pipes[db_id] = ValueNetPipeline(model, db, preprocessor=pre)
+    rep = evaluate_pipeline(pipes, corpus.dev, corpus, light=(mode=="light"))
+    print(f"[{mode}] DEV exec acc = {rep.accuracy:.3f} ({rep.num_correct}/{rep.total})", flush=True)
+    byh = rep.accuracy_by_hardness()
+    print(f"[{mode}] by hardness:", {h.value: f"{a:.2f}({n})" for h,(a,n) in byh.items()}, flush=True)
+    # train-split accuracy (seen domains) for reference
+    pipes_t = {}
+    for db_id in corpus.train_domains:
+        db = corpus.database(db_id)
+        if mode == "light":
+            pipes_t[db_id] = ValueNetLightPipeline(model, db, preprocessor=pres[db_id])
+        else:
+            pipes_t[db_id] = ValueNetPipeline(model, db, preprocessor=pres[db_id])
+    rep_t = evaluate_pipeline(pipes_t, corpus.train[:200], corpus, light=(mode=="light"))
+    print(f"[{mode}] TRAIN exec acc = {rep_t.accuracy:.3f}", flush=True)
+    model.save(f"/root/repo/_artifacts/calib_{mode}")
+print(f"total {time.time()-t0:.0f}s")

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``corpus DIR``     — generate the synthetic Spider-like corpus to DIR.
+* ``train DIR``      — train a model on a generated corpus and save it.
+* ``translate``      — translate one question against a SQLite database
+                       with a trained model.
+* ``inspect``        — show pre-processing output (hints + candidates)
+                       for a question, no model required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import ModelConfig, TrainingConfig
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.spider import CorpusConfig, generate_corpus
+
+    corpus = generate_corpus(CorpusConfig(
+        train_per_domain=args.train_per_domain,
+        dev_per_domain=args.dev_per_domain,
+        seed=args.seed,
+    ))
+    corpus.save(args.directory)
+    print(f"wrote corpus to {args.directory}: "
+          f"train={corpus.num_train} dev={corpus.num_dev} "
+          f"databases={len(corpus.domains)}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.model import (
+        Trainer,
+        ValueNetModel,
+        build_preprocessors,
+        build_vocabulary,
+        prepare_samples,
+    )
+    from repro.spider import load_corpus
+
+    corpus = load_corpus(args.corpus)
+    vocab = build_vocabulary(
+        [e.question for e in corpus.train],
+        [corpus.schema(d) for d in corpus.domains],
+        [str(v) for e in corpus.train for v in e.values],
+    )
+    model = ValueNetModel(vocab, ModelConfig(dim=args.dim))
+    preprocessors = build_preprocessors(corpus)
+    samples, dropped = prepare_samples(
+        corpus.train, preprocessors, model, mode=args.mode
+    )
+    print(f"prepared {len(samples)} samples ({dropped} dropped)")
+    trainer = Trainer(model, TrainingConfig(epochs=args.epochs))
+    history = trainer.train(samples)
+    print(f"final loss {history.final_loss:.3f}")
+    model.save(args.output)
+    print(f"saved model to {args.output}")
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    from repro.db import Database
+    from repro.model import ValueNetModel
+    from repro.pipeline import ValueNetPipeline
+
+    model = ValueNetModel.load(args.model)
+    database = Database.open(args.database)
+    pipeline = ValueNetPipeline(model, database, beam_size=args.beam)
+    result = pipeline.translate(args.question, execute=not args.no_execute)
+    if result.error:
+        print(f"error: {result.error}", file=sys.stderr)
+        return 1
+    print("SQL:", result.sql)
+    if result.rows is not None:
+        for row in result.rows[:20]:
+            print("  ", row)
+        if len(result.rows) > 20:
+            print(f"   ... {len(result.rows) - 20} more rows")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.db import Database
+    from repro.ner import GazetteerRecognizer, ValueExtractor
+    from repro.preprocessing import Preprocessor
+
+    database = Database.open(args.database)
+    preprocessor = Preprocessor(
+        database, extractor=ValueExtractor(gazetteer=GazetteerRecognizer())
+    )
+    pre = preprocessor.run(args.question)
+    print("question hints:")
+    for hinted in pre.hinted_tokens:
+        if hinted.hint.name != "NONE":
+            print(f"  {hinted.token.text:<20} {hinted.hint.name}")
+    print("value candidates:")
+    for candidate in pre.candidates:
+        print("  " + candidate.describe())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    corpus = commands.add_parser("corpus", help="generate the synthetic corpus")
+    corpus.add_argument("directory")
+    corpus.add_argument("--train-per-domain", type=int, default=250)
+    corpus.add_argument("--dev-per-domain", type=int, default=120)
+    corpus.add_argument("--seed", type=int, default=42)
+    corpus.set_defaults(func=_cmd_corpus)
+
+    train = commands.add_parser("train", help="train a ValueNet model")
+    train.add_argument("corpus", help="directory written by `repro corpus`")
+    train.add_argument("--output", default="valuenet-model")
+    train.add_argument("--mode", choices=("valuenet", "light"), default="valuenet")
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--dim", type=int, default=64)
+    train.set_defaults(func=_cmd_train)
+
+    translate = commands.add_parser("translate", help="question -> SQL")
+    translate.add_argument("question")
+    translate.add_argument("--database", required=True, help="SQLite file")
+    translate.add_argument("--model", required=True, help="saved model directory")
+    translate.add_argument("--beam", type=int, default=1)
+    translate.add_argument("--no-execute", action="store_true")
+    translate.set_defaults(func=_cmd_translate)
+
+    inspect = commands.add_parser("inspect", help="show pre-processing output")
+    inspect.add_argument("question")
+    inspect.add_argument("--database", required=True, help="SQLite file")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Baselines: reported leaderboard points and a rule-based system."""
+
+from repro.baselines.heuristic import HeuristicBaseline
+from repro.baselines.leaderboard import (
+    LeaderboardEntry,
+    PAPER_ACCURACY_BY_HARDNESS,
+    PAPER_EXTRACTION_COVERAGE,
+    PAPER_TRANSLATION_TIME_MS,
+    PAPER_VALUENET_ACCURACY,
+    PAPER_VALUENET_LIGHT_ACCURACY,
+    REPORTED_SYSTEMS,
+)
+
+__all__ = [
+    "HeuristicBaseline",
+    "LeaderboardEntry",
+    "PAPER_ACCURACY_BY_HARDNESS",
+    "PAPER_EXTRACTION_COVERAGE",
+    "PAPER_TRANSLATION_TIME_MS",
+    "PAPER_VALUENET_ACCURACY",
+    "PAPER_VALUENET_LIGHT_ACCURACY",
+    "REPORTED_SYSTEMS",
+]

@@ -1,0 +1,28 @@
+"""Value candidate generation and validation."""
+
+from repro.candidates.generation import CandidateGenerator, GenerationConfig
+from repro.candidates.heuristics import (
+    boolean_candidates,
+    gender_candidates,
+    month_candidates,
+    ordinal_candidates,
+    question_word_candidates,
+    span_candidates,
+)
+from repro.candidates.types import ValueCandidate, dedupe_candidates
+from repro.candidates.validation import CandidateValidator, ValidationConfig
+
+__all__ = [
+    "CandidateGenerator",
+    "CandidateValidator",
+    "GenerationConfig",
+    "ValidationConfig",
+    "ValueCandidate",
+    "boolean_candidates",
+    "dedupe_candidates",
+    "gender_candidates",
+    "month_candidates",
+    "ordinal_candidates",
+    "question_word_candidates",
+    "span_candidates",
+]

@@ -1,0 +1,120 @@
+"""Value candidate generation (paper Section IV-B2).
+
+Three mechanisms expand extracted spans into candidates:
+
+1. **Similarity** — scan the database (via the blocked similarity index)
+   for values within a Damerau-Levenshtein threshold of the span.
+2. **Handcrafted heuristics** — gender/boolean/ordinal/month rewrites
+   (:mod:`repro.candidates.heuristics`).
+3. **n-grams** — every contiguous sub-sequence of a multi-token span is a
+   candidate seed, and each seed is also run through the similarity scan
+   ("Kennedy International Airport" -> "Kennedy" -> DB value "JFK" is
+   found because the *n-gram* matches an airport-name fragment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.candidates.heuristics import question_word_candidates, span_candidates
+from repro.candidates.types import ValueCandidate, dedupe_candidates
+from repro.index.similarity import SimilaritySearcher
+from repro.ner.types import ExtractedValue, SpanKind
+from repro.text.ngrams import all_ngrams
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Tuning knobs for candidate generation.
+
+    Attributes:
+        max_distance: Damerau-Levenshtein threshold for similarity search.
+        max_similar_per_span: cap on similarity results per span.
+        max_ngram: longest n-gram expanded from multi-token spans.
+        max_candidates: global cap (the paper observes too many candidates
+            hurt accuracy; Section IV-B3).
+    """
+
+    max_distance: int = 2
+    max_similar_per_span: int = 8
+    max_ngram: int = 3
+    max_candidates: int = 40
+
+
+class CandidateGenerator:
+    """Expands extracted spans into value candidates for one database."""
+
+    def __init__(
+        self,
+        searcher: SimilaritySearcher | None,
+        config: GenerationConfig | None = None,
+    ):
+        self._searcher = searcher
+        self._config = config or GenerationConfig()
+
+    def generate(
+        self,
+        question_words: list[str],
+        spans: list[ExtractedValue],
+    ) -> list[ValueCandidate]:
+        """All candidates for a question, deduplicated, longest-seed first."""
+        candidates: list[ValueCandidate] = []
+
+        for span in spans:
+            candidates.extend(self._candidates_for_span(span))
+
+        candidates.extend(question_word_candidates(question_words))
+        deduped = dedupe_candidates(candidates)
+        return deduped[: self._config.max_candidates]
+
+    # ------------------------------------------------------------ helpers
+
+    def _candidates_for_span(self, span: ExtractedValue) -> list[ValueCandidate]:
+        candidates: list[ValueCandidate] = []
+
+        # The span itself is always a candidate (numbers: the only one).
+        candidates.append(self._verbatim(span))
+
+        # Handcrafted rewrites (ordinal -> int, month -> wildcard).
+        candidates.extend(span_candidates(span))
+
+        if span.kind in (SpanKind.NUMBER, SpanKind.YEAR, SpanKind.ORDINAL):
+            # "for numeric values the extracted value itself is most likely
+            # the only necessary candidate" (Section IV-B2)
+            return candidates
+
+        # Similarity search on the full span ...
+        candidates.extend(self._similar(span.text))
+
+        # ... and on its n-grams for multi-token spans.
+        words = span.text.split()
+        if len(words) > 1:
+            for gram in all_ngrams(words, max_n=self._config.max_ngram):
+                gram_text = " ".join(gram)
+                if gram_text.lower() == span.text.lower():
+                    continue
+                candidates.append(ValueCandidate(gram_text, "ngram"))
+                candidates.extend(self._similar(gram_text))
+        return candidates
+
+    def _verbatim(self, span: ExtractedValue) -> ValueCandidate:
+        if span.kind in (SpanKind.NUMBER, SpanKind.YEAR):
+            text = span.text
+            value: object = float(text) if "." in text else int(text)
+        else:
+            value = span.text
+        source = "question"
+        return ValueCandidate(value, source)
+
+    def _similar(self, text: str) -> list[ValueCandidate]:
+        if self._searcher is None:
+            return []
+        matches = self._searcher.search(
+            text,
+            max_distance=self._config.max_distance,
+            max_results=self._config.max_similar_per_span,
+        )
+        return [
+            ValueCandidate(match.value, "similarity", locations=(match.location,))
+            for match in matches
+        ]

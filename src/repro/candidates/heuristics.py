@@ -1,0 +1,99 @@
+"""Handcrafted value-candidate heuristics (paper Section IV-B2).
+
+Databases implement certain concepts in recurring ways; these heuristics
+bridge the gap between the surface form in the question and the stored
+form:
+
+1. gender words -> single-character codes (``female`` -> ``'F'``),
+2. boolean words -> 0/1 (``yes``/``true`` -> ``1``),
+3. ordinals -> integers (``fourth`` -> ``4``),
+4. month names -> date wildcards (``August`` -> ``%-08-%``).
+"""
+
+from __future__ import annotations
+
+from repro.candidates.types import ValueCandidate
+from repro.ner.heuristics import MONTHS, ordinal_to_int
+from repro.ner.types import ExtractedValue, SpanKind
+
+_GENDER_MAP = {
+    "female": ["F", "Female", "female"],
+    "females": ["F", "Female", "female"],
+    "male": ["M", "Male", "male"],
+    "males": ["M", "Male", "male"],
+    "woman": ["F", "Female"],
+    "women": ["F", "Female"],
+    "man": ["M", "Male"],
+    "men": ["M", "Male"],
+    "girls": ["F"],
+    "boys": ["M"],
+}
+
+_BOOLEAN_MAP = {
+    "yes": [1, "Yes", "T", "true"],
+    "no": [0, "No", "F", "false"],
+    "true": [1, "T", "true", "Yes"],
+    "false": [0, "F", "false", "No"],
+}
+
+
+def gender_candidates(word: str) -> list[ValueCandidate]:
+    """Candidates for gender words ('female' -> 'F', 'Female', ...)."""
+    variants = _GENDER_MAP.get(word.lower(), [])
+    return [ValueCandidate(v, "heuristic") for v in variants]
+
+
+def boolean_candidates(word: str) -> list[ValueCandidate]:
+    """Candidates for boolean-ish words ('yes' -> 1, 'Yes', 'T', ...)."""
+    variants = _BOOLEAN_MAP.get(word.lower(), [])
+    return [ValueCandidate(v, "heuristic") for v in variants]
+
+
+def ordinal_candidates(span: ExtractedValue) -> list[ValueCandidate]:
+    """'fourth-grade' -> integer 4 (Section IV-B2, heuristic 3)."""
+    number = ordinal_to_int(span.text)
+    if number is None:
+        return []
+    return [ValueCandidate(number, "heuristic")]
+
+
+def month_candidates(span: ExtractedValue) -> list[ValueCandidate]:
+    """Month names -> date wildcards ('August' -> '%-08-%', '8/%')."""
+    month = MONTHS.get(span.text.lower())
+    if month is None:
+        return []
+    return [
+        ValueCandidate(f"%-{month:02d}-%", "heuristic"),
+        ValueCandidate(f"{month}/%", "heuristic"),
+    ]
+
+
+def question_word_candidates(question_words: list[str]) -> list[ValueCandidate]:
+    """Run word-level heuristics (gender, boolean, superlative) over the
+    question words.
+
+    These concepts are rarely capitalized or quoted, so NER misses them;
+    the paper's heuristics fire on the bare word.  Superlative phrasings
+    ("the oldest student") imply ``LIMIT 1`` without any literal in the
+    question, so a candidate ``1`` is proposed for them.
+    """
+    from repro.preprocessing.hints import SUPERLATIVE_KEYWORDS
+
+    candidates: list[ValueCandidate] = []
+    for word in question_words:
+        lowered = word.lower()
+        candidates.extend(gender_candidates(lowered))
+        candidates.extend(boolean_candidates(lowered))
+        if lowered in SUPERLATIVE_KEYWORDS:
+            candidates.append(ValueCandidate(1, "heuristic"))
+    return candidates
+
+
+def span_candidates(span: ExtractedValue) -> list[ValueCandidate]:
+    """Run span-level heuristics (ordinal, month) on one extracted span."""
+    candidates: list[ValueCandidate] = []
+    if span.kind is SpanKind.ORDINAL:
+        candidates.extend(ordinal_candidates(span))
+    if span.kind is SpanKind.MONTH:
+        candidates.extend(month_candidates(span))
+    return candidates

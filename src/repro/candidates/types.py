@@ -1,0 +1,59 @@
+"""Value candidate types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.index.inverted import ValueLocation
+
+
+@dataclass(frozen=True)
+class ValueCandidate:
+    """One candidate value for the decoder's value pointer network.
+
+    Attributes:
+        value: the candidate payload as it would appear in SQL (string,
+            int or float; formatting — quotes, wildcards — happens in
+            post-processing based on the chosen column type).
+        source: provenance, for analysis: ``question`` (extracted as-is),
+            ``similarity``, ``heuristic``, ``ngram``, or ``gold``
+            (ValueNet light's oracle).
+        locations: the (table, column) locations where the candidate was
+            found during validation; empty for unvalidated candidates
+            (numbers, quoted strings).
+    """
+
+    value: object
+    source: str
+    locations: tuple[ValueLocation, ...] = field(default=())
+
+    @property
+    def normalized(self) -> str:
+        value = self.value
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        return str(value).strip().lower()
+
+    def with_locations(self, locations: tuple[ValueLocation, ...]) -> "ValueCandidate":
+        return ValueCandidate(self.value, self.source, locations)
+
+    def describe(self) -> str:
+        """Readable one-liner for logs."""
+        where = ", ".join(str(loc) for loc in self.locations) or "unvalidated"
+        return f"{self.value!r} [{self.source}; {where}]"
+
+
+def dedupe_candidates(candidates: list[ValueCandidate]) -> list[ValueCandidate]:
+    """Keep the first candidate per normalized value, merging locations."""
+    merged: dict[str, ValueCandidate] = {}
+    order: list[str] = []
+    for candidate in candidates:
+        key = candidate.normalized
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = candidate
+            order.append(key)
+        elif candidate.locations:
+            combined = tuple(dict.fromkeys(existing.locations + candidate.locations))
+            merged[key] = existing.with_locations(combined)
+    return [merged[key] for key in order]

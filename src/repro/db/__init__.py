@@ -1,0 +1,21 @@
+"""SQLite database wrapper, introspection and execution comparison."""
+
+from repro.db.database import Database
+from repro.db.executor import (
+    ExecutionResult,
+    execute_and_compare,
+    gold_orders_rows,
+    normalize_rows,
+    rows_equal,
+)
+from repro.db.introspect import introspect_schema
+
+__all__ = [
+    "Database",
+    "ExecutionResult",
+    "execute_and_compare",
+    "gold_orders_rows",
+    "introspect_schema",
+    "normalize_rows",
+    "rows_equal",
+]

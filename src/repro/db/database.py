@@ -1,0 +1,169 @@
+"""SQLite-backed database with schema-aware helpers.
+
+Every synthetic Spider-like database in this reproduction is a real SQLite
+database (in memory or on disk): queries are genuinely *executed* for the
+Execution Accuracy metric, and the value candidate machinery reads real
+base data through this wrapper.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.errors import ExecutionError, SchemaError
+from repro.schema.model import Column, ColumnType, Schema
+
+_SQL_TYPES = {
+    ColumnType.TEXT: "TEXT",
+    ColumnType.NUMBER: "NUMERIC",
+    ColumnType.TIME: "TEXT",
+    ColumnType.BOOLEAN: "NUMERIC",
+    ColumnType.OTHERS: "TEXT",
+}
+
+
+class Database:
+    """A SQLite database paired with its logical :class:`Schema`.
+
+    Use :meth:`create` to materialize a fresh database from a schema, or
+    :meth:`open` to attach to an existing SQLite file (the logical schema
+    is introspected when not supplied).
+    """
+
+    def __init__(self, schema: Schema, connection: sqlite3.Connection):
+        self.schema = schema
+        self._connection = connection
+        self._connection.execute("PRAGMA foreign_keys = ON")
+
+    # -------------------------------------------------------- construction
+
+    @classmethod
+    def create(cls, schema: Schema, path: str | Path | None = None) -> "Database":
+        """Create the schema's tables in a new database.
+
+        Args:
+            schema: logical schema to materialize.
+            path: SQLite file path; ``None`` creates an in-memory database.
+        """
+        connection = sqlite3.connect(str(path) if path is not None else ":memory:")
+        database = cls(schema, connection)
+        database._create_tables()
+        return database
+
+    @classmethod
+    def open(cls, path: str | Path, schema: Schema | None = None) -> "Database":
+        """Open an existing SQLite file.
+
+        When ``schema`` is omitted the logical schema is introspected from
+        SQLite metadata (see :mod:`repro.db.introspect`).
+        """
+        connection = sqlite3.connect(str(path))
+        if schema is None:
+            from repro.db.introspect import introspect_schema
+
+            schema = introspect_schema(connection, name=Path(path).stem)
+        return cls(schema, connection)
+
+    def _create_tables(self) -> None:
+        for table in self.schema.tables:
+            column_defs = []
+            for column in table.columns:
+                parts = [f'"{column.name}"', _SQL_TYPES[column.column_type]]
+                column_defs.append(" ".join(parts))
+            pk_columns = [c.name for c in table.columns if c.is_primary_key]
+            if pk_columns:
+                quoted = ", ".join(f'"{name}"' for name in pk_columns)
+                column_defs.append(f"PRIMARY KEY ({quoted})")
+            for fk in self.schema.foreign_keys:
+                if fk.source_table.lower() == table.name.lower():
+                    column_defs.append(
+                        f'FOREIGN KEY ("{fk.source_column}") REFERENCES '
+                        f'"{fk.target_table}" ("{fk.target_column}")'
+                    )
+            ddl = f'CREATE TABLE "{table.name}" ({", ".join(column_defs)})'
+            self._connection.execute(ddl)
+        self._connection.commit()
+
+    # ------------------------------------------------------------- loading
+
+    def insert_rows(self, table_name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Bulk-insert rows (each aligned with the table's column order)."""
+        table = self.schema.table(table_name)
+        placeholders = ", ".join("?" for _ in table.columns)
+        statement = f'INSERT INTO "{table.name}" VALUES ({placeholders})'
+        rows = list(rows)
+        try:
+            self._connection.executemany(statement, rows)
+        except sqlite3.Error as exc:
+            raise ExecutionError(
+                f"failed to insert into {table_name!r}: {exc}"
+            ) from exc
+        self._connection.commit()
+        return len(rows)
+
+    # ------------------------------------------------------------ querying
+
+    def execute(self, sql: str, *, max_rows: int | None = 100_000) -> list[tuple]:
+        """Execute ``sql`` and return rows as tuples.
+
+        Raises:
+            ExecutionError: on any SQLite error (syntax, missing table, ...).
+        """
+        try:
+            cursor = self._connection.execute(sql)
+            if max_rows is None:
+                return cursor.fetchall()
+            rows = cursor.fetchmany(max_rows + 1)
+            if len(rows) > max_rows:
+                raise ExecutionError(
+                    f"query returned more than {max_rows} rows; likely a "
+                    f"cross join from a missing ON clause: {sql!r}"
+                )
+            return rows
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"query failed: {exc} -- {sql!r}") from exc
+
+    def column_values(self, column: Column, *, limit: int | None = None) -> list[object]:
+        """All non-NULL values of a column (optionally limited)."""
+        if column.is_star():
+            raise SchemaError("cannot enumerate values of the '*' column")
+        sql = (
+            f'SELECT "{column.name}" FROM "{column.table}" '
+            f'WHERE "{column.name}" IS NOT NULL'
+        )
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return [row[0] for row in self.execute(sql, max_rows=None)]
+
+    def contains_value(self, column: Column, value: object) -> bool:
+        """Whether a column contains ``value`` (exact match, case-insensitive
+        for strings, following how Spider's gold values behave in SQLite)."""
+        if column.is_star():
+            return False
+        if isinstance(value, str):
+            sql = (
+                f'SELECT 1 FROM "{column.table}" '
+                f'WHERE LOWER(CAST("{column.name}" AS TEXT)) = LOWER(?) LIMIT 1'
+            )
+        else:
+            sql = f'SELECT 1 FROM "{column.table}" WHERE "{column.name}" = ? LIMIT 1'
+        try:
+            cursor = self._connection.execute(sql, (value,))
+            return cursor.fetchone() is not None
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"value lookup failed: {exc}") from exc
+
+    def row_count(self, table_name: str) -> int:
+        table = self.schema.table(table_name)
+        return self.execute(f'SELECT COUNT(*) FROM "{table.name}"')[0][0]
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

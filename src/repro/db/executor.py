@@ -1,0 +1,115 @@
+"""Query execution and result-set comparison for Execution Accuracy.
+
+The Spider Execution Accuracy metric "measures if the results of both
+predicted and gold query are the same by executing them against a real
+database".  Result sets are compared as *multisets of rows* — row order is
+irrelevant unless the gold query has an ORDER BY, in which case order
+matters (this mirrors the official Spider evaluation script's behaviour).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.errors import ExecutionError
+
+
+def _normalize_cell(cell: object) -> object:
+    """Normalize a result cell so equivalent values compare equal.
+
+    Integral floats collapse to ints (``COUNT`` returns int, ``SUM`` may
+    return float) and strings are compared case-sensitively, matching
+    SQLite semantics.
+    """
+    if isinstance(cell, float) and cell.is_integer():
+        return int(cell)
+    return cell
+
+
+def normalize_rows(rows: list[tuple]) -> list[tuple]:
+    """Apply cell normalization to every row."""
+    return [tuple(_normalize_cell(cell) for cell in row) for row in rows]
+
+
+def rows_equal(
+    predicted: list[tuple],
+    gold: list[tuple],
+    *,
+    order_matters: bool = False,
+) -> bool:
+    """Compare two result sets.
+
+    Args:
+        predicted: rows from the predicted query.
+        gold: rows from the gold query.
+        order_matters: when True (gold query has ORDER BY) rows must match
+            positionally; otherwise rows are compared as a multiset.
+    """
+    predicted_rows = normalize_rows(predicted)
+    gold_rows = normalize_rows(gold)
+    if order_matters:
+        return predicted_rows == gold_rows
+    return Counter(predicted_rows) == Counter(gold_rows)
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing one predicted/gold query pair."""
+
+    correct: bool
+    predicted_error: str | None = None
+    gold_error: str | None = None
+
+    @property
+    def predicted_failed(self) -> bool:
+        return self.predicted_error is not None
+
+
+def execute_and_compare(
+    database: Database,
+    predicted_sql: str,
+    gold_sql: str,
+    *,
+    order_matters: bool = False,
+) -> ExecutionResult:
+    """Execute both queries and compare their result sets.
+
+    A failing *gold* query marks the sample as a dataset error (never
+    credited); a failing *predicted* query simply counts as incorrect,
+    matching the Spider script.
+    """
+    try:
+        gold_rows = database.execute(gold_sql)
+    except ExecutionError as exc:
+        return ExecutionResult(correct=False, gold_error=str(exc))
+    try:
+        predicted_rows = database.execute(predicted_sql)
+    except ExecutionError as exc:
+        return ExecutionResult(correct=False, predicted_error=str(exc))
+    return ExecutionResult(
+        correct=rows_equal(predicted_rows, gold_rows, order_matters=order_matters)
+    )
+
+
+def gold_orders_rows(gold_sql: str) -> bool:
+    """Heuristic: does the gold query's *top level* impose row order?
+
+    An ORDER BY inside a sub-query (``IN (SELECT ... ORDER BY ...)``) does
+    not constrain the outer result order.  We check for ORDER BY at paren
+    depth zero.
+    """
+    depth = 0
+    lowered = gold_sql.lower()
+    i = 0
+    while i < len(lowered):
+        ch = lowered[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif depth == 0 and lowered.startswith("order by", i):
+            return True
+        i += 1
+    return False

@@ -1,0 +1,46 @@
+"""Evaluation: Execution Accuracy, exact match, difficulty, error analysis."""
+
+from repro.evaluation.difficulty import (
+    Hardness,
+    ValueDifficulty,
+    classify_hardness,
+    combine_value_difficulty,
+)
+from repro.evaluation.error_analysis import (
+    CAUSES,
+    ErrorReport,
+    PAPER_ERROR_SHARES,
+    SampleDiagnosis,
+    analyze_failures,
+    diagnose_sample,
+)
+from repro.evaluation.exact_match import exact_match, query_signature
+from repro.evaluation.execution import (
+    AccuracyReport,
+    EvaluatedSample,
+    evaluate_pipeline,
+)
+from repro.evaluation.extraction import ExtractionReport, measure_extraction_coverage
+from repro.evaluation.report import ExperimentReport, ResultTable
+
+__all__ = [
+    "AccuracyReport",
+    "ExperimentReport",
+    "ResultTable",
+    "CAUSES",
+    "ErrorReport",
+    "EvaluatedSample",
+    "ExtractionReport",
+    "Hardness",
+    "PAPER_ERROR_SHARES",
+    "SampleDiagnosis",
+    "ValueDifficulty",
+    "analyze_failures",
+    "classify_hardness",
+    "combine_value_difficulty",
+    "diagnose_sample",
+    "evaluate_pipeline",
+    "exact_match",
+    "measure_extraction_coverage",
+    "query_signature",
+]

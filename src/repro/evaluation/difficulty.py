@@ -1,0 +1,153 @@
+"""Query and value difficulty classification.
+
+**Query hardness** follows Spider's convention (paper Section V-F): the
+number of SQL components — GROUP BY, ORDER BY, nested sub-queries,
+compound set operators, extra conditions, aggregations and projections —
+buckets a query into Easy / Medium / Hard / Extra-hard.
+
+**Value difficulty** follows the paper's own four classes (Section V-A1):
+
+* *easy* — the value appears verbatim in the question and the database,
+* *medium* — extractable but stored in a slightly different form,
+* *hard* — extractable but needs domain knowledge ("Los Angeles" -> LAX),
+* *extra-hard* — not explicitly recognizable as a value at all.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.sql.ast import (
+    AggregateFunction,
+    BooleanExpr,
+    Condition,
+    Query,
+    SelectQuery,
+    iter_conditions,
+)
+
+
+class Hardness(enum.Enum):
+    EASY = "easy"
+    MEDIUM = "medium"
+    HARD = "hard"
+    EXTRA_HARD = "extra_hard"
+
+
+class ValueDifficulty(enum.Enum):
+    EASY = "easy"
+    MEDIUM = "medium"
+    HARD = "hard"
+    EXTRA_HARD = "extra_hard"
+
+
+def _count_components(select_query: SelectQuery) -> int:
+    """Spider's component-1 count: structural SQL keywords."""
+    count = 0
+    if select_query.where is not None:
+        count += 1
+    if select_query.group_by:
+        count += 1
+    if select_query.order_by is not None:
+        count += 1
+    if select_query.limit is not None:
+        count += 1
+    if len(select_query.tables) > 1:
+        count += 1  # JOIN
+    if select_query.having is not None:
+        count += 1
+    if any(
+        condition.operator.value.endswith("like")
+        for condition in iter_conditions(select_query.where)
+    ):
+        count += 1
+    return count
+
+
+def _count_nested(query: Query) -> int:
+    nested = 0
+    for select_query in query.all_select_queries():
+        for expr in (select_query.where, select_query.having):
+            for condition in iter_conditions(expr):
+                if condition.rhs_is_query():
+                    nested += 1
+                    nested += _count_nested(condition.rhs)  # type: ignore[arg-type]
+    return nested
+
+
+def _count_others(select_query: SelectQuery) -> int:
+    """Spider's component-2 count: aggregations, selections, conditions."""
+    count = 0
+    aggregations = sum(
+        1
+        for item in select_query.select
+        if item.aggregate is not AggregateFunction.NONE
+    )
+    if aggregations > 1:
+        count += 1
+    if len(select_query.select) > 1:
+        count += 1
+    conditions = list(iter_conditions(select_query.where))
+    if len(conditions) > 1:
+        count += 1
+    if len(select_query.group_by) > 1:
+        count += 1
+    return count
+
+
+def _has_or_or_not(query: Query) -> bool:
+    for select_query in query.all_select_queries():
+        for expr in (select_query.where, select_query.having):
+            stack = [expr] if expr is not None else []
+            while stack:
+                node = stack.pop()
+                if isinstance(node, BooleanExpr):
+                    if node.connector == "or":
+                        return True
+                    stack.extend(node.operands)
+                elif isinstance(node, Condition):
+                    if node.operator.value.startswith("not") or node.operator.value == "!=":
+                        return True
+    return False
+
+
+def classify_hardness(query: Query) -> Hardness:
+    """Spider-style hardness of a (possibly compound) query.
+
+    Set operators (UNION/INTERSECT/EXCEPT) are Extra-hard; sub-queries are
+    Hard unless combined with further components; otherwise the component
+    counts bucket the query, mirroring the official evaluation script.
+    """
+    body = query.body
+    component1 = _count_components(body)
+    others = _count_others(body) + (1 if _has_or_or_not(query) else 0)
+    nested = _count_nested(query)
+
+    if query.is_compound():
+        return Hardness.EXTRA_HARD
+    if nested:
+        if component1 > 2 or others > 1 or nested > 1:
+            return Hardness.EXTRA_HARD
+        return Hardness.HARD
+    if component1 <= 1 and others == 0:
+        return Hardness.EASY
+    if component1 <= 2 and others <= 1:
+        return Hardness.MEDIUM
+    if component1 <= 3 and others <= 2:
+        return Hardness.HARD
+    return Hardness.EXTRA_HARD
+
+
+def combine_value_difficulty(
+    difficulties: list[ValueDifficulty],
+) -> ValueDifficulty | None:
+    """The difficulty of a sample is its hardest value's difficulty."""
+    if not difficulties:
+        return None
+    order = [
+        ValueDifficulty.EASY,
+        ValueDifficulty.MEDIUM,
+        ValueDifficulty.HARD,
+        ValueDifficulty.EXTRA_HARD,
+    ]
+    return max(difficulties, key=order.index)

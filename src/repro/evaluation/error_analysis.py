@@ -1,0 +1,128 @@
+"""Error analysis (paper Section V-G).
+
+Failed dev samples are categorized by comparing the predicted SemQL tree
+against the gold tree.  Multiple causes can apply to one sample, exactly
+as in the paper's analysis:
+
+* ``column`` — a C pointer differs from gold,
+* ``table`` — a T pointer differs from gold,
+* ``sketch`` — the grammar-action skeleton differs,
+* ``value`` — sketch/columns/tables match but a value differs,
+* ``no_prediction`` — the pipeline produced no SQL at all,
+* ``false_negative`` — execution said wrong but the component signature
+  (with values) matches gold: a result-comparison artifact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.evaluation.execution import EvaluatedSample
+from repro.index.inverted import normalize_value
+from repro.semql.actions import ActionType
+from repro.semql.tree import SemQLNode
+
+CAUSES = ("column", "table", "sketch", "value", "no_prediction", "false_negative")
+
+# Paper Section V-G, share of analyzed errors per cause (multi-label).
+PAPER_ERROR_SHARES = {
+    "column": 0.50,
+    "sketch": 0.39,
+    "value": 0.09,
+    "false_negative": 0.09,
+}
+
+
+def _sketch_signature(tree: SemQLNode) -> tuple:
+    return tuple(
+        (node.action_type.value, node.production)
+        for node in tree.walk()
+        if not node.is_pointer()
+    )
+
+
+def _pointer_multiset(tree: SemQLNode, action_type: ActionType) -> Counter:
+    counts: Counter = Counter()
+    for node in tree.pointer_leaves(action_type):
+        if action_type is ActionType.C:
+            assert node.column is not None
+            counts[node.column.qualified_name.lower()] += 1
+        elif action_type is ActionType.T:
+            assert node.table is not None
+            counts[node.table.lower()] += 1
+        else:
+            counts[normalize_value(node.value)] += 1
+    return counts
+
+
+@dataclass
+class SampleDiagnosis:
+    """Causes assigned to one failed sample."""
+
+    sample: EvaluatedSample
+    causes: tuple[str, ...]
+
+
+@dataclass
+class ErrorReport:
+    """Aggregate error analysis over the failed dev samples."""
+
+    diagnoses: list[SampleDiagnosis] = field(default_factory=list)
+
+    @property
+    def num_failures(self) -> int:
+        return len(self.diagnoses)
+
+    def cause_counts(self) -> dict[str, int]:
+        counts: Counter = Counter()
+        for diagnosis in self.diagnoses:
+            counts.update(diagnosis.causes)
+        return {cause: counts.get(cause, 0) for cause in CAUSES}
+
+    def cause_shares(self) -> dict[str, float]:
+        counts = self.cause_counts()
+        total = max(self.num_failures, 1)
+        return {cause: count / total for cause, count in counts.items()}
+
+
+def diagnose_sample(sample: EvaluatedSample) -> SampleDiagnosis:
+    """Assign error causes to one failed sample."""
+    causes: list[str] = []
+    predicted_tree = sample.result.semql
+    gold_tree = sample.example.gold_semql
+
+    if predicted_tree is None or sample.result.sql is None:
+        return SampleDiagnosis(sample, ("no_prediction",))
+
+    if _sketch_signature(predicted_tree) != _sketch_signature(gold_tree):
+        causes.append("sketch")
+    if _pointer_multiset(predicted_tree, ActionType.C) != _pointer_multiset(
+        gold_tree, ActionType.C
+    ):
+        causes.append("column")
+    if _pointer_multiset(predicted_tree, ActionType.T) != _pointer_multiset(
+        gold_tree, ActionType.T
+    ):
+        causes.append("table")
+    if not causes:
+        if _pointer_multiset(predicted_tree, ActionType.V) != _pointer_multiset(
+            gold_tree, ActionType.V
+        ):
+            causes.append("value")
+
+    if not causes:
+        # Every component (sketch, columns, tables, values) matches gold,
+        # yet execution judged the sample wrong — a result-comparison
+        # artifact or a dataset flaw, the paper's "false negative" bucket.
+        causes.append("false_negative")
+    return SampleDiagnosis(sample, tuple(causes))
+
+
+def analyze_failures(samples: list[EvaluatedSample]) -> ErrorReport:
+    """Diagnose every failed sample."""
+    report = ErrorReport()
+    for sample in samples:
+        if not sample.correct:
+            report.diagnoses.append(diagnose_sample(sample))
+    return report

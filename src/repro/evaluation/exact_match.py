@@ -1,0 +1,123 @@
+"""Exact Matching Accuracy: Spider's component matching (without values).
+
+The metric compares predicted and gold queries component by component,
+order-insensitively (``SELECT A, B`` equals ``SELECT B, A``), and ignores
+literal values entirely — as the paper emphasizes, this is the easier
+metric most Spider entries optimize.  We implement it over our resolved
+AST so the paper's claim ("Exact Match does not validate values") can be
+demonstrated quantitatively in the benches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.sql.ast import (
+    BooleanExpr,
+    Condition,
+    ConditionExpr,
+    OrderBy,
+    Query,
+    SelectItem,
+    SelectQuery,
+)
+
+
+def _select_signature(items: list[SelectItem], distinct: bool) -> tuple:
+    parts = Counter(
+        (item.aggregate.value, str(item.column).lower(), item.distinct)
+        for item in items
+    )
+    return (distinct, tuple(sorted(parts.items())))
+
+
+def _condition_signature(expr: ConditionExpr | None, *, with_values: bool) -> tuple:
+    """Order-insensitive signature of a condition tree.
+
+    Spider's component matching treats the condition list as a set; we do
+    the same for same-connector trees.
+    """
+    if expr is None:
+        return ()
+    if isinstance(expr, Condition):
+        rhs: object
+        if isinstance(expr.rhs, Query):
+            rhs = ("subquery", query_signature(expr.rhs, with_values=with_values))
+        elif isinstance(expr.rhs, tuple):
+            rhs = (
+                ("between",)
+                + (tuple(str(l.value).lower() for l in expr.rhs) if with_values else ())
+            )
+        else:
+            rhs = ("literal", str(expr.rhs.value).lower()) if with_values else ("literal",)
+        return (
+            "cond",
+            expr.aggregate.value,
+            str(expr.column).lower(),
+            expr.operator.value,
+            rhs,
+        )
+    operands = tuple(
+        sorted(
+            str(_condition_signature(op, with_values=with_values))
+            for op in expr.operands
+        )
+    )
+    return (expr.connector, operands)
+
+
+def _order_signature(order_by: OrderBy | None, limit: int | None, *, with_values: bool) -> tuple:
+    if order_by is None:
+        return ()
+    items = tuple(
+        sorted(
+            (item.aggregate.value, str(item.column).lower())
+            for item in order_by.items
+        )
+    )
+    signature: tuple = (order_by.direction.value, items)
+    if with_values:
+        signature += (limit,)
+    else:
+        signature += (limit is not None,)
+    return signature
+
+
+def _select_query_signature(query: SelectQuery, *, with_values: bool) -> tuple:
+    return (
+        _select_signature(query.select, query.distinct),
+        tuple(sorted(t.lower() for t in query.tables)),
+        _condition_signature(query.where, with_values=with_values),
+        tuple(sorted(str(c).lower() for c in query.group_by)),
+        _condition_signature(query.having, with_values=with_values),
+        _order_signature(query.order_by, query.limit, with_values=with_values),
+    )
+
+
+def query_signature(query: Query, *, with_values: bool = False) -> tuple:
+    """Canonical component signature of a (possibly compound) query."""
+    signature: tuple = (_select_query_signature(query.body, with_values=with_values),)
+    if query.is_compound():
+        assert query.set_operator is not None and query.compound is not None
+        signature += (
+            query.set_operator.value,
+            query_signature(query.compound, with_values=with_values),
+        )
+    return signature
+
+
+def exact_match(
+    predicted: Query, gold: Query, *, with_values: bool = False
+) -> bool:
+    """Spider-style component match.
+
+    Args:
+        predicted: predicted query AST.
+        gold: gold query AST.
+        with_values: when True, literal values must match too (this is the
+            stricter variant the paper argues for; the Spider leaderboard's
+            "Exact Set Match without Values" uses False).
+    """
+    return query_signature(predicted, with_values=with_values) == query_signature(
+        gold, with_values=with_values
+    )

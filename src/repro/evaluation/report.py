@@ -1,0 +1,95 @@
+"""Result-table rendering: console text and Markdown.
+
+The experiment runner composes its paper-vs-measured comparisons as
+:class:`ResultTable` objects and renders them twice — aligned text for the
+console, Markdown for EXPERIMENTS.md — so the recorded numbers are always
+exactly what was measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ResultTable:
+    """One titled table of result rows."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(tuple(str(cell) for cell in cells))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    # ------------------------------------------------------------ renders
+
+    def render_text(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"=== {self.title} ==="]
+        lines.append("  " + " | ".join(
+            h.ljust(w) for h, w in zip(self.headers, widths)
+        ))
+        lines.append("  " + "-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  " + " | ".join(
+                c.ljust(w) for c, w in zip(row, widths)
+            ))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """An ordered collection of result tables with front matter."""
+
+    title: str
+    preamble: str = ""
+    tables: list[ResultTable] = field(default_factory=list)
+
+    def table(self, title: str, headers: tuple[str, ...]) -> ResultTable:
+        table = ResultTable(title=title, headers=headers)
+        self.tables.append(table)
+        return table
+
+    def render_text(self) -> str:
+        parts = [self.title, "=" * len(self.title)]
+        if self.preamble:
+            parts.append(self.preamble)
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.render_text())
+        return "\n".join(parts)
+
+    def render_markdown(self) -> str:
+        parts = [f"# {self.title}", ""]
+        if self.preamble:
+            parts.append(self.preamble)
+            parts.append("")
+        for table in self.tables:
+            parts.append(table.render_markdown())
+            parts.append("")
+        return "\n".join(parts)

@@ -1,0 +1,14 @@
+"""Inverted index, blocking and similarity search over database content."""
+
+from repro.index.blocking import BlockedValuePool
+from repro.index.inverted import InvertedIndex, ValueLocation, normalize_value
+from repro.index.similarity import SimilaritySearcher, SimilarValue
+
+__all__ = [
+    "BlockedValuePool",
+    "InvertedIndex",
+    "SimilaritySearcher",
+    "SimilarValue",
+    "ValueLocation",
+    "normalize_value",
+]

@@ -1,0 +1,62 @@
+"""Blocking for the similarity scan over database values.
+
+Paper Section IV-B2: "By using smart indexes and computationally cheap
+methods for blocking/indexing, this effort can be optimized."  A naive
+similarity search computes an edit distance between the query span and
+*every* value in the database; blocking first partitions values by cheap
+keys so only a small bucket needs the expensive distance.
+
+We block on two keys, unioning the buckets:
+
+* first character (values sharing the query's first letter), and
+* length band (values whose length differs by at most the distance bound —
+  a necessary condition for the Damerau-Levenshtein distance to be within
+  the bound).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+
+class BlockedValuePool:
+    """A pool of strings partitioned for cheap candidate pre-selection."""
+
+    def __init__(self, values: Iterable[str]):
+        self._values: list[str] = []
+        self._by_first_char: dict[str, list[int]] = defaultdict(list)
+        self._by_length: dict[int, list[int]] = defaultdict(list)
+        for value in values:
+            self.add(value)
+
+    def add(self, value: str) -> None:
+        """Add one value to the pool."""
+        index = len(self._values)
+        self._values.append(value)
+        lowered = value.lower()
+        if lowered:
+            self._by_first_char[lowered[0]].append(index)
+        self._by_length[len(lowered)].append(index)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def candidates(self, query: str, *, max_distance: int) -> list[str]:
+        """Values plausibly within ``max_distance`` of ``query``.
+
+        The result is a superset-filter: every value whose distance is
+        within the bound *and* shares the first letter or is in the length
+        band is returned.  (A value differing in its first letter can still
+        be within distance 1, so the length band alone guarantees recall;
+        the first-letter bucket only accelerates the common case.)
+        """
+        lowered = query.lower()
+        picked: set[int] = set()
+        if lowered:
+            picked.update(self._by_first_char.get(lowered[0], ()))
+        for length in range(
+            max(0, len(lowered) - max_distance), len(lowered) + max_distance + 1
+        ):
+            picked.update(self._by_length.get(length, ()))
+        return [self._values[i] for i in sorted(picked)]

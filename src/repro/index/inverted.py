@@ -1,0 +1,135 @@
+"""Inverted index over database content.
+
+Paper Section III: "As input our system expects a question in natural
+language, the schema of the database, and access to the content of the
+database, e.g. via an inverted index".  The index maps normalized value
+tokens to the (table, column) locations where they occur, supports exact
+lookups for candidate *validation* and feeds the similarity search used
+for candidate *generation*.
+
+The index is built once per database and kept in memory; Table II of the
+paper shows value lookup is the dominant cost of translation, so the
+per-question work must not rescan base data.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.schema.model import Column, ColumnType
+
+
+@dataclass(frozen=True)
+class ValueLocation:
+    """Where a value was found: one column of one table."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+def normalize_value(value: object) -> str:
+    """Canonical string form used as index key (lower-cased, trimmed)."""
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    return str(value).strip().lower()
+
+
+class InvertedIndex:
+    """Exact-match index from normalized values to their locations.
+
+    Also keeps a per-column list of distinct original values for the
+    similarity scan (bounded by ``max_values_per_column`` to keep memory
+    and scan time predictable on wide databases).
+    """
+
+    def __init__(self, *, max_values_per_column: int = 5000):
+        self._max_values_per_column = max_values_per_column
+        self._locations: dict[str, set[ValueLocation]] = defaultdict(set)
+        self._originals: dict[str, set[str]] = defaultdict(set)
+        self._column_values: dict[ValueLocation, list[str]] = {}
+        self._numeric_columns: set[ValueLocation] = set()
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def build(cls, database: Database, **kwargs: int) -> "InvertedIndex":
+        """Index every text-like column of ``database``.
+
+        Numeric columns are recorded (so numeric candidates can be located)
+        but their values are not enumerated into the similarity pool — a
+        number extracted from the question is its own best candidate
+        (Section IV-B2).
+        """
+        index = cls(**kwargs)
+        for table in database.schema.tables:
+            for column in table.columns:
+                index._index_column(database, column)
+        return index
+
+    def _index_column(self, database: Database, column: Column) -> None:
+        location = ValueLocation(column.table, column.name)
+        values = database.column_values(column, limit=self._max_values_per_column)
+        if column.column_type in (ColumnType.NUMBER, ColumnType.BOOLEAN):
+            self._numeric_columns.add(location)
+        distinct: list[str] = []
+        seen: set[str] = set()
+        for value in values:
+            key = normalize_value(value)
+            if not key:
+                continue
+            self._locations[key].add(location)
+            original = str(value)
+            self._originals[key].add(original)
+            if key not in seen:
+                seen.add(key)
+                distinct.append(original)
+        self._column_values[location] = distinct
+
+    def add_value(self, value: object, location: ValueLocation) -> None:
+        """Manually index one value (used in tests and incremental loads)."""
+        key = normalize_value(value)
+        self._locations[key].add(location)
+        self._originals[key].add(str(value))
+        self._column_values.setdefault(location, []).append(str(value))
+
+    # ------------------------------------------------------------- queries
+
+    def lookup(self, value: object) -> set[ValueLocation]:
+        """Exact (normalized) lookup: all locations containing ``value``."""
+        return set(self._locations.get(normalize_value(value), set()))
+
+    def contains(self, value: object) -> bool:
+        return normalize_value(value) in self._locations
+
+    def original_forms(self, value: object) -> set[str]:
+        """Original-cased spellings of a normalized value."""
+        return set(self._originals.get(normalize_value(value), set()))
+
+    def values_in_column(self, location: ValueLocation) -> list[str]:
+        """Distinct original values indexed for a column."""
+        return list(self._column_values.get(location, []))
+
+    def text_locations(self) -> list[ValueLocation]:
+        """All indexed columns that hold text-like values."""
+        return [
+            location for location in self._column_values
+            if location not in self._numeric_columns
+        ]
+
+    def is_numeric_column(self, location: ValueLocation) -> bool:
+        return location in self._numeric_columns
+
+    @property
+    def num_distinct_values(self) -> int:
+        return len(self._locations)
+
+    def iter_text_values(self):
+        """Yield ``(original_value, location)`` pairs for text columns."""
+        for location in self.text_locations():
+            for value in self._column_values[location]:
+                yield value, location

@@ -1,0 +1,77 @@
+"""Similarity search over indexed database values.
+
+Implements the paper's first candidate-generation method (Section IV-B2):
+scan the database for values whose Damerau-Levenshtein distance to a query
+span is below a threshold.  Blocking (:mod:`repro.index.blocking`) keeps
+the scan sub-linear in practice; the distance computation uses an
+early-exit bound so far-off values are rejected cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.index.blocking import BlockedValuePool
+from repro.index.inverted import InvertedIndex, ValueLocation
+from repro.text.distance import damerau_levenshtein
+
+
+@dataclass(frozen=True)
+class SimilarValue:
+    """One similar database value with its location and distance."""
+
+    value: str
+    location: ValueLocation
+    distance: int
+
+    @property
+    def similarity(self) -> float:
+        """Normalized similarity in (0, 1]."""
+        longest = max(len(self.value), 1)
+        return 1.0 - self.distance / max(longest, self.distance, 1)
+
+
+class SimilaritySearcher:
+    """Finds database values similar to a question span.
+
+    One searcher is built per database (sharing the inverted index) and
+    reused across questions; construction builds the per-column blocked
+    pools once.
+    """
+
+    def __init__(self, index: InvertedIndex):
+        self._index = index
+        self._pools: dict[ValueLocation, BlockedValuePool] = {
+            location: BlockedValuePool(index.values_in_column(location))
+            for location in index.text_locations()
+        }
+
+    def search(
+        self,
+        query: str,
+        *,
+        max_distance: int = 2,
+        max_results: int = 20,
+    ) -> list[SimilarValue]:
+        """All text values within ``max_distance`` of ``query``.
+
+        Results are sorted by ascending distance, then value, and truncated
+        to ``max_results`` (the paper observes that too many candidates
+        hurt model accuracy, Section IV-B3).
+        """
+        lowered = query.lower()
+        matches: list[SimilarValue] = []
+        for location, pool in self._pools.items():
+            for value in pool.candidates(lowered, max_distance=max_distance):
+                distance = damerau_levenshtein(
+                    lowered, value.lower(), max_distance=max_distance
+                )
+                if distance <= max_distance:
+                    matches.append(SimilarValue(value, location, distance))
+        matches.sort(key=lambda m: (m.distance, m.value.lower(), str(m.location)))
+        return matches[:max_results]
+
+    def best_match(self, query: str, *, max_distance: int = 2) -> SimilarValue | None:
+        """The single closest value, or ``None`` when nothing is in range."""
+        results = self.search(query, max_distance=max_distance, max_results=1)
+        return results[0] if results else None

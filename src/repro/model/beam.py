@@ -1,0 +1,170 @@
+"""Beam-search decoding over SemQL 2.0 actions.
+
+The paper's greedy decoder commits to one action per step; beam search
+keeps the ``beam_size`` highest-scoring partial action sequences instead
+and returns the best *complete* one.  IRNet (ValueNet's base) decodes with
+a beam — this module provides the same extension for our decoder, subject
+to the identical grammar constraints as the greedy path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.decoder import DecoderStep, ValueNetDecoder
+from repro.model.encoder import EncodedExample
+from repro.nn.functional import masked_log_softmax, log_softmax
+from repro.nn.tensor import Tensor
+from repro.semql.actions import ActionType, GRAMMAR_ACTION_LIST
+from repro.semql.tree import GrammarState
+
+
+@dataclass
+class _Hypothesis:
+    """One partial decode: accumulated score plus decoder state."""
+
+    score: float
+    state: tuple[Tensor, Tensor]
+    prev: Tensor
+    grammar: GrammarState
+    steps: list[DecoderStep] = field(default_factory=list)
+    last_column: int | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.grammar.finished
+
+    def normalized_score(self) -> float:
+        # Length normalization keeps short queries from always winning.
+        return self.score / max(len(self.steps), 1) ** 0.7
+
+
+def beam_decode(
+    decoder: ValueNetDecoder,
+    encoded: EncodedExample,
+    *,
+    beam_size: int = 4,
+    column_to_table: list[int | None] | None = None,
+) -> list[DecoderStep]:
+    """Grammar-constrained beam search; returns the best complete steps.
+
+    Raises:
+        ModelError: if no hypothesis completes within the step budget.
+    """
+    if beam_size < 1:
+        raise ValueError(f"beam_size must be positive, got {beam_size}")
+    decoder.eval()
+
+    initial = _Hypothesis(
+        score=0.0,
+        state=decoder._initial_state(encoded),
+        prev=decoder.start_embedding,
+        grammar=GrammarState(),
+    )
+    beam: list[_Hypothesis] = [initial]
+    completed: list[_Hypothesis] = []
+
+    for _step in range(decoder.config.max_decode_steps):
+        candidates: list[_Hypothesis] = []
+        for hypothesis in beam:
+            if hypothesis.finished:
+                completed.append(hypothesis)
+                continue
+            candidates.extend(
+                _expand(decoder, encoded, hypothesis, beam_size, column_to_table)
+            )
+        if not candidates:
+            break
+        candidates.sort(key=lambda h: h.score, reverse=True)
+        beam = candidates[:beam_size]
+        if len(completed) >= beam_size:
+            break
+
+    completed.extend(h for h in beam if h.finished)
+    if not completed:
+        raise ModelError("beam search found no complete hypothesis")
+    best = max(completed, key=lambda h: h.normalized_score())
+    return best.steps
+
+
+def _expand(
+    decoder: ValueNetDecoder,
+    encoded: EncodedExample,
+    hypothesis: _Hypothesis,
+    beam_size: int,
+    column_to_table: list[int | None] | None = None,
+) -> list[_Hypothesis]:
+    h, state = decoder._step(hypothesis.prev, hypothesis.state, encoded)
+    grammar = hypothesis.grammar
+    expected = grammar.expected_type()
+
+    expansions: list[_Hypothesis] = []
+    if expected in (ActionType.C, ActionType.T, ActionType.V):
+        kind = expected.value
+        if expected is ActionType.V and encoded.num_values == 0:
+            return []
+        logits = decoder._head_logits(kind, h, encoded)
+        log_probs = log_softmax(logits).data
+        if (
+            expected is ActionType.T
+            and column_to_table is not None
+            and hypothesis.last_column is not None
+            and column_to_table[hypothesis.last_column] is not None
+        ):
+            forced = column_to_table[hypothesis.last_column]
+            constrained = np.full_like(log_probs, -1e30)
+            constrained[forced] = log_probs[forced]
+            log_probs = constrained
+        for index in np.argsort(log_probs)[::-1][:beam_size]:
+            if log_probs[index] < -1e20:
+                continue
+            fork = grammar.clone()
+            fork.advance_pointer(expected)
+            next_column = hypothesis.last_column
+            if expected is ActionType.C:
+                next_column = int(index)
+            elif expected is ActionType.T:
+                next_column = None
+            expansions.append(
+                _Hypothesis(
+                    score=hypothesis.score + float(log_probs[index]),
+                    state=state,
+                    prev=decoder._feed_embedding(kind, int(index), encoded),
+                    grammar=fork,
+                    steps=hypothesis.steps + [DecoderStep(kind, int(index))],
+                    last_column=next_column,
+                )
+            )
+        return expansions
+
+    logits = decoder.sketch_head(h)
+    remaining = decoder.config.max_decode_steps - len(hypothesis.steps)
+    mask = decoder._grammar_mask(
+        expected,
+        encoded.num_values,
+        conserve_budget=remaining < 6 * grammar.pending + 12,
+        in_subquery=grammar.expected_in_subquery(),
+        in_compound=grammar.expected_in_compound_branch(),
+        required_arity=grammar.required_select_arity(),
+    )
+    log_probs = masked_log_softmax(logits, mask).data
+    for action_id in np.argsort(log_probs)[::-1][:beam_size]:
+        if math.isinf(log_probs[action_id]) or log_probs[action_id] < -1e20:
+            continue
+        fork = grammar.clone()
+        fork.advance_grammar(GRAMMAR_ACTION_LIST[int(action_id)])
+        expansions.append(
+            _Hypothesis(
+                score=hypothesis.score + float(log_probs[action_id]),
+                state=state,
+                prev=decoder._feed_embedding("grammar", int(action_id), encoded),
+                grammar=fork,
+                steps=hypothesis.steps + [DecoderStep("grammar", int(action_id))],
+                last_column=hypothesis.last_column,
+            )
+        )
+    return expansions

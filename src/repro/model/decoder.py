@@ -1,0 +1,330 @@
+"""The ValueNet decoder (paper Section III-B2).
+
+An LSTM emits SemQL 2.0 actions in pre-order under the grammar's dynamic
+legal-action constraint; pointer networks select columns, tables and value
+candidates.  At each step the decoder attends over the question encodings
+(bilinear attention), consumes the embedding of the previously emitted
+action, and routes its hidden state to the head the grammar expects:
+
+* grammar head — masked softmax over the global production vocabulary,
+* column / table / value pointer networks — softmax over item encodings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.errors import ModelError
+from repro.model.encoder import EncodedExample
+from repro.nn.attention import BilinearAttention, PointerNetwork
+from repro.nn.functional import attention_pool, cross_entropy, masked_log_softmax
+from repro.nn.layers import Dropout, Embedding, Linear, Module
+from repro.nn.rnn import LSTMCell
+from repro.nn.tensor import Tensor, concat
+from repro.semql.actions import (
+    ActionType,
+    GRAMMAR_ACTION_LIST,
+    GrammarAction,
+    NUM_GRAMMAR_ACTIONS,
+    actions_for_type,
+)
+from repro.semql.tree import GrammarState
+
+
+@dataclass(frozen=True)
+class DecoderStep:
+    """One supervised decoding step.
+
+    ``kind`` is ``grammar`` / ``C`` / ``T`` / ``V``; ``target`` is the
+    global grammar-action id or the pointer index, respectively.
+    """
+
+    kind: str
+    target: int
+
+
+class ValueNetDecoder(Module):
+    """Grammar-constrained LSTM decoder with pointer networks."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator):
+        super().__init__()
+        dim = config.dim
+        hidden = config.decoder_hidden
+        self.config = config
+
+        # "decoder" parameter group
+        self.action_embedding = Embedding(NUM_GRAMMAR_ACTIONS, dim, rng)
+        self.start_embedding = Tensor(
+            rng.normal(0.0, 0.1, size=dim), requires_grad=True
+        )
+        self.cell = LSTMCell(2 * dim, hidden, rng)
+        self.sketch_head = Linear(hidden, NUM_GRAMMAR_ACTIONS, rng)
+        self.dropout = Dropout(config.dropout, rng)
+
+        # "connection" parameter group: everything touching encoder output
+        self.context_attention = BilinearAttention(hidden, dim, rng)
+        self.init_projection = Linear(dim, hidden, rng)
+        self.column_pointer = PointerNetwork(hidden, dim, config.pointer_hidden, rng)
+        self.table_pointer = PointerNetwork(hidden, dim, config.pointer_hidden, rng)
+        self.value_pointer = PointerNetwork(hidden, dim, config.pointer_hidden, rng)
+        self.column_feed = Linear(dim, dim, rng)
+        self.table_feed = Linear(dim, dim, rng)
+        self.value_feed = Linear(dim, dim, rng)
+
+    # ------------------------------------------------------- param groups
+
+    def connection_modules(self) -> list[Module]:
+        """Sub-modules in the paper's "connection parameters" group."""
+        return [
+            self.context_attention, self.init_projection,
+            self.column_pointer, self.table_pointer, self.value_pointer,
+            self.column_feed, self.table_feed, self.value_feed,
+        ]
+
+    def decoder_parameters(self) -> list[Tensor]:
+        connection_ids = {
+            id(p) for module in self.connection_modules() for p in module.parameters()
+        }
+        return [p for p in self.parameters() if id(p) not in connection_ids]
+
+    def connection_parameters(self) -> list[Tensor]:
+        return [p for module in self.connection_modules() for p in module.parameters()]
+
+    # ----------------------------------------------------------- plumbing
+
+    def _initial_state(self, encoded: EncodedExample) -> tuple[Tensor, Tensor]:
+        h0 = self.init_projection(encoded.summary).tanh()
+        c0 = Tensor(np.zeros(self.config.decoder_hidden))
+        return h0, c0
+
+    def _step(
+        self,
+        prev_embedding: Tensor,
+        state: tuple[Tensor, Tensor],
+        encoded: EncodedExample,
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        scores = self.context_attention(state[0], encoded.question)
+        context = attention_pool(scores, encoded.question)
+        x = concat([prev_embedding, context], axis=-1)
+        h, c = self.cell(x, state)
+        return self.dropout(h), (h, c)
+
+    def _grammar_mask(
+        self,
+        expected: ActionType,
+        num_values: int,
+        *,
+        conserve_budget: bool = False,
+        in_subquery: bool = False,
+        in_compound: bool = False,
+        required_arity: int | None = None,
+    ) -> np.ndarray:
+        """Legal-production mask for the expected non-terminal.
+
+        ``conserve_budget`` additionally disables recursive productions
+        (Filter and/or, sub-query expansions) so a decode nearing the step
+        cap is forced towards termination instead of aborting.
+        ``in_subquery`` restricts SELECT to one projection — comparison
+        operands must be scalar sub-queries.  ``required_arity`` pins the
+        SELECT projection count (right branch of a compound query).
+        """
+        mask = np.zeros(NUM_GRAMMAR_ACTIONS, dtype=bool)
+        for action_id in actions_for_type(expected):
+            action = GRAMMAR_ACTION_LIST[action_id]
+            if num_values == 0 and (
+                ActionType.V in action.children
+                # Superlative always expands to a V (its LIMIT), so it is
+                # equally unusable without candidates.
+                or ActionType.SUPERLATIVE in action.children
+            ):
+                continue  # unusable production: nothing to point at
+            if conserve_budget and (
+                ActionType.FILTER in action.children
+                or ActionType.R in action.children
+            ):
+                continue
+            if (
+                in_subquery
+                and expected is ActionType.SELECT
+                and len(action.children) > 1
+            ):
+                continue  # scalar sub-query: exactly one projection
+            if (
+                required_arity is not None
+                and expected is ActionType.SELECT
+                and len(action.children) != required_arity
+            ):
+                continue  # compound branches must project equally
+            if (
+                in_compound
+                and expected is ActionType.R
+                and (
+                    ActionType.ORDER in action.children
+                    or ActionType.SUPERLATIVE in action.children
+                )
+            ):
+                continue  # SQLite: no ORDER BY inside compound branches
+            mask[action_id] = True
+        if not mask.any():
+            # Every production was excluded; fall back to the unconstrained
+            # production set so decoding can continue (the sample may simply
+            # fail at execution).
+            for action_id in actions_for_type(expected):
+                mask[action_id] = True
+        return mask
+
+    def _head_logits(
+        self, kind: str, h: Tensor, encoded: EncodedExample
+    ) -> Tensor:
+        if kind == "C":
+            return self.column_pointer(h, encoded.columns)
+        if kind == "T":
+            return self.table_pointer(h, encoded.tables)
+        if kind == "V":
+            if encoded.values is None:
+                raise ModelError("value pointer invoked without candidates")
+            return self.value_pointer(h, encoded.values)
+        raise ModelError(f"unknown pointer kind {kind!r}")
+
+    def _feed_embedding(
+        self, kind: str, index: int, encoded: EncodedExample
+    ) -> Tensor:
+        if kind == "grammar":
+            return self.action_embedding([index]).reshape(self.config.dim)
+        if kind == "C":
+            return self.column_feed(encoded.columns[index])
+        if kind == "T":
+            return self.table_feed(encoded.tables[index])
+        assert encoded.values is not None
+        return self.value_feed(encoded.values[index])
+
+    # ------------------------------------------------------------ training
+
+    def loss(self, encoded: EncodedExample, steps: list[DecoderStep]) -> Tensor:
+        """Teacher-forced negative log-likelihood of the gold action
+        sequence, grammar-masked exactly as at inference time."""
+        state = self._initial_state(encoded)
+        prev = self.start_embedding
+        grammar = GrammarState()
+        total: Tensor | None = None
+
+        for step in steps:
+            h, state = self._step(prev, state, encoded)
+            expected = grammar.expected_type()
+            if step.kind == "grammar":
+                logits = self.sketch_head(h)
+                mask = self._grammar_mask(expected, encoded.num_values)
+                step_loss = cross_entropy(logits, step.target, mask)
+                grammar.advance_grammar(GRAMMAR_ACTION_LIST[step.target])
+            else:
+                logits = self._head_logits(step.kind, h, encoded)
+                step_loss = cross_entropy(logits, step.target)
+                grammar.advance_pointer(ActionType(step.kind))
+            total = step_loss if total is None else total + step_loss
+            prev = self._feed_embedding(step.kind, step.target, encoded)
+
+        if total is None:
+            raise ModelError("empty decoder target sequence")
+        if not grammar.finished:
+            raise ModelError("gold action sequence does not complete the grammar")
+        return total
+
+    # ----------------------------------------------------------- inference
+
+    def decode(
+        self,
+        encoded: EncodedExample,
+        *,
+        column_to_table: list[int | None] | None = None,
+    ) -> list[DecoderStep]:
+        """Greedy grammar-constrained decoding; returns the emitted steps.
+
+        Args:
+            encoded: encoder output.
+            column_to_table: optional mapping from column index to owning
+                table index (None for the ``*`` column).  When given, the
+                T pointer that follows a C pointer is constrained to the
+                chosen column's table — every gold tree satisfies this, so
+                the constraint only removes inconsistent predictions.
+        """
+        self.eval()
+        state = self._initial_state(encoded)
+        prev = self.start_embedding
+        grammar = GrammarState()
+        steps: list[DecoderStep] = []
+        last_column: int | None = None
+
+        while not grammar.finished and len(steps) < self.config.max_decode_steps:
+            h, state = self._step(prev, state, encoded)
+            expected = grammar.expected_type()
+            if expected in (ActionType.C, ActionType.T, ActionType.V):
+                kind = expected.value
+                if expected is ActionType.V and encoded.num_values == 0:
+                    raise ModelError("grammar requires a value but no candidates exist")
+                logits = self._head_logits(kind, h, encoded)
+                scores = logits.data
+                if (
+                    expected is ActionType.T
+                    and column_to_table is not None
+                    and last_column is not None
+                    and column_to_table[last_column] is not None
+                ):
+                    forced = column_to_table[last_column]
+                    masked = np.full_like(scores, -1e30)
+                    masked[forced] = scores[forced]
+                    scores = masked
+                index = int(np.argmax(scores))
+                if expected is ActionType.C:
+                    last_column = index
+                elif expected is ActionType.T:
+                    last_column = None
+                steps.append(DecoderStep(kind, index))
+                grammar.advance_pointer(expected)
+                prev = self._feed_embedding(kind, index, encoded)
+            else:
+                logits = self.sketch_head(h)
+                # A pending non-terminal costs up to ~6 further steps
+                # (Filter -> A -> C, T plus a value/sub-query); once the
+                # remaining budget cannot cover that, stop recursing.  A
+                # hard cap on recursive expansions (no real query nests six
+                # conjunctions or sub-queries) backstops the estimate.
+                remaining = self.config.max_decode_steps - len(steps)
+                recursive_so_far = sum(
+                    1 for s in steps
+                    if s.kind == "grammar" and (
+                        ActionType.FILTER in GRAMMAR_ACTION_LIST[s.target].children
+                        or ActionType.R in GRAMMAR_ACTION_LIST[s.target].children
+                    )
+                )
+                mask = self._grammar_mask(
+                    expected,
+                    encoded.num_values,
+                    conserve_budget=(
+                        remaining < 6 * grammar.pending + 12
+                        or recursive_so_far >= 8
+                    ),
+                    in_subquery=grammar.expected_in_subquery(),
+                    in_compound=grammar.expected_in_compound_branch(),
+                    required_arity=grammar.required_select_arity(),
+                )
+                log_probs = masked_log_softmax(logits, mask)
+                action_id = int(np.argmax(log_probs.data))
+                steps.append(DecoderStep("grammar", action_id))
+                grammar.advance_grammar(GRAMMAR_ACTION_LIST[action_id])
+                prev = self._feed_embedding("grammar", action_id, encoded)
+
+        if not grammar.finished:
+            raise ModelError(
+                f"decoding exceeded {self.config.max_decode_steps} steps"
+            )
+        return steps
+
+
+def grammar_action_id(action: GrammarAction) -> int:
+    """Global id of a grammar action (convenience for tests)."""
+    from repro.semql.actions import GRAMMAR_ACTION_INDEX
+
+    return GRAMMAR_ACTION_INDEX[action]

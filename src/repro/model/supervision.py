@@ -1,0 +1,96 @@
+"""Conversion between SemQL trees and decoder step sequences.
+
+Training needs gold trees flattened into :class:`DecoderStep` targets
+(grammar-action ids and pointer indices); inference needs the emitted
+steps rebuilt into a SemQL tree with resolved payloads.
+"""
+
+from __future__ import annotations
+
+from repro.candidates.types import ValueCandidate
+from repro.errors import ModelError
+from repro.index.inverted import normalize_value
+from repro.model.decoder import DecoderStep
+from repro.schema.model import Schema
+from repro.semql.actions import (
+    ActionType,
+    GRAMMAR_ACTION_INDEX,
+    GRAMMAR_ACTION_LIST,
+    GrammarAction,
+)
+from repro.semql.tree import SemQLNode, actions_to_tree, tree_to_actions
+
+
+def match_candidate(
+    value: object, candidates: list[ValueCandidate]
+) -> int | None:
+    """Index of the candidate matching a gold value (normalized), if any."""
+    key = normalize_value(value)
+    for i, candidate in enumerate(candidates):
+        if candidate.normalized == key:
+            return i
+    return None
+
+
+def tree_to_steps(
+    tree: SemQLNode,
+    schema: Schema,
+    candidates: list[ValueCandidate],
+) -> list[DecoderStep] | None:
+    """Flatten a gold tree into decoder targets.
+
+    Returns ``None`` when some gold value has no matching candidate — the
+    sample cannot supervise the value pointer (paper Section V-E: every
+    non-extracted value is a lost sample for ValueNet).
+    """
+    steps: list[DecoderStep] = []
+    for node in tree_to_actions(tree):
+        if node.action_type is ActionType.C:
+            assert node.column is not None
+            steps.append(DecoderStep("C", schema.column_index(node.column)))
+        elif node.action_type is ActionType.T:
+            assert node.table is not None
+            steps.append(DecoderStep("T", schema.table_index(node.table)))
+        elif node.action_type is ActionType.V:
+            index = match_candidate(node.value, candidates)
+            if index is None:
+                return None
+            steps.append(DecoderStep("V", index))
+        else:
+            assert node.production is not None
+            action = GrammarAction(node.action_type, node.production)
+            steps.append(DecoderStep("grammar", GRAMMAR_ACTION_INDEX[action]))
+    return steps
+
+
+def steps_to_tree(
+    steps: list[DecoderStep],
+    schema: Schema,
+    candidates: list[ValueCandidate],
+) -> SemQLNode:
+    """Rebuild a SemQL tree from emitted steps, resolving payloads."""
+    columns = schema.all_columns()
+    nodes: list[SemQLNode] = []
+    for step in steps:
+        if step.kind == "grammar":
+            action = GRAMMAR_ACTION_LIST[step.target]
+            nodes.append(SemQLNode(action.action_type, action.production))
+        elif step.kind == "C":
+            if not 0 <= step.target < len(columns):
+                raise ModelError(f"column index {step.target} out of range")
+            nodes.append(SemQLNode(ActionType.C, column=columns[step.target]))
+        elif step.kind == "T":
+            if not 0 <= step.target < len(schema.tables):
+                raise ModelError(f"table index {step.target} out of range")
+            nodes.append(
+                SemQLNode(ActionType.T, table=schema.tables[step.target].name)
+            )
+        elif step.kind == "V":
+            if not 0 <= step.target < len(candidates):
+                raise ModelError(f"value index {step.target} out of range")
+            nodes.append(
+                SemQLNode(ActionType.V, value=candidates[step.target].value)
+            )
+        else:
+            raise ModelError(f"unknown step kind {step.kind!r}")
+    return actions_to_tree(nodes)

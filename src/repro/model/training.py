@@ -1,0 +1,171 @@
+"""Training loop and dataset preparation for the ValueNet model.
+
+Pre-processing is deterministic per example, so it runs once up front
+(:func:`prepare_samples`); each epoch then shuffles the prepared samples,
+accumulates gradients over ``batch_size`` examples (the paper trains with
+batch size 20) and applies one Adam step per batch with the three-group
+learning rates.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.config import TrainingConfig
+from repro.model.decoder import DecoderStep
+from repro.model.supervision import tree_to_steps
+from repro.model.valuenet import ValueNetModel
+from repro.ner.extractor import ValueExtractor
+from repro.preprocessing.pipeline import PreprocessedQuestion, Preprocessor
+from repro.schema.model import Schema
+from repro.spider.corpus import Example, SpiderCorpus
+
+
+@dataclass
+class TrainSample:
+    """One prepared training sample (pre-processing already applied)."""
+
+    example: Example
+    pre: PreprocessedQuestion
+    schema: Schema
+    steps: list[DecoderStep]
+
+
+@dataclass
+class EpochStats:
+    """Loss/coverage bookkeeping for one epoch."""
+
+    epoch: int
+    mean_loss: float
+    num_samples: int
+    seconds: float
+
+
+@dataclass
+class TrainingHistory:
+    epochs: list[EpochStats] = field(default_factory=list)
+    num_prepared: int = 0
+    num_dropped: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        return self.epochs[-1].mean_loss if self.epochs else float("nan")
+
+
+def build_preprocessors(
+    corpus: SpiderCorpus,
+    extractor: ValueExtractor | None = None,
+) -> dict[str, Preprocessor]:
+    """One :class:`Preprocessor` per database (index built once each)."""
+    return {
+        db_id: Preprocessor(corpus.database(db_id), extractor)
+        for db_id in corpus.domains
+    }
+
+
+def prepare_samples(
+    examples: list[Example],
+    preprocessors: dict[str, Preprocessor],
+    model: ValueNetModel,
+    *,
+    mode: str = "valuenet",
+) -> tuple[list[TrainSample], int]:
+    """Pre-process and flatten gold trees into decoder targets.
+
+    Args:
+        examples: corpus examples.
+        preprocessors: per-database preprocessors.
+        model: the model (for its vocabulary-independent step derivation).
+        mode: ``valuenet`` (full extraction pipeline) or ``light`` (gold
+            values given as the option set, Section IV-A).
+
+    Returns:
+        (prepared samples, number dropped because a gold value was not in
+        the candidate list).
+    """
+    if mode not in ("valuenet", "light"):
+        raise ValueError(f"unknown mode {mode!r}")
+    samples: list[TrainSample] = []
+    dropped = 0
+    for example in examples:
+        preprocessor = preprocessors[example.db_id]
+        if mode == "light":
+            pre = preprocessor.run_light(example.question, example.values)
+        else:
+            pre = preprocessor.run(example.question)
+        schema = preprocessor.schema
+        steps = tree_to_steps(example.gold_semql, schema, pre.candidates)
+        if steps is None:
+            dropped += 1
+            continue
+        samples.append(TrainSample(example, pre, schema, steps))
+    return samples, dropped
+
+
+class Trainer:
+    """Gradient-accumulation training loop with three-group Adam."""
+
+    def __init__(
+        self,
+        model: ValueNetModel,
+        config: TrainingConfig | None = None,
+    ):
+        self.model = model
+        self.config = config or TrainingConfig()
+        self.optimizer = model.build_optimizer(
+            encoder_lr=self.config.encoder_lr,
+            decoder_lr=self.config.decoder_lr,
+            connection_lr=self.config.connection_lr,
+            max_grad_norm=self.config.max_grad_norm,
+        )
+
+    def train(
+        self,
+        samples: list[TrainSample],
+        *,
+        epochs: int | None = None,
+    ) -> TrainingHistory:
+        """Run the training loop; returns per-epoch statistics."""
+        history = TrainingHistory(num_prepared=len(samples))
+        rng = random.Random(self.config.seed)
+        order = list(range(len(samples)))
+        epochs = self.config.epochs if epochs is None else epochs
+
+        self.model.train()
+        for epoch in range(epochs):
+            rng.shuffle(order)
+            start = time.perf_counter()
+            total_loss = 0.0
+            pending = 0
+            for count, index in enumerate(order, start=1):
+                sample = samples[index]
+                encoded = self.model.encode(sample.pre, sample.schema)
+                loss = self.model.decoder.loss(encoded, sample.steps)
+                scale = 1.0 / max(len(sample.steps), 1)
+                (loss * scale).backward()
+                total_loss += loss.item() * scale
+                pending += 1
+                if pending == self.config.batch_size or count == len(order):
+                    self.optimizer.step()
+                    self.optimizer.zero_grad()
+                    pending = 0
+                if (
+                    self.config.log_every
+                    and count % self.config.log_every == 0
+                ):
+                    print(
+                        f"epoch {epoch + 1} [{count}/{len(order)}] "
+                        f"loss {total_loss / count:.3f}"
+                    )
+            history.epochs.append(
+                EpochStats(
+                    epoch=epoch + 1,
+                    mean_loss=total_loss / max(len(order), 1),
+                    num_samples=len(order),
+                    seconds=time.perf_counter() - start,
+                )
+            )
+        self.model.eval()
+        return history

@@ -1,0 +1,146 @@
+"""The complete ValueNet neural model: encoder + decoder + vocabulary.
+
+One :class:`ValueNetModel` serves both system variants — ValueNet and
+ValueNet light differ only in *pre-processing* (where the candidate list
+comes from), not in the neural architecture (paper Section IV-B5).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.errors import ModelError
+from repro.model.decoder import DecoderStep, ValueNetDecoder
+from repro.model.encoder import EncodedExample, ValueNetEncoder
+from repro.model.featurize import featurize
+from repro.model.supervision import steps_to_tree, tree_to_steps
+from repro.nn.layers import Module
+from repro.nn.optim import Adam, ParamGroup
+from repro.nn.serialization import load_module, save_module
+from repro.nn.tensor import Tensor
+from repro.preprocessing.pipeline import PreprocessedQuestion
+from repro.schema.model import Schema
+from repro.semql.tree import SemQLNode
+from repro.text.wordpiece import WordPieceVocab
+
+
+class ValueNetModel(Module):
+    """Encoder-decoder model over featurized questions."""
+
+    def __init__(self, vocab: WordPieceVocab, config: ModelConfig | None = None):
+        super().__init__()
+        self.config = config or ModelConfig()
+        self.vocab = vocab
+        rng = np.random.default_rng(self.config.seed)
+        self.encoder = ValueNetEncoder(len(vocab), self.config, rng)
+        self.decoder = ValueNetDecoder(self.config, rng)
+
+    # ------------------------------------------------------------ forward
+
+    def encode(self, pre: PreprocessedQuestion, schema: Schema) -> EncodedExample:
+        return self.encoder(featurize(pre, schema, self.vocab))
+
+    def loss(
+        self,
+        pre: PreprocessedQuestion,
+        schema: Schema,
+        gold_tree: SemQLNode,
+    ) -> Tensor | None:
+        """Training loss for one example; ``None`` when the gold values are
+        absent from the candidate list (unsupervisable sample)."""
+        steps = tree_to_steps(gold_tree, schema, pre.candidates)
+        if steps is None:
+            return None
+        encoded = self.encode(pre, schema)
+        return self.decoder.loss(encoded, steps)
+
+    def predict(
+        self, pre: PreprocessedQuestion, schema: Schema, *, beam_size: int = 1
+    ) -> SemQLNode:
+        """Grammar-constrained prediction of a SemQL tree.
+
+        Args:
+            pre: pre-processed question.
+            schema: the database schema.
+            beam_size: 1 decodes greedily (the paper's setting); larger
+                values run beam search over the action space.
+
+        Raises:
+            ModelError: when decoding cannot complete (e.g. a value is
+                required but no candidates exist).
+        """
+        was_training = self.training
+        self.eval()
+        column_to_table: list[int | None] = [
+            None if column.is_star() else schema.table_index(column.table)
+            for column in schema.all_columns()
+        ]
+        try:
+            encoded = self.encode(pre, schema)
+            if beam_size > 1:
+                from repro.model.beam import beam_decode
+
+                steps: list[DecoderStep] = beam_decode(
+                    self.decoder, encoded, beam_size=beam_size,
+                    column_to_table=column_to_table,
+                )
+            else:
+                steps = self.decoder.decode(
+                    encoded, column_to_table=column_to_table
+                )
+        finally:
+            if was_training:
+                self.train()
+        return steps_to_tree(steps, schema, pre.candidates)
+
+    # ------------------------------------------------------ optimization
+
+    def build_optimizer(
+        self,
+        *,
+        encoder_lr: float,
+        decoder_lr: float,
+        connection_lr: float,
+        max_grad_norm: float = 5.0,
+    ) -> Adam:
+        """Adam with the paper's three parameter groups (Section V-C)."""
+        return Adam(
+            [
+                ParamGroup(self.encoder.parameters(), encoder_lr, "encoder"),
+                ParamGroup(self.decoder.decoder_parameters(), decoder_lr, "decoder"),
+                ParamGroup(
+                    self.decoder.connection_parameters(), connection_lr, "connection"
+                ),
+            ],
+            max_grad_norm=max_grad_norm,
+        )
+
+    # ------------------------------------------------------- persistence
+
+    def save(self, directory: str | Path) -> None:
+        """Write vocabulary + weights + config to ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.vocab.save(directory / "vocab.json")
+        save_module(self, directory / "weights.npz")
+        import json
+
+        (directory / "config.json").write_text(
+            json.dumps(self.config.__dict__, indent=1)
+        )
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ValueNetModel":
+        directory = Path(directory)
+        if not (directory / "weights.npz").exists():
+            raise ModelError(f"no checkpoint at {directory}")
+        import json
+
+        vocab = WordPieceVocab.load(directory / "vocab.json")
+        config = ModelConfig(**json.loads((directory / "config.json").read_text()))
+        model = cls(vocab, config)
+        load_module(model, directory / "weights.npz")
+        return model

@@ -1,0 +1,72 @@
+"""Combined value extractor.
+
+Paper Section IV-B1 runs *two* NER models (a custom trained model and a
+commercial API) plus deterministic heuristics, and unions their output.
+This module merges the three sources and resolves duplicates: spans with
+identical text are deduplicated, and a span fully contained in another
+from the *same* source is dropped (cross-source containment is kept —
+"John F Kennedy International Airport" from the gazetteer and "Kennedy"
+from the tagger both seed useful candidates).
+"""
+
+from __future__ import annotations
+
+from repro.ner.gazetteer import GazetteerRecognizer
+from repro.ner.heuristics import extract_heuristic_values
+from repro.ner.tagger import PerceptronTagger
+from repro.ner.types import ExtractedValue, SpanKind
+
+
+class ValueExtractor:
+    """Runs heuristics + optional tagger + optional gazetteer."""
+
+    def __init__(
+        self,
+        tagger: PerceptronTagger | None = None,
+        gazetteer: GazetteerRecognizer | None = None,
+        *,
+        use_heuristics: bool = True,
+    ):
+        self._tagger = tagger
+        self._gazetteer = gazetteer
+        self._use_heuristics = use_heuristics
+
+    def extract(self, question: str) -> list[ExtractedValue]:
+        """All extracted value spans, position-sorted and deduplicated."""
+        spans: list[ExtractedValue] = []
+        if self._use_heuristics:
+            spans.extend(extract_heuristic_values(question))
+        if self._tagger is not None:
+            spans.extend(self._tagger.extract(question))
+        if self._gazetteer is not None:
+            spans.extend(self._gazetteer.extract(question))
+        return merge_spans(spans)
+
+
+def merge_spans(spans: list[ExtractedValue]) -> list[ExtractedValue]:
+    """Deduplicate extraction results.
+
+    Keeps at most one span per (normalized text, kind); drops spans fully
+    contained in a longer span *from the same source* (within one source a
+    contained span is redundant; across sources it is evidence).
+    """
+    spans = sorted(spans, key=lambda s: (s.start, -s.length))
+    kept: list[ExtractedValue] = []
+    seen: set[tuple[str, SpanKind]] = set()
+    for span in spans:
+        key = (span.text.lower(), span.kind)
+        if key in seen:
+            continue
+        contained = any(
+            other.source == span.source
+            and other.start <= span.start
+            and span.end <= other.end
+            and other.length > span.length
+            and other.kind == span.kind
+            for other in kept
+        )
+        if contained:
+            continue
+        seen.add(key)
+        kept.append(span)
+    return kept

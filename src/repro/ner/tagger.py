@@ -1,0 +1,232 @@
+"""Trainable sequence tagger: the "custom NER model".
+
+The paper trains a custom transformer NER on question/value pairs.  Our
+offline stand-in is an averaged-perceptron BIO tagger — the classic
+structured-perceptron recipe with greedy decoding — trained on the same
+supervision (character spans of gold values inside questions).  It shares
+the custom model's key property the paper discusses: it adapts tightly to
+the training distribution (and can overfit to it), whereas the gazetteer
+(:mod:`repro.ner.gazetteer`) plays the generic "commercial API" role.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import defaultdict
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.ner.types import ExtractedValue, SpanKind
+from repro.text.stemmer import stem
+from repro.text.tokenizer import Token, tokenize
+
+_TAGS = ("O", "B", "I")
+
+
+def _word_shape(text: str) -> str:
+    shape = []
+    for ch in text[:8]:
+        if ch.isupper():
+            shape.append("X")
+        elif ch.islower():
+            shape.append("x")
+        elif ch.isdigit():
+            shape.append("d")
+        else:
+            shape.append(ch)
+    return "".join(shape)
+
+
+def _features(tokens: Sequence[Token], i: int, previous_tag: str) -> list[str]:
+    """Feature strings for position ``i`` (binary features, value 1)."""
+    token = tokens[i]
+    lower = token.lower
+    features = [
+        "bias",
+        f"w={lower}",
+        f"stem={stem(lower)}",
+        f"shape={_word_shape(token.text)}",
+        f"isnum={token.is_number()}",
+        f"iscap={token.is_capitalized()}",
+        f"prefix={lower[:3]}",
+        f"suffix={lower[-3:]}",
+        f"prevtag={previous_tag}",
+    ]
+    if i > 0:
+        features.append(f"w-1={tokens[i - 1].lower}")
+        features.append(f"cap-1={tokens[i - 1].is_capitalized()}")
+    else:
+        features.append("w-1=<s>")
+    if i + 1 < len(tokens):
+        features.append(f"w+1={tokens[i + 1].lower}")
+        features.append(f"cap+1={tokens[i + 1].is_capitalized()}")
+    else:
+        features.append("w+1=</s>")
+    if i > 1:
+        features.append(f"w-2={tokens[i - 2].lower}")
+    return features
+
+
+class PerceptronTagger:
+    """Averaged perceptron BIO tagger over question tokens."""
+
+    def __init__(self) -> None:
+        # weights[feature][tag] -> float
+        self._weights: dict[str, dict[str, float]] = defaultdict(dict)
+        self._totals: dict[tuple[str, str], float] = defaultdict(float)
+        self._timestamps: dict[tuple[str, str], int] = defaultdict(int)
+        self._updates = 0
+        self._averaged = False
+
+    # ------------------------------------------------------------ scoring
+
+    def _score(self, features: list[str]) -> dict[str, float]:
+        scores = {tag: 0.0 for tag in _TAGS}
+        for feature in features:
+            weights = self._weights.get(feature)
+            if not weights:
+                continue
+            for tag, weight in weights.items():
+                scores[tag] += weight
+        return scores
+
+    def _predict_tags(self, tokens: Sequence[Token]) -> list[str]:
+        tags: list[str] = []
+        previous = "O"
+        for i in range(len(tokens)):
+            scores = self._score(_features(tokens, i, previous))
+            if previous == "O":
+                scores["I"] = float("-inf")  # I cannot follow O
+            tag = max(_TAGS, key=lambda t: (scores[t], t == "O"))
+            tags.append(tag)
+            previous = tag
+        return tags
+
+    # ----------------------------------------------------------- training
+
+    def _update(self, truth: str, guess: str, features: list[str]) -> None:
+        self._updates += 1
+        for feature in features:
+            for tag, delta in ((truth, 1.0), (guess, -1.0)):
+                key = (feature, tag)
+                current = self._weights[feature].get(tag, 0.0)
+                self._totals[key] += (self._updates - self._timestamps[key]) * current
+                self._timestamps[key] = self._updates
+                self._weights[feature][tag] = current + delta
+
+    def train(
+        self,
+        examples: list[tuple[str, list[tuple[int, int]]]],
+        *,
+        epochs: int = 5,
+        seed: int = 13,
+    ) -> None:
+        """Train on ``(question, [(start, end), ...])`` span supervision."""
+        rng = random.Random(seed)
+        prepared = [
+            (tokenize(question), _spans_to_tags(question, spans))
+            for question, spans in examples
+        ]
+        prepared = [(tokens, tags) for tokens, tags in prepared if tokens]
+        for _epoch in range(epochs):
+            rng.shuffle(prepared)
+            for tokens, gold_tags in prepared:
+                previous = "O"
+                for i, gold in enumerate(gold_tags):
+                    features = _features(tokens, i, previous)
+                    scores = self._score(features)
+                    if previous == "O":
+                        scores["I"] = float("-inf")
+                    guess = max(_TAGS, key=lambda t: (scores[t], t == "O"))
+                    if guess != gold:
+                        self._update(gold, guess, features)
+                    previous = gold  # teacher forcing on the tag chain
+        self._average()
+
+    def _average(self) -> None:
+        if self._averaged:
+            return
+        for feature, weights in self._weights.items():
+            for tag in list(weights):
+                key = (feature, tag)
+                total = self._totals[key]
+                total += (self._updates - self._timestamps[key]) * weights[tag]
+                averaged = total / max(self._updates, 1)
+                if abs(averaged) > 1e-9:
+                    weights[tag] = averaged
+                else:
+                    del weights[tag]
+        self._averaged = True
+
+    # ---------------------------------------------------------- interface
+
+    def extract(self, question: str) -> list[ExtractedValue]:
+        """Extract value spans from ``question``."""
+        tokens = tokenize(question)
+        if not tokens:
+            return []
+        tags = self._predict_tags(tokens)
+        spans: list[ExtractedValue] = []
+        start_token: Token | None = None
+        end_token: Token | None = None
+        for token, tag in zip(tokens, tags):
+            if tag == "B":
+                if start_token is not None and end_token is not None:
+                    spans.append(_make_span(question, start_token, end_token))
+                start_token = end_token = token
+            elif tag == "I" and start_token is not None:
+                end_token = token
+            else:
+                if start_token is not None and end_token is not None:
+                    spans.append(_make_span(question, start_token, end_token))
+                start_token = end_token = None
+        if start_token is not None and end_token is not None:
+            spans.append(_make_span(question, start_token, end_token))
+        return spans
+
+    # -------------------------------------------------------- persistence
+
+    def save(self, path: str | Path) -> None:
+        """Write the (averaged) weights to JSON."""
+        self._average()
+        payload = {
+            feature: weights for feature, weights in self._weights.items() if weights
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PerceptronTagger":
+        tagger = cls()
+        payload = json.loads(Path(path).read_text())
+        for feature, weights in payload.items():
+            tagger._weights[feature] = dict(weights)
+        tagger._averaged = True
+        return tagger
+
+
+def _make_span(question: str, start_token: Token, end_token: Token) -> ExtractedValue:
+    text = question[start_token.start:end_token.end]
+    kind = SpanKind.NUMBER if text.replace(".", "", 1).isdigit() else SpanKind.TEXT
+    return ExtractedValue(
+        text=text,
+        start=start_token.start,
+        end=end_token.end,
+        kind=kind,
+        source="tagger",
+    )
+
+
+def _spans_to_tags(question: str, spans: list[tuple[int, int]]) -> list[str]:
+    """Project character spans onto BIO token tags."""
+    tokens = tokenize(question)
+    tags = ["O"] * len(tokens)
+    for start, end in spans:
+        inside = False
+        for i, token in enumerate(tokens):
+            if token.start >= start and token.end <= end:
+                tags[i] = "I" if inside else "B"
+                inside = True
+            elif token.start >= end:
+                break
+    return tags

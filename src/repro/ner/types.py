@@ -1,0 +1,47 @@
+"""Shared types for value extraction."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SpanKind(enum.Enum):
+    """Coarse classification of an extracted span (drives candidate
+    generation: numbers skip similarity search, quoted strings skip
+    validation, ...)."""
+
+    TEXT = "text"          # plain text span (e.g. a name or a category)
+    NUMBER = "number"      # numeric literal
+    QUOTED = "quoted"      # content extracted from quotes
+    LETTER = "letter"      # single letter ("the letter M")
+    ORDINAL = "ordinal"    # "fourth", "9th" ...
+    MONTH = "month"        # month name
+    YEAR = "year"          # 4-digit year
+
+
+@dataclass(frozen=True)
+class ExtractedValue:
+    """A value span extracted from the question.
+
+    Attributes:
+        text: the surface text of the span.
+        start: first character offset in the question.
+        end: one-past-last character offset.
+        kind: coarse span classification.
+        source: which extractor produced it (``heuristic``, ``tagger``,
+            ``gazetteer``); kept for error analysis.
+    """
+
+    text: str
+    start: int
+    end: int
+    kind: SpanKind
+    source: str
+
+    def overlaps(self, other: "ExtractedValue") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start

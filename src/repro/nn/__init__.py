@@ -1,0 +1,65 @@
+"""From-scratch numpy neural network library (autograd, layers, optim)."""
+
+from repro.nn.attention import BilinearAttention, MultiHeadSelfAttention, PointerNetwork
+from repro.nn.functional import (
+    NEG_INF,
+    attention_pool,
+    cross_entropy,
+    dropout,
+    log_softmax,
+    masked_log_softmax,
+    nll_loss,
+    softmax,
+)
+from repro.nn.init import normal_embedding, xavier_uniform, zeros
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    concat_features,
+)
+from repro.nn.optim import Adam, ParamGroup
+from repro.nn.rnn import BiLSTMSummarizer, LSTM, LSTMCell
+from repro.nn.serialization import load_module, save_module
+from repro.nn.tensor import Tensor, concat, stack
+from repro.nn.transformer import TransformerEncoder, TransformerLayer, sinusoidal_positions
+
+__all__ = [
+    "Adam",
+    "BiLSTMSummarizer",
+    "BilinearAttention",
+    "Dropout",
+    "Embedding",
+    "LSTM",
+    "LSTMCell",
+    "LayerNorm",
+    "Linear",
+    "MLP",
+    "Module",
+    "MultiHeadSelfAttention",
+    "NEG_INF",
+    "ParamGroup",
+    "PointerNetwork",
+    "Tensor",
+    "TransformerEncoder",
+    "TransformerLayer",
+    "attention_pool",
+    "concat",
+    "concat_features",
+    "cross_entropy",
+    "dropout",
+    "load_module",
+    "log_softmax",
+    "masked_log_softmax",
+    "nll_loss",
+    "normal_embedding",
+    "save_module",
+    "sinusoidal_positions",
+    "softmax",
+    "stack",
+    "xavier_uniform",
+    "zeros",
+]

@@ -1,0 +1,102 @@
+"""Differentiable functions built on the autograd :class:`Tensor`.
+
+Numerically-stable softmax / log-softmax, masked variants for
+grammar-constrained decoding and pointer networks, cross-entropy losses,
+and dropout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+NEG_INF = -1e30
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    value = exp / exp.sum(axis=axis, keepdims=True)
+    out = Tensor(value, parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            # dL/dx = s * (g - sum(g * s))
+            dot = (grad * value).sum(axis=axis, keepdims=True)
+            x._accumulate(value * (grad - dot))
+
+    out._backward = backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    value = shifted - log_z
+    out = Tensor(value, parents=(x,))
+    soft = np.exp(value)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    out._backward = backward
+    return out
+
+
+def masked_log_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Log-softmax with illegal positions (``mask == False``) forced to
+    ``-inf`` before normalization.
+
+    Used for grammar-constrained decoding: only the productions legal in
+    the current :class:`~repro.semql.tree.GrammarState` compete.
+    """
+    penalty = np.where(mask, 0.0, NEG_INF)
+    return log_softmax(x + Tensor(penalty), axis=axis)
+
+
+def nll_loss(log_probs: Tensor, target: int) -> Tensor:
+    """Negative log-likelihood of ``target`` under a 1-D log-prob vector."""
+    return -log_probs[target]
+
+
+def cross_entropy(logits: Tensor, target: int, mask: np.ndarray | None = None) -> Tensor:
+    """Cross-entropy of one target index over a 1-D logits vector."""
+    if mask is not None:
+        log_probs = masked_log_softmax(logits, mask)
+    else:
+        log_probs = log_softmax(logits)
+    return nll_loss(log_probs, target)
+
+
+def dropout(x: Tensor, rate: float, *, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: identity at inference time."""
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep) / keep
+    out = Tensor(x.data * mask, parents=(x,))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    out._backward = backward
+    return out
+
+
+def attention_pool(scores: Tensor, memory: Tensor) -> Tensor:
+    """Softmax-weighted pooling: ``softmax(scores) @ memory``.
+
+    Args:
+        scores: shape (n,) attention scores.
+        memory: shape (n, d) memory bank.
+
+    Returns:
+        shape (d,) context vector.
+    """
+    weights = softmax(scores)
+    return weights @ memory

@@ -1,0 +1,31 @@
+"""Parameter initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def xavier_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> Tensor:
+    """Glorot/Xavier uniform initialization for a (fan_in, fan_out) matrix."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(
+        rng.uniform(-bound, bound, size=(fan_in, fan_out)), requires_grad=True
+    )
+
+
+def normal_embedding(
+    rng: np.random.Generator, vocab_size: int, dim: int, *, scale: float = 0.1
+) -> Tensor:
+    """Small-normal initialization for embedding tables."""
+    return Tensor(
+        rng.normal(0.0, scale, size=(vocab_size, dim)), requires_grad=True
+    )
+
+
+def zeros(*shape: int) -> Tensor:
+    """Zero-initialized trainable parameter (biases)."""
+    return Tensor(np.zeros(shape), requires_grad=True)

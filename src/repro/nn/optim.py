@@ -1,0 +1,96 @@
+"""Optimizers.
+
+The paper trains with Adam and *three* learning rates: 2e-5 for the
+encoder, 1e-3 for the decoder and 1e-4 for the connection parameters in
+between (Section V-C).  :class:`Adam` therefore supports parameter groups
+with per-group learning rates, exactly like ``torch.optim``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class ParamGroup:
+    """One parameter group with its own learning rate."""
+
+    params: list[Tensor]
+    lr: float
+    name: str = ""
+    # per-parameter Adam state, allocated lazily
+    m: list[np.ndarray] = field(default_factory=list)
+    v: list[np.ndarray] = field(default_factory=list)
+
+
+class Adam:
+    """Adam with parameter groups, gradient clipping and weight decay."""
+
+    def __init__(
+        self,
+        groups: list[ParamGroup],
+        *,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        max_grad_norm: float | None = 5.0,
+    ):
+        self._groups = groups
+        self._beta1, self._beta2 = betas
+        self._eps = eps
+        self._weight_decay = weight_decay
+        self._max_grad_norm = max_grad_norm
+        self._step_count = 0
+        for group in self._groups:
+            group.m = [np.zeros_like(p.data) for p in group.params]
+            group.v = [np.zeros_like(p.data) for p in group.params]
+
+    @classmethod
+    def single_group(cls, params: list[Tensor], lr: float, **kwargs) -> "Adam":
+        """Convenience constructor for one uniform learning rate."""
+        return cls([ParamGroup(params=params, lr=lr)], **kwargs)
+
+    def zero_grad(self) -> None:
+        for group in self._groups:
+            for parameter in group.params:
+                parameter.zero_grad()
+
+    def _clip_gradients(self) -> float:
+        """Global-norm gradient clipping across all groups."""
+        total = 0.0
+        for group in self._groups:
+            for parameter in group.params:
+                if parameter.grad is not None:
+                    total += float((parameter.grad ** 2).sum())
+        norm = total ** 0.5
+        if self._max_grad_norm is not None and norm > self._max_grad_norm:
+            scale = self._max_grad_norm / (norm + 1e-12)
+            for group in self._groups:
+                for parameter in group.params:
+                    if parameter.grad is not None:
+                        parameter.grad *= scale
+        return norm
+
+    def step(self) -> float:
+        """Apply one update; returns the pre-clip gradient norm."""
+        norm = self._clip_gradients()
+        self._step_count += 1
+        bias1 = 1.0 - self._beta1 ** self._step_count
+        bias2 = 1.0 - self._beta2 ** self._step_count
+        for group in self._groups:
+            for i, parameter in enumerate(group.params):
+                grad = parameter.grad
+                if grad is None:
+                    continue
+                if self._weight_decay:
+                    grad = grad + self._weight_decay * parameter.data
+                group.m[i] = self._beta1 * group.m[i] + (1 - self._beta1) * grad
+                group.v[i] = self._beta2 * group.v[i] + (1 - self._beta2) * grad ** 2
+                m_hat = group.m[i] / bias1
+                v_hat = group.v[i] / bias2
+                parameter.data -= group.lr * m_hat / (np.sqrt(v_hat) + self._eps)
+        return norm

@@ -1,0 +1,102 @@
+"""Recurrent modules: LSTM cell, unidirectional LSTM, BiLSTM summarizer.
+
+The decoder is an LSTM (paper Section III-B2), and multi-token schema
+items / value candidates are summarized by a bidirectional LSTM into a
+single vector (Section V-C: "bi-directional LSTM networks to summarize
+multi-token columns/tables/values").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import xavier_uniform, zeros
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor, concat
+
+
+class LSTMCell(Module):
+    """A single LSTM step.
+
+    Gates are computed from one fused affine map of ``[x; h]`` for speed;
+    the forget-gate bias starts at 1.0 (the standard trick for gradient
+    flow through long sequences).
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.weight = xavier_uniform(rng, input_dim + hidden_dim, 4 * hidden_dim)
+        self.bias = zeros(4 * hidden_dim)
+        self.bias.data[hidden_dim:2 * hidden_dim] = 1.0  # forget gate
+
+    def __call__(
+        self, x: Tensor, state: tuple[Tensor, Tensor]
+    ) -> tuple[Tensor, Tensor]:
+        h, c = state
+        combined = concat([x, h], axis=-1)
+        gates = combined @ self.weight + self.bias
+        d = self.hidden_dim
+        i = gates[0:d].sigmoid()
+        f = gates[d:2 * d].sigmoid()
+        g = gates[2 * d:3 * d].tanh()
+        o = gates[3 * d:4 * d].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+    def initial_state(self) -> tuple[Tensor, Tensor]:
+        return (
+            Tensor(np.zeros(self.hidden_dim)),
+            Tensor(np.zeros(self.hidden_dim)),
+        )
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over an (n, d_in) sequence, returning all hidden
+    states as an (n, d_h) tensor plus the final (h, c)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = LSTMCell(input_dim, hidden_dim, rng)
+
+    def __call__(
+        self, sequence: Tensor
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        state = self.cell.initial_state()
+        outputs: list[Tensor] = []
+        for t in range(sequence.shape[0]):
+            h, c = self.cell(sequence[t], state)
+            state = (h, c)
+            outputs.append(h)
+        from repro.nn.tensor import stack
+
+        return stack(outputs, axis=0), state
+
+
+class BiLSTMSummarizer(Module):
+    """Summarize a variable-length (n, d_in) span into one vector.
+
+    Runs an LSTM forward and another backward over the span and projects
+    the concatenated final hidden states to ``output_dim``.  Used for
+    multi-word column names, table names and multi-piece value candidates.
+    """
+
+    def __init__(
+        self, input_dim: int, hidden_dim: int, output_dim: int, rng: np.random.Generator
+    ):
+        super().__init__()
+        self.forward_cell = LSTMCell(input_dim, hidden_dim, rng)
+        self.backward_cell = LSTMCell(input_dim, hidden_dim, rng)
+        self.projection = xavier_uniform(rng, 2 * hidden_dim, output_dim)
+
+    def __call__(self, span: Tensor) -> Tensor:
+        n = span.shape[0]
+        forward_state = self.forward_cell.initial_state()
+        for t in range(n):
+            forward_state = self.forward_cell(span[t], forward_state)
+        backward_state = self.backward_cell.initial_state()
+        for t in range(n - 1, -1, -1):
+            backward_state = self.backward_cell(span[t], backward_state)
+        combined = concat([forward_state[0], backward_state[0]], axis=-1)
+        return (combined @ self.projection).tanh()

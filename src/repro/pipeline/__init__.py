@@ -1,0 +1,17 @@
+"""End-to-end translation pipelines with per-stage timing."""
+
+from repro.pipeline.timing import STAGES, StageTimings, TimingAggregate
+from repro.pipeline.valuenet import (
+    TranslationResult,
+    ValueNetLightPipeline,
+    ValueNetPipeline,
+)
+
+__all__ = [
+    "STAGES",
+    "StageTimings",
+    "TimingAggregate",
+    "TranslationResult",
+    "ValueNetLightPipeline",
+    "ValueNetPipeline",
+]

@@ -1,0 +1,143 @@
+"""End-to-end translation pipelines (paper Fig. 5).
+
+:class:`ValueNetPipeline` is the full system: question in, SQL out, with
+value candidates established by extraction + generation + validation.
+:class:`ValueNetLightPipeline` is the oracle-value variant: the caller
+supplies the set of value options (paper Section IV-A) and the rest of the
+pipeline is identical.
+
+Both record per-stage wall-clock timings (Table II) and can execute the
+synthesized SQL against the database.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.candidates.types import ValueCandidate
+from repro.db.database import Database
+from repro.errors import ExecutionError, ReproError
+from repro.model.valuenet import ValueNetModel
+from repro.ner.extractor import ValueExtractor
+from repro.pipeline.timing import StageTimings
+from repro.postprocessing.sql_builder import SqlBuilder
+from repro.preprocessing.pipeline import PreprocessedQuestion, Preprocessor
+from repro.semql.tree import SemQLNode
+
+
+@dataclass
+class TranslationResult:
+    """Everything one translation produced.
+
+    ``sql`` is None when the model could not synthesize a query (the
+    ``error`` field then explains why); ``rows`` is None unless execution
+    was requested and succeeded.
+    """
+
+    question: str
+    sql: str | None = None
+    semql: SemQLNode | None = None
+    candidates: list[ValueCandidate] = field(default_factory=list)
+    timings: StageTimings = field(default_factory=StageTimings)
+    rows: list[tuple] | None = None
+    error: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.sql is not None and self.error is None
+
+
+class _BasePipeline:
+    """Shared pipeline skeleton; subclasses provide the pre-processing."""
+
+    def __init__(
+        self,
+        model: ValueNetModel,
+        database: Database,
+        extractor: ValueExtractor | None = None,
+        preprocessor: Preprocessor | None = None,
+        *,
+        beam_size: int = 1,
+    ):
+        self.model = model
+        self.database = database
+        self.preprocessor = preprocessor or Preprocessor(database, extractor)
+        self.builder = SqlBuilder(database.schema)
+        self.beam_size = beam_size
+
+    def _preprocess(self, question: str, timings: StageTimings, **kwargs):
+        raise NotImplementedError
+
+    def translate(self, question: str, *, execute: bool = False, **kwargs) -> TranslationResult:
+        """Translate ``question`` to SQL (optionally executing it)."""
+        timings = StageTimings()
+        result = TranslationResult(question=question, timings=timings)
+        try:
+            pre: PreprocessedQuestion = self._preprocess(question, timings, **kwargs)
+        except ReproError as exc:
+            result.error = f"preprocessing failed: {exc}"
+            return result
+        result.candidates = pre.candidates
+
+        start = time.perf_counter()
+        try:
+            tree = self.model.predict(
+                pre, self.database.schema, beam_size=self.beam_size
+            )
+        except ReproError as exc:
+            timings.encoder_decoder = time.perf_counter() - start
+            result.error = f"decoding failed: {exc}"
+            return result
+        timings.encoder_decoder = time.perf_counter() - start
+        result.semql = tree
+
+        start = time.perf_counter()
+        try:
+            result.sql = self.builder.build(tree)
+        except ReproError as exc:
+            timings.postprocessing = time.perf_counter() - start
+            result.error = f"post-processing failed: {exc}"
+            return result
+        timings.postprocessing = time.perf_counter() - start
+
+        if execute:
+            start = time.perf_counter()
+            try:
+                result.rows = self.database.execute(result.sql)
+            except ExecutionError as exc:
+                result.error = f"execution failed: {exc}"
+            timings.execution = time.perf_counter() - start
+        return result
+
+
+class ValueNetPipeline(_BasePipeline):
+    """The full end-to-end ValueNet system."""
+
+    def _preprocess(self, question: str, timings: StageTimings) -> PreprocessedQuestion:
+        stage_times: dict[str, float] = {}
+        pre = self.preprocessor.run(question, timings=stage_times)
+        timings.preprocessing = stage_times.get("preprocessing", 0.0)
+        timings.value_lookup = stage_times.get("value_lookup", 0.0)
+        return pre
+
+
+class ValueNetLightPipeline(_BasePipeline):
+    """ValueNet light: gold value options are supplied by the caller."""
+
+    def translate(
+        self, question: str, *, values: list[object], execute: bool = False
+    ) -> TranslationResult:
+        return super().translate(question, execute=execute, values=values)
+
+    def _preprocess(
+        self, question: str, timings: StageTimings, *, values: list[object]
+    ) -> PreprocessedQuestion:
+        start = time.perf_counter()
+        pre = self.preprocessor.run_light(question, values)
+        elapsed = time.perf_counter() - start
+        # run_light's only DB work is locating the provided values; count
+        # that as the value-lookup stage.
+        timings.preprocessing = elapsed * 0.5
+        timings.value_lookup = elapsed * 0.5
+        return pre

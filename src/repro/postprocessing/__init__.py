@@ -1,0 +1,15 @@
+"""Deterministic post-processing: value formatting and SQL assembly."""
+
+from repro.postprocessing.sql_builder import SqlBuilder
+from repro.postprocessing.values import (
+    add_like_wildcards,
+    coerce_for_column,
+    format_values,
+)
+
+__all__ = [
+    "SqlBuilder",
+    "add_like_wildcards",
+    "coerce_for_column",
+    "format_values",
+]

@@ -1,0 +1,38 @@
+"""SemQL -> executable SQL assembly (the full post-processing step)."""
+
+from __future__ import annotations
+
+from repro.schema.graph import SchemaGraph
+from repro.schema.model import Schema
+from repro.semql.to_sql import semql_to_query
+from repro.semql.tree import SemQLNode
+from repro.postprocessing.values import format_values
+from repro.sql.ast import Query
+from repro.sql.render import SqlRenderer
+
+
+class SqlBuilder:
+    """Deterministic post-processor bound to one schema.
+
+    Combines the three steps of paper Section III-C: value formatting,
+    SemQL-to-SQL transformation, and JOIN/ON inference over the PK/FK
+    schema graph (inside the renderer).
+    """
+
+    def __init__(self, schema: Schema, graph: SchemaGraph | None = None):
+        self.schema = schema
+        self.graph = graph or SchemaGraph(schema)
+        self._renderer = SqlRenderer(self.graph)
+
+    def to_query(self, tree: SemQLNode) -> Query:
+        """Format values and lower the tree to a SQL AST."""
+        format_values(tree, self.schema)
+        return semql_to_query(tree, self.schema)
+
+    def build(self, tree: SemQLNode) -> str:
+        """Full SemQL tree -> executable SQL string."""
+        return self._renderer.render(self.to_query(tree))
+
+    def render(self, query: Query) -> str:
+        """Render an already-lowered AST."""
+        return self._renderer.render(query)

@@ -1,0 +1,154 @@
+"""The pre-processing stage of the ValueNet architecture (paper Fig. 5).
+
+Given a question and a database, produce everything the neural model
+consumes:
+
+1. question tokens with *question hints*,
+2. *schema hints* for every table/column,
+3. the *value candidate* list (extraction -> generation -> validation for
+   ValueNet; the gold value set for ValueNet light).
+
+The same object feeds training (gold values are matched against the
+candidate list to produce pointer supervision) and inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.candidates.generation import CandidateGenerator, GenerationConfig
+from repro.candidates.types import ValueCandidate, dedupe_candidates
+from repro.candidates.validation import CandidateValidator, ValidationConfig
+from repro.db.database import Database
+from repro.index.inverted import InvertedIndex
+from repro.index.similarity import SimilaritySearcher
+from repro.ner.extractor import ValueExtractor
+from repro.ner.types import ExtractedValue, SpanKind
+from repro.preprocessing.hints import (
+    HintedToken,
+    SchemaHints,
+    compute_question_hints,
+    compute_schema_hints,
+)
+from repro.schema.model import Schema
+from repro.text.tokenizer import Token, tokenize
+
+
+@dataclass
+class PreprocessedQuestion:
+    """Everything the encoder needs for one question."""
+
+    question: str
+    tokens: list[Token]
+    hinted_tokens: list[HintedToken]
+    schema_hints: SchemaHints
+    candidates: list[ValueCandidate]
+    extracted: list[ExtractedValue] = field(default_factory=list)
+
+    @property
+    def words(self) -> list[str]:
+        return [token.text for token in self.tokens]
+
+
+class Preprocessor:
+    """Pre-processing bound to one database.
+
+    Builds the inverted index and the similarity searcher once; each call
+    to :meth:`run` (ValueNet mode) or :meth:`run_light` (ValueNet light
+    mode) is then index-backed and fast.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        extractor: ValueExtractor | None = None,
+        *,
+        generation_config: GenerationConfig | None = None,
+        validation_config: ValidationConfig | None = None,
+        index: InvertedIndex | None = None,
+    ):
+        self.database = database
+        self.schema: Schema = database.schema
+        self.index = index if index is not None else InvertedIndex.build(database)
+        self._searcher = SimilaritySearcher(self.index)
+        self._extractor = extractor or ValueExtractor()
+        self._generator = CandidateGenerator(self._searcher, generation_config)
+        self._validator = CandidateValidator(self.index, validation_config)
+
+    # ------------------------------------------------------ ValueNet mode
+
+    def run(
+        self, question: str, timings: dict[str, float] | None = None
+    ) -> PreprocessedQuestion:
+        """Full ValueNet pre-processing: extract, generate, validate.
+
+        Args:
+            question: the NL question.
+            timings: optional dict that receives per-stage wall-clock
+                seconds under ``preprocessing`` (tokenize + NER + hints)
+                and ``value_lookup`` (candidate generation + validation
+                against the database) — the split reported in the paper's
+                Table II.
+        """
+        import time
+
+        t0 = time.perf_counter()
+        tokens = tokenize(question)
+        extracted = self._extractor.extract(question)
+        words = [token.text for token in tokens]
+        t1 = time.perf_counter()
+        generated = self._generator.generate(words, extracted)
+        quoted = {
+            span.text.strip().lower()
+            for span in extracted
+            if span.kind is SpanKind.QUOTED
+        }
+        candidates = self._validator.validate(generated, quoted_values=quoted)
+        t2 = time.perf_counter()
+        result = self._finish(question, tokens, candidates, extracted)
+        t3 = time.perf_counter()
+        if timings is not None:
+            timings["preprocessing"] = (t1 - t0) + (t3 - t2)
+            timings["value_lookup"] = t2 - t1
+        return result
+
+    # ------------------------------------------------ ValueNet light mode
+
+    def run_light(
+        self, question: str, gold_values: list[object]
+    ) -> PreprocessedQuestion:
+        """ValueNet light pre-processing: gold values arrive as an oracle
+        set of options; we only locate them in the database (the encoder
+        wants locations) and compute hints."""
+        tokens = tokenize(question)
+        candidates = [
+            ValueCandidate(value, "gold") for value in gold_values
+        ]
+        located = []
+        for candidate in candidates:
+            locations = tuple(sorted(
+                self.index.lookup(candidate.value),
+                key=lambda loc: (loc.table, loc.column),
+            ))
+            located.append(candidate.with_locations(locations))
+        return self._finish(question, tokens, dedupe_candidates(located), [])
+
+    # ------------------------------------------------------------- shared
+
+    def _finish(
+        self,
+        question: str,
+        tokens: list[Token],
+        candidates: list[ValueCandidate],
+        extracted: list[ExtractedValue],
+    ) -> PreprocessedQuestion:
+        hinted = compute_question_hints(tokens, self.schema, self.index)
+        schema_hints = compute_schema_hints(tokens, self.schema, candidates)
+        return PreprocessedQuestion(
+            question=question,
+            tokens=tokens,
+            hinted_tokens=hinted,
+            schema_hints=schema_hints,
+            candidates=candidates,
+            extracted=extracted,
+        )

@@ -1,0 +1,246 @@
+"""Relational schema model.
+
+This is the library's central description of a database: tables, typed
+columns, primary keys and foreign-key relationships.  It mirrors the
+information Spider ships in ``tables.json`` (natural-language column names
+included) and is consumed by the pre-processing (hint computation), the
+encoder (schema encoding), the decoder (pointer targets) and the
+post-processing (JOIN inference).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.text.tokenizer import split_identifier
+
+
+class ColumnType(enum.Enum):
+    """Logical column types, following Spider's convention."""
+
+    TEXT = "text"
+    NUMBER = "number"
+    TIME = "time"
+    BOOLEAN = "boolean"
+    OTHERS = "others"
+
+    @classmethod
+    def from_sql_type(cls, sql_type: str) -> "ColumnType":
+        """Map a SQL type name (``VARCHAR(40)``, ``INT`` ...) to a logical type."""
+        normalized = sql_type.strip().lower()
+        base = normalized.split("(", 1)[0].strip()
+        if base in {"int", "integer", "bigint", "smallint", "tinyint",
+                    "real", "float", "double", "numeric", "decimal", "number"}:
+            return cls.NUMBER
+        if base in {"bool", "boolean", "bit"}:
+            return cls.BOOLEAN
+        if base in {"date", "datetime", "timestamp", "time", "year"}:
+            return cls.TIME
+        if base in {"char", "varchar", "text", "nvarchar", "string", "clob"}:
+            return cls.TEXT
+        return cls.OTHERS
+
+
+@dataclass(frozen=True)
+class Column:
+    """A table column.
+
+    Attributes:
+        name: the physical identifier (``home_country``).
+        table: name of the owning table; empty string for the special ``*``
+            column used by aggregations over whole tables.
+        column_type: logical type used for value formatting and hints.
+        natural_name: human-readable name used for encoding; defaults to
+            the identifier split into words.
+        is_primary_key: whether this column is (part of) the primary key.
+    """
+
+    name: str
+    table: str
+    column_type: ColumnType = ColumnType.TEXT
+    natural_name: str = ""
+    is_primary_key: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.natural_name:
+            object.__setattr__(
+                self, "natural_name", " ".join(split_identifier(self.name)) or self.name
+            )
+
+    @property
+    def qualified_name(self) -> str:
+        """``table.column`` identifier; just the name for the ``*`` column."""
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    @property
+    def words(self) -> list[str]:
+        """Lower-cased word parts of the natural name (for matching)."""
+        return self.natural_name.lower().split()
+
+    def is_star(self) -> bool:
+        """Whether this is the special ``*`` column."""
+        return self.name == "*"
+
+
+@dataclass(frozen=True)
+class Table:
+    """A table with its columns (excluding the global ``*`` column)."""
+
+    name: str
+    columns: tuple[Column, ...]
+    natural_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.natural_name:
+            object.__setattr__(
+                self, "natural_name", " ".join(split_identifier(self.name)) or self.name
+            )
+        for column in self.columns:
+            if column.table != self.name:
+                raise SchemaError(
+                    f"column {column.qualified_name!r} does not belong to "
+                    f"table {self.name!r}"
+                )
+
+    @property
+    def words(self) -> list[str]:
+        """Lower-cased word parts of the natural name (for matching)."""
+        return self.natural_name.lower().split()
+
+    def column(self, name: str) -> Column:
+        """Look up a column by (case-insensitive) physical name."""
+        lowered = name.lower()
+        for column in self.columns:
+            if column.name.lower() == lowered:
+                return column
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(column.name.lower() == lowered for column in self.columns)
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A directed FK edge: ``source_table.source_column`` references
+    ``target_table.target_column``."""
+
+    source_table: str
+    source_column: str
+    target_table: str
+    target_column: str
+
+    def reversed(self) -> "ForeignKey":
+        return ForeignKey(
+            self.target_table, self.target_column,
+            self.source_table, self.source_column,
+        )
+
+
+@dataclass
+class Schema:
+    """A complete database schema.
+
+    The column list exposed by :meth:`all_columns` always starts with the
+    special ``*`` column (index 0), matching the pointer-network convention
+    used by IRNet and ValueNet.
+    """
+
+    name: str
+    tables: list[Table]
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._table_index = {table.name.lower(): table for table in self.tables}
+        if len(self._table_index) != len(self.tables):
+            raise SchemaError(f"schema {self.name!r} has duplicate table names")
+        for fk in self.foreign_keys:
+            source = self.table(fk.source_table)
+            target = self.table(fk.target_table)
+            if not source.has_column(fk.source_column):
+                raise SchemaError(
+                    f"foreign key references missing column "
+                    f"{fk.source_table}.{fk.source_column}"
+                )
+            if not target.has_column(fk.target_column):
+                raise SchemaError(
+                    f"foreign key references missing column "
+                    f"{fk.target_table}.{fk.target_column}"
+                )
+        self._star = Column("*", "", ColumnType.OTHERS, natural_name="*")
+
+    # ------------------------------------------------------------- lookups
+
+    @property
+    def star_column(self) -> Column:
+        """The special ``*`` column (always column index 0)."""
+        return self._star
+
+    def table(self, name: str) -> Table:
+        """Look up a table by (case-insensitive) name."""
+        found = self._table_index.get(name.lower())
+        if found is None:
+            raise SchemaError(f"schema {self.name!r} has no table {name!r}")
+        return found
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._table_index
+
+    def column(self, table_name: str, column_name: str) -> Column:
+        """Look up ``table.column``; ``*`` resolves to the star column."""
+        if column_name == "*":
+            return self._star
+        return self.table(table_name).column(column_name)
+
+    def all_columns(self) -> list[Column]:
+        """Every column in the schema, ``*`` first, then table order."""
+        columns: list[Column] = [self._star]
+        for table in self.tables:
+            columns.extend(table.columns)
+        return columns
+
+    def column_index(self, column: Column) -> int:
+        """Position of ``column`` in :meth:`all_columns`."""
+        for i, candidate in enumerate(self.all_columns()):
+            if candidate.table == column.table and candidate.name == column.name:
+                return i
+        raise SchemaError(f"column {column.qualified_name!r} not in schema {self.name!r}")
+
+    def table_index(self, table_name: str) -> int:
+        """Position of ``table_name`` in :attr:`tables`."""
+        lowered = table_name.lower()
+        for i, table in enumerate(self.tables):
+            if table.name.lower() == lowered:
+                return i
+        raise SchemaError(f"schema {self.name!r} has no table {table_name!r}")
+
+    def primary_key(self, table_name: str) -> list[Column]:
+        """Primary-key columns of a table (possibly empty)."""
+        return [c for c in self.table(table_name).columns if c.is_primary_key]
+
+    def relationships_of(self, table_name: str) -> list[ForeignKey]:
+        """All FK edges that touch ``table_name`` (either direction)."""
+        lowered = table_name.lower()
+        return [
+            fk for fk in self.foreign_keys
+            if fk.source_table.lower() == lowered or fk.target_table.lower() == lowered
+        ]
+
+    # --------------------------------------------------------------- stats
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    @property
+    def num_columns(self) -> int:
+        """Number of real columns (excluding ``*``)."""
+        return sum(len(table.columns) for table in self.tables)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Schema(name={self.name!r}, tables={self.num_tables}, "
+            f"columns={self.num_columns}, fks={len(self.foreign_keys)})"
+        )

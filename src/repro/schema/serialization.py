@@ -1,0 +1,124 @@
+"""Schema (de)serialization in a Spider ``tables.json``-like format.
+
+Spider distributes schemas as JSON records with parallel arrays of column
+names, types, primary keys and foreign-key index pairs.  We use the same
+shape so the synthetic corpus on disk looks like the real thing and so a
+user could, in principle, point the loader at actual Spider files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SchemaError
+from repro.schema.model import Column, ColumnType, ForeignKey, Schema, Table
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """Serialize a :class:`Schema` to a Spider-style record."""
+    table_names = [table.name for table in schema.tables]
+    natural_table_names = [table.natural_name for table in schema.tables]
+
+    column_names: list[list[Any]] = [[-1, "*"]]
+    natural_column_names: list[list[Any]] = [[-1, "*"]]
+    column_types: list[str] = ["text"]
+    primary_keys: list[int] = []
+    column_position: dict[tuple[str, str], int] = {}
+
+    for table_index, table in enumerate(schema.tables):
+        for column in table.columns:
+            position = len(column_names)
+            column_position[(table.name.lower(), column.name.lower())] = position
+            column_names.append([table_index, column.name])
+            natural_column_names.append([table_index, column.natural_name])
+            column_types.append(column.column_type.value)
+            if column.is_primary_key:
+                primary_keys.append(position)
+
+    foreign_keys = [
+        [
+            column_position[(fk.source_table.lower(), fk.source_column.lower())],
+            column_position[(fk.target_table.lower(), fk.target_column.lower())],
+        ]
+        for fk in schema.foreign_keys
+    ]
+
+    return {
+        "db_id": schema.name,
+        "table_names_original": table_names,
+        "table_names": natural_table_names,
+        "column_names_original": column_names,
+        "column_names": natural_column_names,
+        "column_types": column_types,
+        "primary_keys": primary_keys,
+        "foreign_keys": foreign_keys,
+    }
+
+
+def schema_from_dict(record: dict[str, Any]) -> Schema:
+    """Deserialize a Spider-style record into a :class:`Schema`."""
+    try:
+        table_names: list[str] = record["table_names_original"]
+        natural_table_names: list[str] = record.get("table_names", table_names)
+        column_names: list[list[Any]] = record["column_names_original"]
+        natural_column_names: list[list[Any]] = record.get(
+            "column_names", column_names
+        )
+        column_types: list[str] = record["column_types"]
+        primary_keys: set[int] = set(record.get("primary_keys", []))
+        foreign_key_pairs: list[list[int]] = record.get("foreign_keys", [])
+        db_id: str = record["db_id"]
+    except KeyError as exc:
+        raise SchemaError(f"schema record missing key {exc}") from exc
+
+    columns_by_table: dict[int, list[Column]] = {i: [] for i in range(len(table_names))}
+    for position, (table_index, column_name) in enumerate(column_names):
+        if table_index < 0:
+            continue  # the '*' column
+        natural = natural_column_names[position][1]
+        columns_by_table[table_index].append(
+            Column(
+                name=column_name,
+                table=table_names[table_index],
+                column_type=ColumnType(column_types[position]),
+                natural_name=natural,
+                is_primary_key=position in primary_keys,
+            )
+        )
+
+    tables = [
+        Table(
+            name=table_names[i],
+            columns=tuple(columns_by_table[i]),
+            natural_name=natural_table_names[i],
+        )
+        for i in range(len(table_names))
+    ]
+
+    def locate(position: int) -> tuple[str, str]:
+        table_index, column_name = column_names[position]
+        return table_names[table_index], column_name
+
+    foreign_keys = []
+    for source_position, target_position in foreign_key_pairs:
+        source_table, source_column = locate(source_position)
+        target_table, target_column = locate(target_position)
+        foreign_keys.append(
+            ForeignKey(source_table, source_column, target_table, target_column)
+        )
+
+    return Schema(name=db_id, tables=tables, foreign_keys=foreign_keys)
+
+
+def save_schemas(schemas: list[Schema], path: str | Path) -> None:
+    """Write a list of schemas as a ``tables.json``-style file."""
+    records = [schema_to_dict(schema) for schema in schemas]
+    Path(path).write_text(json.dumps(records, indent=2))
+
+
+def load_schemas(path: str | Path) -> list[Schema]:
+    """Read schemas from a ``tables.json``-style file."""
+    records = json.loads(Path(path).read_text())
+    return [schema_from_dict(record) for record in records]

@@ -1,0 +1,45 @@
+"""SemQL 2.0: grammar, trees, and conversions to/from SQL."""
+
+from repro.semql.actions import (
+    ActionType,
+    GRAMMAR_ACTION_INDEX,
+    GRAMMAR_ACTION_LIST,
+    GrammarAction,
+    NUM_GRAMMAR_ACTIONS,
+    POINTER_TYPES,
+    PRODUCTIONS,
+    actions_for_type,
+    children_of,
+    num_productions,
+    production_index,
+    production_name,
+)
+from repro.semql.from_sql import query_to_semql
+from repro.semql.to_sql import semql_to_query
+from repro.semql.tree import (
+    GrammarState,
+    SemQLNode,
+    actions_to_tree,
+    tree_to_actions,
+)
+
+__all__ = [
+    "ActionType",
+    "GRAMMAR_ACTION_INDEX",
+    "GRAMMAR_ACTION_LIST",
+    "GrammarAction",
+    "GrammarState",
+    "NUM_GRAMMAR_ACTIONS",
+    "POINTER_TYPES",
+    "PRODUCTIONS",
+    "SemQLNode",
+    "actions_for_type",
+    "actions_to_tree",
+    "children_of",
+    "num_productions",
+    "production_index",
+    "production_name",
+    "query_to_semql",
+    "semql_to_query",
+    "tree_to_actions",
+]

@@ -1,0 +1,296 @@
+"""SQL -> SemQL 2.0 conversion (training-data preparation).
+
+Gold SQL queries are parsed into the :mod:`repro.sql.ast` form and then
+lowered into SemQL 2.0 trees, which are the supervision signal for the
+decoder.  The conversion implements the paper's abstractions:
+
+* JOIN structure disappears — SemQL only records the tables used by
+  Select/Filter/Order/Superlative actions (Section III-C2); bridge tables
+  are re-inferred at post-processing time.
+* GROUP BY disappears — it is re-inferred from the projection shape.
+* ORDER BY + LIMIT becomes a ``Superlative`` (most/least); a bare ORDER BY
+  becomes ``Order``.
+* WHERE and HAVING merge into a single ``Filter`` tree (HAVING conditions
+  keep their aggregate on the A node).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemQLError
+from repro.schema.model import Schema
+from repro.semql.actions import ActionType, production_index
+from repro.semql.tree import SemQLNode
+from repro.sql.ast import (
+    AggregateFunction,
+    BooleanExpr,
+    ColumnRef,
+    Condition,
+    ConditionExpr,
+    Literal,
+    Operator,
+    OrderDirection,
+    Query,
+    SelectItem,
+    SelectQuery,
+    SetOperator,
+)
+
+_AGG_TO_PRODUCTION = {
+    AggregateFunction.MAX: "max",
+    AggregateFunction.MIN: "min",
+    AggregateFunction.COUNT: "count",
+    AggregateFunction.SUM: "sum",
+    AggregateFunction.AVG: "avg",
+    AggregateFunction.NONE: "none",
+}
+
+_SET_TO_PRODUCTION = {
+    SetOperator.INTERSECT: "intersect",
+    SetOperator.UNION: "union",
+    SetOperator.EXCEPT: "except",
+}
+
+_OPERATOR_TO_FILTER = {
+    Operator.EQ: ("eq_v", "eq_r"),
+    Operator.NE: ("ne_v", "ne_r"),
+    Operator.LT: ("lt_v", "lt_r"),
+    Operator.GT: ("gt_v", "gt_r"),
+    Operator.LE: ("le_v", "le_r"),
+    Operator.GE: ("ge_v", "ge_r"),
+    Operator.LIKE: ("like_v", None),
+    Operator.NOT_LIKE: ("not_like_v", None),
+    Operator.IN: (None, "in_r"),
+    Operator.NOT_IN: (None, "not_in_r"),
+}
+
+
+def query_to_semql(query: Query, schema: Schema) -> SemQLNode:
+    """Convert a resolved SQL :class:`Query` into a SemQL 2.0 tree."""
+    if query.is_compound():
+        assert query.set_operator is not None and query.compound is not None
+        if query.compound.is_compound():
+            raise SemQLError("chained compound queries are not supported by SemQL")
+        root = SemQLNode(
+            ActionType.Z,
+            production_index(ActionType.Z, _SET_TO_PRODUCTION[query.set_operator]),
+            children=[
+                _select_query_to_r(query.body, schema),
+                _select_query_to_r(query.compound.body, schema),
+            ],
+        )
+    else:
+        root = SemQLNode(
+            ActionType.Z,
+            production_index(ActionType.Z, "single"),
+            children=[_select_query_to_r(query.body, schema)],
+        )
+    root.validate()
+    return root
+
+
+def _select_query_to_r(query: SelectQuery, schema: Schema) -> SemQLNode:
+    select_node = _build_select(query, schema)
+
+    filter_expr = _merge_where_having(query)
+    filter_node = (
+        _condition_expr_to_filter(filter_expr, query, schema)
+        if filter_expr is not None
+        else None
+    )
+
+    order_node: SemQLNode | None = None
+    superlative_node: SemQLNode | None = None
+    if query.order_by is not None:
+        if len(query.order_by.items) != 1:
+            raise SemQLError("SemQL supports exactly one ORDER BY expression")
+        item = query.order_by.items[0]
+        a_node = _select_item_to_a(item, query, schema)
+        descending = query.order_by.direction is OrderDirection.DESC
+        if query.limit is not None:
+            superlative_node = SemQLNode(
+                ActionType.SUPERLATIVE,
+                production_index(
+                    ActionType.SUPERLATIVE, "most" if descending else "least"
+                ),
+                children=[
+                    SemQLNode(ActionType.V, value=query.limit),
+                    a_node,
+                ],
+            )
+        else:
+            order_node = SemQLNode(
+                ActionType.ORDER,
+                production_index(ActionType.ORDER, "desc" if descending else "asc"),
+                children=[a_node],
+            )
+    elif query.limit is not None:
+        raise SemQLError("LIMIT without ORDER BY is not representable in SemQL")
+
+    if order_node is None and superlative_node is None and filter_node is None:
+        production = "select"
+        children = [select_node]
+    elif order_node is None and superlative_node is None:
+        production = "select_filter"
+        children = [select_node, filter_node]
+    elif order_node is not None and filter_node is None:
+        production = "select_order"
+        children = [select_node, order_node]
+    elif superlative_node is not None and filter_node is None:
+        production = "select_superlative"
+        children = [select_node, superlative_node]
+    elif order_node is not None:
+        production = "select_order_filter"
+        children = [select_node, order_node, filter_node]
+    else:
+        production = "select_superlative_filter"
+        children = [select_node, superlative_node, filter_node]
+
+    return SemQLNode(
+        ActionType.R,
+        production_index(ActionType.R, production),
+        children=[child for child in children if child is not None],
+    )
+
+
+def _build_select(query: SelectQuery, schema: Schema) -> SemQLNode:
+    n = len(query.select)
+    if n == 0:
+        raise SemQLError("query selects nothing")
+    name = f"distinct_n{n}" if query.distinct else f"n{n}"
+    try:
+        production = production_index(ActionType.SELECT, name)
+    except Exception as exc:
+        raise SemQLError(f"unsupported number of select items: {n}") from exc
+    children = [_select_item_to_a(item, query, schema) for item in query.select]
+    return SemQLNode(ActionType.SELECT, production, children=children)
+
+
+def _select_item_to_a(item: SelectItem, query: SelectQuery, schema: Schema) -> SemQLNode:
+    return _make_a(item.aggregate, item.column, query, schema)
+
+
+def _make_a(
+    aggregate: AggregateFunction,
+    column: ColumnRef,
+    query: SelectQuery,
+    schema: Schema,
+) -> SemQLNode:
+    table_name = column.table
+    if table_name is None:
+        # Unqualified '*': SemQL still needs a T payload.  Attribute the
+        # star to the first FROM table no other column references — in
+        # ``SELECT count(*) FROM student JOIN has_pet WHERE student.age >
+        # 20`` the count semantically ranges over the join, and binding the
+        # star to ``has_pet`` keeps that table in the SemQL scope (the
+        # paper's Fig. 1 writes this as ``count(T2.*)``).  When every FROM
+        # table is referenced, fall back to the first.
+        if not query.tables:
+            raise SemQLError("query has no FROM tables")
+        referenced = _referenced_tables(query)
+        unreferenced = [t for t in query.tables if t.lower() not in referenced]
+        table_name = unreferenced[0] if unreferenced else query.tables[0]
+    resolved_column = schema.column(table_name, column.column)
+    return SemQLNode(
+        ActionType.A,
+        production_index(ActionType.A, _AGG_TO_PRODUCTION[aggregate]),
+        children=[
+            SemQLNode(ActionType.C, column=resolved_column),
+            SemQLNode(ActionType.T, table=schema.table(table_name).name),
+        ],
+    )
+
+
+def _referenced_tables(query: SelectQuery) -> set[str]:
+    """Lower-cased names of tables referenced by any non-star column."""
+    referenced: set[str] = set()
+
+    def visit_column(column: ColumnRef) -> None:
+        if column.table is not None and not column.is_star():
+            referenced.add(column.table.lower())
+
+    for item in query.select:
+        visit_column(item.column)
+    for expr in (query.where, query.having):
+        stack: list[ConditionExpr] = [expr] if expr is not None else []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, BooleanExpr):
+                stack.extend(node.operands)
+            else:
+                visit_column(node.column)
+    for column in query.group_by:
+        visit_column(column)
+    if query.order_by is not None:
+        for item in query.order_by.items:
+            visit_column(item.column)
+    return referenced
+
+
+def _merge_where_having(query: SelectQuery) -> ConditionExpr | None:
+    if query.where is not None and query.having is not None:
+        return BooleanExpr("and", (query.where, query.having))
+    return query.where if query.where is not None else query.having
+
+
+def _condition_expr_to_filter(
+    expr: ConditionExpr, query: SelectQuery, schema: Schema
+) -> SemQLNode:
+    if isinstance(expr, BooleanExpr):
+        production = production_index(ActionType.FILTER, expr.connector)
+        # SemQL's and/or are binary; fold n-ary expressions left-deep.
+        nodes = [
+            _condition_expr_to_filter(operand, query, schema)
+            for operand in expr.operands
+        ]
+        result = nodes[0]
+        for node in nodes[1:]:
+            result = SemQLNode(ActionType.FILTER, production, children=[result, node])
+        return result
+    return _condition_to_filter(expr, query, schema)
+
+
+def _condition_to_filter(
+    condition: Condition, query: SelectQuery, schema: Schema
+) -> SemQLNode:
+    a_node = _make_a(condition.aggregate, condition.column, query, schema)
+
+    if condition.operator is Operator.BETWEEN:
+        low, high = condition.rhs  # type: ignore[misc]
+        return SemQLNode(
+            ActionType.FILTER,
+            production_index(ActionType.FILTER, "between_v"),
+            children=[
+                a_node,
+                SemQLNode(ActionType.V, value=low.value),
+                SemQLNode(ActionType.V, value=high.value),
+            ],
+        )
+
+    value_production, subquery_production = _OPERATOR_TO_FILTER[condition.operator]
+    if isinstance(condition.rhs, Query):
+        if subquery_production is None:
+            raise SemQLError(
+                f"operator {condition.operator.value!r} cannot take a sub-query"
+            )
+        return SemQLNode(
+            ActionType.FILTER,
+            production_index(ActionType.FILTER, subquery_production),
+            children=[a_node, _subquery_to_r(condition.rhs, schema)],
+        )
+    if isinstance(condition.rhs, Literal):
+        if value_production is None:
+            raise SemQLError(
+                f"operator {condition.operator.value!r} requires a sub-query"
+            )
+        return SemQLNode(
+            ActionType.FILTER,
+            production_index(ActionType.FILTER, value_production),
+            children=[a_node, SemQLNode(ActionType.V, value=condition.rhs.value)],
+        )
+    raise SemQLError(f"unsupported condition rhs: {condition.rhs!r}")
+
+
+def _subquery_to_r(query: Query, schema: Schema) -> SemQLNode:
+    if query.is_compound():
+        raise SemQLError("compound sub-queries are not supported by SemQL")
+    return _select_query_to_r(query.body, schema)

@@ -1,0 +1,311 @@
+"""SemQL 2.0 -> SQL conversion (deterministic post-processing).
+
+Inverse of :mod:`repro.semql.from_sql`: rebuilds a :mod:`repro.sql.ast`
+query from a SemQL tree.  The two re-inference steps the paper describes:
+
+* **FROM / JOIN**: the tables are exactly the ``T`` payloads used in this
+  R-scope (sub-queries have their own scope); bridge tables and ON clauses
+  are added later by the renderer via the schema graph.
+* **GROUP BY**: inferred whenever the query mixes aggregated and plain
+  projections, or has HAVING-style (aggregated) filter conditions — we
+  group by the plain projected columns (IRNet's convention).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+from repro.schema.model import Schema
+from repro.semql.actions import ActionType, PRODUCTIONS
+from repro.semql.tree import SemQLNode
+from repro.sql.ast import (
+    AggregateFunction,
+    BooleanExpr,
+    ColumnRef,
+    Condition,
+    ConditionExpr,
+    Literal,
+    Operator,
+    OrderBy,
+    OrderDirection,
+    Query,
+    SelectItem,
+    SelectQuery,
+    SetOperator,
+)
+
+_PRODUCTION_TO_AGG = {
+    "max": AggregateFunction.MAX,
+    "min": AggregateFunction.MIN,
+    "count": AggregateFunction.COUNT,
+    "sum": AggregateFunction.SUM,
+    "avg": AggregateFunction.AVG,
+    "none": AggregateFunction.NONE,
+}
+
+_FILTER_TO_OPERATOR = {
+    "eq_v": Operator.EQ, "eq_r": Operator.EQ,
+    "ne_v": Operator.NE, "ne_r": Operator.NE,
+    "lt_v": Operator.LT, "lt_r": Operator.LT,
+    "gt_v": Operator.GT, "gt_r": Operator.GT,
+    "le_v": Operator.LE, "le_r": Operator.LE,
+    "ge_v": Operator.GE, "ge_r": Operator.GE,
+    "like_v": Operator.LIKE,
+    "not_like_v": Operator.NOT_LIKE,
+    "in_r": Operator.IN,
+    "not_in_r": Operator.NOT_IN,
+}
+
+_Z_TO_SET = {
+    "intersect": SetOperator.INTERSECT,
+    "union": SetOperator.UNION,
+    "except": SetOperator.EXCEPT,
+}
+
+
+def _production_name(node: SemQLNode) -> str:
+    assert node.production is not None
+    return PRODUCTIONS[node.action_type][node.production][0]
+
+
+def semql_to_query(tree: SemQLNode, schema: Schema) -> Query:
+    """Convert a SemQL 2.0 tree into a resolved SQL :class:`Query`."""
+    tree.validate()
+    if tree.action_type is not ActionType.Z:
+        raise TranslationError(f"expected a Z root, got {tree.name}")
+    name = _production_name(tree)
+    if name == "single":
+        return Query(body=_r_to_select_query(tree.children[0], schema))
+    return Query(
+        body=_r_to_select_query(tree.children[0], schema),
+        set_operator=_Z_TO_SET[name],
+        compound=Query(body=_r_to_select_query(tree.children[1], schema)),
+    )
+
+
+def _r_to_select_query(node: SemQLNode, schema: Schema) -> SelectQuery:
+    if node.action_type is not ActionType.R:
+        raise TranslationError(f"expected an R node, got {node.name}")
+    name = _production_name(node)
+
+    select_node = node.children[0]
+    order_node: SemQLNode | None = None
+    superlative_node: SemQLNode | None = None
+    filter_node: SemQLNode | None = None
+    if name == "select_filter":
+        filter_node = node.children[1]
+    elif name == "select_order":
+        order_node = node.children[1]
+    elif name == "select_superlative":
+        superlative_node = node.children[1]
+    elif name == "select_order_filter":
+        order_node, filter_node = node.children[1], node.children[2]
+    elif name == "select_superlative_filter":
+        superlative_node, filter_node = node.children[1], node.children[2]
+
+    tables = _collect_scope_tables(node, schema)
+    select_items, distinct = _build_select_items(select_node, schema)
+
+    where, having = None, None
+    if filter_node is not None:
+        condition = _filter_to_condition(filter_node, schema)
+        where, having = _split_where_having(condition)
+
+    order_by: OrderBy | None = None
+    limit: int | None = None
+    if order_node is not None:
+        direction = (
+            OrderDirection.DESC
+            if _production_name(order_node) == "desc"
+            else OrderDirection.ASC
+        )
+        order_by = OrderBy(
+            items=(_a_to_select_item(order_node.children[0], schema),),
+            direction=direction,
+        )
+    elif superlative_node is not None:
+        direction = (
+            OrderDirection.DESC
+            if _production_name(superlative_node) == "most"
+            else OrderDirection.ASC
+        )
+        value_node, a_node = superlative_node.children
+        limit = _coerce_limit(value_node.value)
+        order_by = OrderBy(
+            items=(_a_to_select_item(a_node, schema),),
+            direction=direction,
+        )
+
+    group_by = _infer_group_by(select_items, having)
+
+    return SelectQuery(
+        select=select_items,
+        tables=tables,
+        distinct=distinct,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=limit,
+    )
+
+
+def _coerce_limit(value: object) -> int:
+    try:
+        number = float(str(value))
+    except ValueError as exc:
+        raise TranslationError(f"LIMIT value {value!r} is not a number") from exc
+    if not number.is_integer() or number < 1:
+        raise TranslationError(f"LIMIT value {value!r} is not a positive integer")
+    return int(number)
+
+
+def _collect_scope_tables(r_node: SemQLNode, schema: Schema) -> list[str]:
+    """All T payloads in this R scope (excluding nested R sub-queries)."""
+    tables: list[str] = []
+    seen: set[str] = set()
+
+    def add(table_name: str) -> None:
+        name = schema.table(table_name).name
+        if name.lower() not in seen:
+            seen.add(name.lower())
+            tables.append(name)
+
+    def visit(node: SemQLNode) -> None:
+        if node.action_type is ActionType.R and node is not r_node:
+            return  # sub-query: its tables live in its own FROM clause
+        if node.action_type is ActionType.T:
+            assert node.table is not None
+            add(node.table)
+        if node.action_type is ActionType.C and node.column is not None:
+            # Columns qualify with their own table (see _a_to_parts), so
+            # that table must be in scope even when the decoder's T pointer
+            # disagrees.
+            if not node.column.is_star():
+                add(node.column.table)
+        for child in node.children:
+            visit(child)
+
+    visit(r_node)
+    if not tables:
+        raise TranslationError("SemQL tree references no tables")
+    return tables
+
+
+def _build_select_items(
+    select_node: SemQLNode, schema: Schema
+) -> tuple[list[SelectItem], bool]:
+    name = _production_name(select_node)
+    distinct = name.startswith("distinct")
+    items = [_a_to_select_item(child, schema) for child in select_node.children]
+    return items, distinct
+
+
+def _a_to_select_item(a_node: SemQLNode, schema: Schema) -> SelectItem:
+    aggregate, column = _a_to_parts(a_node, schema)
+    return SelectItem(column=column, aggregate=aggregate)
+
+
+def _a_to_parts(
+    a_node: SemQLNode, schema: Schema
+) -> tuple[AggregateFunction, ColumnRef]:
+    if a_node.action_type is not ActionType.A:
+        raise TranslationError(f"expected an A node, got {a_node.name}")
+    aggregate = _PRODUCTION_TO_AGG[_production_name(a_node)]
+    c_node, t_node = a_node.children
+    assert c_node.column is not None and t_node.table is not None
+    if c_node.column.is_star():
+        # COUNT(*) renders unqualified; the T payload still matters for the
+        # FROM clause (it was collected by _collect_scope_tables).
+        return aggregate, ColumnRef(None, "*")
+    # The column's owning table comes from the column payload itself — a
+    # decoder may point C and T inconsistently, and qualifying the column
+    # with the T payload would produce invalid SQL.  The T payload still
+    # contributes its table to the FROM scope.
+    table_name = schema.table(c_node.column.table).name
+    return aggregate, ColumnRef(table_name, c_node.column.name)
+
+
+def _filter_to_condition(filter_node: SemQLNode, schema: Schema) -> ConditionExpr:
+    name = _production_name(filter_node)
+    if name in ("and", "or"):
+        left = _filter_to_condition(filter_node.children[0], schema)
+        right = _filter_to_condition(filter_node.children[1], schema)
+        return BooleanExpr(name, (left, right))
+
+    a_node = filter_node.children[0]
+    aggregate, column = _a_to_parts(a_node, schema)
+
+    if name == "between_v":
+        low, high = filter_node.children[1], filter_node.children[2]
+        return Condition(
+            column=column,
+            operator=Operator.BETWEEN,
+            rhs=(Literal(_coerce_literal(low.value)), Literal(_coerce_literal(high.value))),
+            aggregate=aggregate,
+        )
+    if name == "between_r":
+        raise TranslationError("between with a sub-query is not executable SQL")
+
+    operator = _FILTER_TO_OPERATOR[name]
+    rhs_node = filter_node.children[1]
+    if rhs_node.action_type is ActionType.R:
+        rhs: object = Query(body=_r_to_select_query(rhs_node, schema))
+    else:
+        rhs = Literal(_coerce_literal(rhs_node.value))
+    return Condition(column=column, operator=operator, rhs=rhs, aggregate=aggregate)
+
+
+def _coerce_literal(value: object) -> str | int | float:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float, str)):
+        return value
+    raise TranslationError(f"unsupported literal payload: {value!r}")
+
+
+def _split_where_having(
+    expr: ConditionExpr,
+) -> tuple[ConditionExpr | None, ConditionExpr | None]:
+    """Split a merged filter tree back into WHERE and HAVING.
+
+    Top-level AND conjuncts route individually (aggregated -> HAVING);
+    any other shape routes wholesale by whether it contains an aggregate.
+    """
+    def has_aggregate(node: ConditionExpr) -> bool:
+        if isinstance(node, Condition):
+            return node.aggregate is not AggregateFunction.NONE
+        return any(has_aggregate(op) for op in node.operands)
+
+    conjuncts: list[ConditionExpr]
+    if isinstance(expr, BooleanExpr) and expr.connector == "and":
+        conjuncts = list(expr.operands)
+    else:
+        conjuncts = [expr]
+
+    where_parts = [c for c in conjuncts if not has_aggregate(c)]
+    having_parts = [c for c in conjuncts if has_aggregate(c)]
+
+    def combine(parts: list[ConditionExpr]) -> ConditionExpr | None:
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return parts[0]
+        return BooleanExpr("and", tuple(parts))
+
+    return combine(where_parts), combine(having_parts)
+
+
+def _infer_group_by(
+    select_items: list[SelectItem], having: ConditionExpr | None
+) -> list[ColumnRef]:
+    has_aggregated = any(
+        item.aggregate is not AggregateFunction.NONE for item in select_items
+    )
+    plain = [
+        item.column
+        for item in select_items
+        if item.aggregate is AggregateFunction.NONE and not item.column.is_star()
+    ]
+    if (has_aggregated or having is not None) and plain:
+        return plain
+    return []

@@ -1,0 +1,43 @@
+"""Synthetic Spider-like corpus: domains, templates, generator, stats."""
+
+from repro.spider.corpus import Example, SpiderCorpus, load_corpus, load_examples
+from repro.spider.domains import (
+    DEFAULT_DEV_DOMAINS,
+    DEFAULT_TRAIN_DOMAINS,
+    DOMAIN_SPECS,
+    DomainInstance,
+    build_domain,
+    build_schema,
+)
+from repro.spider.generator import CorpusConfig, generate_corpus
+from repro.spider.stats import (
+    PAPER_SAMPLES_WITH_VALUES,
+    PAPER_TOTAL_VALUES,
+    PAPER_VALUE_DISTRIBUTION,
+    ValueDistribution,
+    hardness_distribution,
+    value_difficulty_distribution,
+    value_distribution,
+)
+
+__all__ = [
+    "CorpusConfig",
+    "DEFAULT_DEV_DOMAINS",
+    "DEFAULT_TRAIN_DOMAINS",
+    "DOMAIN_SPECS",
+    "DomainInstance",
+    "Example",
+    "PAPER_SAMPLES_WITH_VALUES",
+    "PAPER_TOTAL_VALUES",
+    "PAPER_VALUE_DISTRIBUTION",
+    "SpiderCorpus",
+    "ValueDistribution",
+    "build_domain",
+    "build_schema",
+    "generate_corpus",
+    "hardness_distribution",
+    "load_corpus",
+    "load_examples",
+    "value_difficulty_distribution",
+    "value_distribution",
+]

@@ -1,0 +1,198 @@
+"""Shared value pools for the synthetic corpus.
+
+The generator draws base-data values from these lists so the databases
+look like Spider's ("locations, specific codes, status, names and
+salutations", paper Section V-A2).  Several pools intentionally overlap
+with the gazetteer in :mod:`repro.ner.gazetteer` — a general-purpose NER
+service does recognize real countries and names.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = [
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+    "Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Daniel",
+    "Lisa", "Matthew", "Betty", "Anthony", "Margaret", "Mark", "Sandra",
+    "Steven", "Kimberly", "Paul", "Emily", "Andrew", "Donna", "Joshua",
+    "Michelle", "Kevin", "Carol", "Brian", "Amanda", "George", "Melissa",
+    "Anna", "Laura", "Alice", "Emma", "Olivia", "Sophia", "Lucas", "Noah",
+    "Marco", "Pierre", "Hans", "Ingrid", "Yuki", "Elena", "Ivan", "Chen",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Wilson", "Anderson", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
+    "Harris", "Clark", "Lewis", "Robinson", "Walker", "Young", "Allen",
+    "King", "Wright", "Scott", "Hill", "Green", "Adams", "Nelson", "Baker",
+    "Hall", "Campbell", "Mitchell", "Carter", "Roberts", "Kennedy",
+    "Muller", "Schmidt", "Rossi", "Dubois", "Novak", "Kowalski", "Tanaka",
+]
+
+COUNTRIES = [
+    "France", "Germany", "Italy", "Spain", "Portugal", "Switzerland",
+    "Austria", "Netherlands", "Belgium", "Poland", "Sweden", "Norway",
+    "Denmark", "Finland", "Ireland", "Greece", "Turkey", "Japan", "Brazil",
+    "Canada", "Australia", "Mexico", "India", "China", "Egypt", "Kenya",
+]
+
+CITIES = [
+    "Paris", "London", "Berlin", "Madrid", "Rome", "Lisbon", "Zurich",
+    "Vienna", "Amsterdam", "Brussels", "Warsaw", "Stockholm", "Oslo",
+    "Copenhagen", "Helsinki", "Dublin", "Athens", "Istanbul", "Tokyo",
+    "Boston", "Seattle", "Denver", "Atlanta", "Dallas", "Geneva", "Munich",
+    "Hamburg", "Barcelona", "Milan", "Lyon", "Chicago", "Houston",
+]
+
+CONTINENTS = ["Europe", "Asia", "Africa", "North America", "South America", "Oceania"]
+
+LANGUAGES = [
+    "English", "French", "German", "Spanish", "Italian", "Portuguese",
+    "Dutch", "Polish", "Swedish", "Greek", "Turkish", "Japanese", "Arabic",
+    "Mandarin", "Hindi", "Russian",
+]
+
+DEPARTMENT_NAMES = [
+    "Engineering", "Marketing", "Finance", "Sales", "Research",
+    "Operations", "Legal", "Design", "Support", "Logistics",
+]
+
+MAJORS = [
+    "Biology", "Physics", "Chemistry", "Mathematics", "History",
+    "Economics", "Philosophy", "Linguistics", "Sociology", "Geology",
+]
+
+FACULTY_RANKS = ["Professor", "Associate Professor", "Assistant Professor", "Lecturer", "Instructor"]
+
+COURSE_TITLES = [
+    "Databases", "Algorithms", "Statistics", "Calculus", "Genetics",
+    "Thermodynamics", "Microeconomics", "Ethics", "Syntax", "Optics",
+    "Machine Learning", "Compilers", "Topology", "Immunology", "Rhetoric",
+]
+
+PRODUCT_CATEGORIES = ["Electronics", "Clothing", "Furniture", "Toys", "Groceries", "Books", "Sports", "Garden"]
+
+PRODUCT_NAMES = [
+    "Laptop Pro", "Desk Lamp", "Wool Sweater", "Oak Table", "Toy Robot",
+    "Coffee Maker", "Running Shoes", "Garden Hose", "Notebook", "Backpack",
+    "Headphones", "Water Bottle", "Office Chair", "Puzzle Set", "Tent",
+    "Keyboard", "Monitor", "Blender", "Yoga Mat", "Bookshelf",
+]
+
+DISTRICTS = ["Downtown", "Riverside", "Old Town", "Harbor", "Uptown", "Westside", "Eastgate", "Northfield"]
+
+CAR_MAKERS = ["Toyota", "Volkswagen", "Ford", "Honda", "Fiat", "Renault", "Volvo", "Mazda", "Skoda", "Subaru"]
+
+CAR_MODELS = [
+    "Falcon", "Comet", "Aurora", "Pioneer", "Vertex", "Nimbus", "Strada",
+    "Pulsar", "Meridian", "Solstice", "Horizon", "Vector", "Tempest",
+    "Zephyr", "Odyssey", "Summit",
+]
+
+BOOK_TITLES = [
+    "The Silent River", "Autumn Letters", "Glass Harbor", "The Last Cartographer",
+    "Midnight Orchard", "Paper Cities", "The Iron Garden", "Salt and Smoke",
+    "A Study of Tides", "The Hollow Crown", "Winter Arithmetic", "The Blue Door",
+    "Maps of Nowhere", "The Clockmaker", "Ashes of Rome", "The Ninth Wave",
+    "Stone Lullaby", "The Amber Room", "Quiet Thunder", "The Long Meadow",
+]
+
+GENRES = ["Fiction", "Mystery", "Biography", "Fantasy", "History", "Poetry", "Science", "Travel"]
+
+SPECIALTY_CODES = {
+    # code -> natural-language surface (the "hard" value mechanism:
+    # the question says "cardiology", the database stores 'CARD')
+    "CARD": "cardiology",
+    "NEURO": "neurology",
+    "ORTHO": "orthopedics",
+    "PED": "pediatrics",
+    "DERM": "dermatology",
+    "ONC": "oncology",
+}
+
+AIRPORT_CODES = {
+    "JFK": "John F Kennedy International Airport",
+    "LAX": "Los Angeles",
+    "ORD": "Chicago O'Hare",
+    "ATL": "Atlanta",
+    "CDG": "Paris Charles de Gaulle",
+    "FRA": "Frankfurt",
+    "AMS": "Amsterdam Schiphol",
+    "MAD": "Madrid Barajas",
+    "ZRH": "Zurich",
+    "VIE": "Vienna",
+}
+
+AIRLINES = [
+    "JetBlue Airways", "Delta", "United", "Lufthansa", "Swiss", "KLM",
+    "Air France", "British Airways", "Emirates", "Ryanair", "EasyJet",
+]
+
+STADIUM_NAMES = [
+    "Riverside Arena", "Sunset Stadium", "Liberty Park", "Crown Field",
+    "Meadow Grounds", "Harbor Dome", "Victory Court", "Northern Lights Arena",
+]
+
+CONCERT_NAMES = [
+    "Summer Jam", "Winter Fest", "Harvest Sound", "Night Waves",
+    "Echo Festival", "Aurora Live", "Golden Hour", "Moonrise Show",
+]
+
+INSTRUMENTS = ["Violin", "Cello", "Piano", "Flute", "Oboe", "Trumpet", "Harp", "Clarinet"]
+
+MOUNTAIN_NAMES = [
+    "Mount Arden", "Silver Peak", "Eagle Crest", "Storm Ridge", "Mount Halvor",
+    "Crystal Summit", "Iron Top", "Mount Selene", "Thunder Horn", "White Spire",
+]
+
+WINE_GRAPES = ["Merlot", "Pinot Noir", "Chardonnay", "Riesling", "Syrah", "Malbec", "Tempranillo"]
+
+WINE_REGIONS = ["Bordeaux", "Tuscany", "Rioja", "Napa", "Mosel", "Barossa", "Mendoza"]
+
+WINERY_NAMES = [
+    "Stonegate Cellars", "Willow Creek Estate", "Bellavista Vineyards",
+    "Red Hollow Winery", "Clearwater Estate", "Golden Vine House",
+    "Oakhurst Cellars", "Santa Lucia Vineyards",
+]
+
+TRAIN_LINES = ["Express", "Regional", "Intercity", "Night", "Coastal", "Alpine"]
+
+TRAIN_NAMES = [
+    "Blue Arrow", "Silver Comet", "North Star", "Coastal Runner",
+    "Alpine Flyer", "Red Falcon", "City Hopper", "Sunrise Express",
+    "Evening Star", "Golden Eagle", "Valley Cruiser", "Harbor Link",
+]
+
+MOVIE_TITLES = [
+    "The Glass Mountain", "Echoes of Tomorrow", "Paper Moonlight",
+    "The Seventh Harbor", "Crimson Valley", "A Winter Apart",
+    "The Cartographer's Daughter", "Static Skies", "The Orchard Gate",
+    "Beneath the Salt", "Last Tram Home", "The Quiet Divide",
+    "Northern Ash", "The Ivory Coast Run", "Half Past Midnight",
+]
+
+MOVIE_GENRES = ["Drama", "Comedy", "Thriller", "Documentary", "Animation", "Romance", "Adventure"]
+
+CUISINES = ["Italian", "Japanese", "Mexican", "Indian", "Thai", "French", "Greek", "Lebanese"]
+
+RESTAURANT_NAMES = [
+    "The Copper Pot", "Basil and Stone", "Luna's Table", "The Green Fork",
+    "Saffron House", "Harbor Kitchen", "The Olive Branch", "Ember and Oak",
+    "Blue Lantern", "The Garden Spoon", "Cedar Grill", "The Brass Kettle",
+]
+
+DISH_NAMES = [
+    "Garlic Noodles", "Lemon Chicken", "Spring Rolls", "Lamb Tagine",
+    "Truffle Pasta", "Miso Ramen", "Paneer Tikka", "Beef Rendang",
+    "Greek Salad", "Duck Confit", "Pad Thai", "Falafel Plate",
+    "Margherita Pizza", "Tom Yum Soup", "Moussaka", "Butter Chicken",
+]
+
+PET_TYPES = ["Dog", "Cat", "Rabbit", "Hamster", "Parrot", "Turtle", "Goldfish"]
+
+MUSEUM_NAMES = [
+    "National History Museum", "Museum of Modern Art", "Maritime Museum",
+    "Science Discovery Center", "Gallery of Antiquities", "Folk Heritage House",
+    "Museum of Natural Wonders", "City Art Pavilion",
+]

@@ -1,0 +1,60 @@
+"""Corpus statistics (paper Section V-A, Fig. 9).
+
+The paper reports the value distribution over the train split: how many
+samples carry 0/1/2/3/4 values, how many samples contain values at all,
+and the total number of values.  These functions compute the same numbers
+over our synthetic corpus so the Fig. 9 bench can print the comparison.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.evaluation.difficulty import Hardness, ValueDifficulty
+from repro.spider.corpus import Example
+
+# Fig. 9 of the paper (train split of Spider, 7,000 samples).
+PAPER_VALUE_DISTRIBUTION = {0: 3469, 1: 2494, 2: 945, 3: 62, 4: 30}
+PAPER_SAMPLES_WITH_VALUES = 3531
+PAPER_TOTAL_VALUES = 4690
+
+
+@dataclass(frozen=True)
+class ValueDistribution:
+    """Per-sample value-count histogram plus the headline counts."""
+
+    counts: dict[int, int]
+    total_samples: int
+    samples_with_values: int
+    total_values: int
+
+    def fraction(self, n: int) -> float:
+        return self.counts.get(n, 0) / max(self.total_samples, 1)
+
+
+def value_distribution(examples: list[Example]) -> ValueDistribution:
+    """Histogram of values-per-sample over ``examples`` (Fig. 9)."""
+    counts: Counter[int] = Counter(len(e.values) for e in examples)
+    return ValueDistribution(
+        counts=dict(sorted(counts.items())),
+        total_samples=len(examples),
+        samples_with_values=sum(1 for e in examples if e.values),
+        total_values=sum(len(e.values) for e in examples),
+    )
+
+
+def hardness_distribution(examples: list[Example]) -> dict[Hardness, int]:
+    """Spider-hardness histogram."""
+    counts: Counter[Hardness] = Counter(e.hardness for e in examples)
+    return {h: counts.get(h, 0) for h in Hardness}
+
+
+def value_difficulty_distribution(
+    examples: list[Example],
+) -> dict[ValueDifficulty, int]:
+    """Histogram of the paper's value-difficulty classes (per value)."""
+    counts: Counter[ValueDifficulty] = Counter()
+    for example in examples:
+        counts.update(example.value_difficulties)
+    return {d: counts.get(d, 0) for d in ValueDifficulty}

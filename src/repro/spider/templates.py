@@ -1,0 +1,1183 @@
+"""Question/SQL pattern generators.
+
+Each pattern produces an NL question together with the gold SQL *AST* (the
+string rendering and SemQL lowering happen in the corpus generator), the
+gold value list and per-value difficulty tags.  Patterns span the four
+Spider hardness classes and the paper's four *value* difficulty classes —
+the mix is weighted so the per-sample value distribution approximates the
+paper's Fig. 9 (about half the samples carry no value, most of the rest
+one or two).
+
+The phrasing of every pattern is drawn from several alternates, and entity
+nouns are occasionally replaced with synonyms, so the model cannot
+memorize templates verbatim and schema linking stays non-trivial on unseen
+databases.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.evaluation.difficulty import ValueDifficulty
+from repro.spider.domains import ColumnSpec, DomainInstance, TableSpec
+from repro.sql.ast import (
+    AggregateFunction,
+    BooleanExpr,
+    ColumnRef,
+    Condition,
+    Literal,
+    Operator,
+    OrderBy,
+    OrderDirection,
+    Query,
+    SelectItem,
+    SelectQuery,
+    SetOperator,
+)
+
+EASY = ValueDifficulty.EASY
+MEDIUM = ValueDifficulty.MEDIUM
+HARD = ValueDifficulty.HARD
+EXTRA = ValueDifficulty.EXTRA_HARD
+
+
+@dataclass
+class GeneratedExample:
+    """One generated (question, gold AST) pair with value metadata."""
+
+    question: str
+    query: Query
+    values: list[object] = field(default_factory=list)
+    value_difficulties: list[ValueDifficulty] = field(default_factory=list)
+    pattern: str = ""
+
+
+class TemplateContext:
+    """Sampling helpers over one materialized domain."""
+
+    def __init__(self, instance: DomainInstance, rng: random.Random, *, noise: float = 0.25):
+        self.instance = instance
+        self.rng = rng
+        self.noise = noise
+
+    # ----------------------------------------------------------- schema
+
+    def entity_tables(self) -> list[TableSpec]:
+        return [t for t in self.instance.spec.tables if not t.is_bridge]
+
+    def columns_with_role(self, table: TableSpec, role: str) -> list[ColumnSpec]:
+        return [c for c in table.columns if c.role == role]
+
+    def name_column(self, table: TableSpec) -> ColumnSpec | None:
+        names = self.columns_with_role(table, "name")
+        return names[0] if names else None
+
+    def pick(self, items: list):
+        return self.rng.choice(items) if items else None
+
+    def noun(self, table: TableSpec) -> str:
+        """Plural entity noun, occasionally replaced by a synonym."""
+        options = [table.plural]
+        if table.synonyms and self.rng.random() < self.noise:
+            options = list(table.synonyms)
+        return self.rng.choice(options)
+
+    # ----------------------------------------------------------- values
+
+    def sample_category(self, table: TableSpec, column: ColumnSpec) -> tuple[object, str, ValueDifficulty]:
+        """Sample a stored category value; choose its question surface."""
+        values = self.instance.column_values(table.name, column.name)
+        value = self.rng.choice(values)
+        surfaces = column.surfaces.get(str(value))
+        if column.role == "code":
+            if surfaces and self.rng.random() < 0.8:
+                return value, self.rng.choice(list(surfaces)), HARD
+            return value, f"'{value}'", EASY  # quoted literal code
+        if column.role == "gender":
+            assert surfaces is not None
+            return value, self.rng.choice(list(surfaces)), MEDIUM
+        if surfaces and self.rng.random() < 0.45:
+            return value, self.rng.choice(list(surfaces)), MEDIUM
+        text = str(value)
+        if text.isalpha() and text != text.lower() and self.rng.random() < 0.3:
+            # Case drift ("Biology" asked as "biology"): still extractable,
+            # but the stored form differs -> the paper's *medium* class.
+            return value, text.lower(), MEDIUM
+        return value, text, EASY
+
+    def sample_numeric(self, table: TableSpec, column: ColumnSpec) -> object:
+        """A threshold near the middle of the stored distribution."""
+        values = sorted(self.instance.column_values(table.name, column.name))
+        if not values:
+            return int(column.low)
+        lo = values[max(0, len(values) // 4)]
+        hi = values[min(len(values) - 1, 3 * len(values) // 4)]
+        if isinstance(lo, float) or isinstance(hi, float):
+            return round(self.rng.uniform(float(lo), float(hi)), 1)
+        if int(hi) <= int(lo):
+            return int(lo)
+        return self.rng.randint(int(lo), int(hi))
+
+    def sample_name(self, table: TableSpec, column: ColumnSpec) -> str:
+        values = self.instance.column_values(table.name, column.name)
+        return str(self.rng.choice(values))
+
+    # --------------------------------------------------------- phrasing
+
+    def numeric_phrase(self, column: ColumnSpec, op: Operator, value: object) -> str:
+        nl = column.nl
+        if nl == "age":
+            if op is Operator.GT:
+                return self.rng.choice([f"older than {value}", f"whose age is greater than {value}"])
+            if op is Operator.LT:
+                return self.rng.choice([f"younger than {value}", f"whose age is below {value}"])
+        templates = {
+            Operator.GT: [f"with {nl} greater than {value}", f"whose {nl} is above {value}", f"with a {nl} over {value}"],
+            Operator.LT: [f"with {nl} less than {value}", f"whose {nl} is below {value}", f"with a {nl} under {value}"],
+            Operator.GE: [f"with {nl} of at least {value}", f"whose {nl} is {value} or more"],
+            Operator.LE: [f"with {nl} of at most {value}", f"whose {nl} is {value} or less"],
+            Operator.EQ: [f"with {nl} equal to {value}", f"whose {nl} is {value}"],
+        }
+        return self.rng.choice(templates[op])
+
+    def category_phrase(self, column: ColumnSpec, surface: str) -> str:
+        nl = column.nl
+        return self.rng.choice([
+            f"whose {nl} is {surface}",
+            f"with {nl} {surface}",
+            f"with the {nl} {surface}",
+        ])
+
+
+def _col(table: TableSpec, column: ColumnSpec) -> ColumnRef:
+    return ColumnRef(table.name, column.name)
+
+
+def _name_item(table: TableSpec, ctx: TemplateContext) -> tuple[SelectItem, str]:
+    """Projection for a table: its name column, or ``*`` when anonymous."""
+    name_column = ctx.name_column(table)
+    if name_column is not None:
+        return SelectItem(_col(table, name_column)), name_column.nl
+    return SelectItem(ColumnRef(None, "*")), "details"
+
+
+def _single(query: SelectQuery) -> Query:
+    return Query(body=query)
+
+
+def _capitalize(text: str) -> str:
+    return text[0].upper() + text[1:] if text else text
+
+
+# ---------------------------------------------------------------------------
+# Condition builders shared by several patterns
+
+
+def _category_condition(
+    ctx: TemplateContext, table: TableSpec
+) -> tuple[Condition, str, object, ValueDifficulty] | None:
+    """A category/gender/code/bool equality condition with its phrase."""
+    choices: list[ColumnSpec] = (
+        ctx.columns_with_role(table, "category")
+        + ctx.columns_with_role(table, "gender")
+        # code/bool columns are rarer across the schema; boost their draw
+        # weight so the hard/extra-hard value mechanisms stay represented.
+        + 4 * ctx.columns_with_role(table, "code")
+        + 4 * ctx.columns_with_role(table, "bool")
+    )
+    column = ctx.pick(choices)
+    if column is None:
+        return None
+    if column.role == "bool":
+        condition = Condition(_col(table, column), Operator.EQ, Literal("T"))
+        return condition, f"__ADJ__{column.concept}", "T", EXTRA
+    value, surface, difficulty = ctx.sample_category(table, column)
+    condition = Condition(_col(table, column), Operator.EQ, Literal(value))
+    if column.role == "gender" or (difficulty is MEDIUM and surface.islower()):
+        # adjective-style phrasing: "female employees", "French students"
+        if ctx.rng.random() < 0.6:
+            return condition, f"__ADJ__{surface}", value, difficulty
+    if difficulty is HARD and ctx.rng.random() < 0.5:
+        return condition, f"from {surface}", value, difficulty
+    return condition, ctx.category_phrase(column, surface), value, difficulty
+
+
+def _numeric_condition(
+    ctx: TemplateContext, table: TableSpec
+) -> tuple[Condition, str, object] | None:
+    numerics = ctx.columns_with_role(table, "numeric") + ctx.columns_with_role(table, "year")
+    column = ctx.pick(numerics)
+    if column is None:
+        return None
+    if column.role == "year":
+        values = ctx.instance.column_values(table.name, column.name)
+        value: object = ctx.rng.choice(values)
+        phrase = ctx.rng.choice([f"from {value}", f"from the year {value}", f"of {value}"])
+        return Condition(_col(table, column), Operator.EQ, Literal(value)), phrase, value
+    op = ctx.rng.choice([Operator.GT, Operator.LT, Operator.GE, Operator.LE])
+    value = ctx.sample_numeric(table, column)
+    phrase = ctx.numeric_phrase(column, op, value)
+    return Condition(_col(table, column), op, Literal(value)), phrase, value
+
+
+def _attach_adjective(noun_phrase: str, condition_phrase: str) -> tuple[str, str]:
+    """Adjective-style conditions prefix the noun instead of trailing it."""
+    if condition_phrase.startswith("__ADJ__"):
+        return f"{condition_phrase.removeprefix('__ADJ__')} {noun_phrase}", ""
+    return noun_phrase, condition_phrase
+
+
+def _join_phrase(noun: str, trailing: str) -> str:
+    return f"{noun} {trailing}".strip()
+
+
+# ---------------------------------------------------------------------------
+# Patterns.  Each returns a GeneratedExample or None when inapplicable.
+
+
+def pattern_count_all(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"How many {noun} are there?",
+        f"Count the number of {noun}.",
+        f"What is the total number of {noun}?",
+    ])
+    query = SelectQuery(
+        select=[SelectItem(ColumnRef(None, "*"), AggregateFunction.COUNT)],
+        tables=[table.name],
+    )
+    return GeneratedExample(question, _single(query), pattern="count_all")
+
+
+def pattern_list_all(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    item, item_nl = _name_item(table, ctx)
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"List the {item_nl} of all {noun}.",
+        f"Show the {item_nl} of every {table.singular}.",
+        f"What are the {item_nl}s of all {noun}?",
+    ])
+    query = SelectQuery(select=[item], tables=[table.name])
+    return GeneratedExample(question, _single(query), pattern="list_all")
+
+
+def pattern_select_column(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    columns = (
+        ctx.columns_with_role(table, "numeric")
+        + ctx.columns_with_role(table, "category")
+        + ctx.columns_with_role(table, "year")
+        + ctx.columns_with_role(table, "date")
+    )
+    column = ctx.pick(columns)
+    if column is None:
+        return None
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"Show the {column.nl} of all {noun}.",
+        f"What is the {column.nl} of each {table.singular}?",
+        f"List the {column.nl} for every {table.singular}.",
+    ])
+    query = SelectQuery(select=[SelectItem(_col(table, column))], tables=[table.name])
+    return GeneratedExample(question, _single(query), pattern="select_column")
+
+
+def pattern_filter_category(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    built = _category_condition(ctx, table)
+    if built is None:
+        return None
+    condition, phrase, value, difficulty = built
+    item, item_nl = _name_item(table, ctx)
+    noun, trailing = _attach_adjective(ctx.noun(table), phrase)
+    question = ctx.rng.choice([
+        f"List the {item_nl} of {_join_phrase(noun, trailing)}.",
+        f"Which {_join_phrase(noun, trailing)} are there? Give me their {item_nl}.",
+        f"Find the {item_nl} of all {_join_phrase(noun, trailing)}.",
+    ])
+    query = SelectQuery(select=[item], tables=[table.name], where=condition)
+    return GeneratedExample(
+        question, _single(query), [value], [difficulty], pattern="filter_category"
+    )
+
+
+def pattern_filter_numeric(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    built = _numeric_condition(ctx, table)
+    if built is None:
+        return None
+    condition, phrase, value = built
+    item, item_nl = _name_item(table, ctx)
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"List the {item_nl} of {noun} {phrase}.",
+        f"What are the {item_nl}s of {noun} {phrase}?",
+        f"Show all {noun} {phrase}.",
+    ])
+    query = SelectQuery(select=[item], tables=[table.name], where=condition)
+    return GeneratedExample(
+        question, _single(query), [value], [EASY], pattern="filter_numeric"
+    )
+
+
+def pattern_count_filtered(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    built = _category_condition(ctx, table)
+    if built is None:
+        return None
+    condition, phrase, value, difficulty = built
+    noun, trailing = _attach_adjective(ctx.noun(table), phrase)
+    question = ctx.rng.choice([
+        f"How many {_join_phrase(noun, trailing)} are there?",
+        f"Count the {_join_phrase(noun, trailing)}.",
+        f"What is the number of {_join_phrase(noun, trailing)}?",
+    ])
+    query = SelectQuery(
+        select=[SelectItem(ColumnRef(None, "*"), AggregateFunction.COUNT)],
+        tables=[table.name],
+        where=condition,
+    )
+    return GeneratedExample(
+        question, _single(query), [value], [difficulty], pattern="count_filtered"
+    )
+
+
+def pattern_aggregate(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    column = ctx.pick(ctx.columns_with_role(table, "numeric"))
+    if column is None:
+        return None
+    agg, agg_nl = ctx.rng.choice([
+        (AggregateFunction.AVG, "average"),
+        (AggregateFunction.MAX, "maximum"),
+        (AggregateFunction.MIN, "minimum"),
+        (AggregateFunction.SUM, "total"),
+    ])
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"What is the {agg_nl} {column.nl} of all {noun}?",
+        f"Find the {agg_nl} {column.nl} across all {noun}.",
+        f"Give me the {agg_nl} {column.nl} of the {noun}.",
+    ])
+    query = SelectQuery(select=[SelectItem(_col(table, column), agg)], tables=[table.name])
+    return GeneratedExample(question, _single(query), pattern="aggregate")
+
+
+def pattern_distinct(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    column = ctx.pick(ctx.columns_with_role(table, "category"))
+    if column is None:
+        return None
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"List the distinct {column.nl}s of the {noun}.",
+        f"What are the different {column.nl}s of {noun}?",
+        f"Show each distinct {column.nl} among the {noun}.",
+    ])
+    query = SelectQuery(
+        select=[SelectItem(_col(table, column))], tables=[table.name], distinct=True
+    )
+    return GeneratedExample(question, _single(query), pattern="distinct")
+
+
+def pattern_two_columns(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    name_column = ctx.name_column(table)
+    other = ctx.pick(
+        ctx.columns_with_role(table, "numeric") + ctx.columns_with_role(table, "category")
+    )
+    if name_column is None or other is None:
+        return None
+    built = _numeric_condition(ctx, table)
+    if built is None:
+        return None
+    condition, phrase, value = built
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"Show the {name_column.nl} and {other.nl} of {noun} {phrase}.",
+        f"What are the {name_column.nl} and {other.nl} of {noun} {phrase}?",
+    ])
+    query = SelectQuery(
+        select=[SelectItem(_col(table, name_column)), SelectItem(_col(table, other))],
+        tables=[table.name],
+        where=condition,
+    )
+    return GeneratedExample(
+        question, _single(query), [value], [EASY], pattern="two_columns"
+    )
+
+
+def pattern_group_count(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    column = ctx.pick(ctx.columns_with_role(table, "category"))
+    if column is None:
+        return None
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"For each {column.nl}, how many {noun} are there?",
+        f"Count the number of {noun} for each {column.nl}.",
+        f"How many {noun} are there per {column.nl}?",
+    ])
+    query = SelectQuery(
+        select=[
+            SelectItem(_col(table, column)),
+            SelectItem(ColumnRef(None, "*"), AggregateFunction.COUNT),
+        ],
+        tables=[table.name],
+        group_by=[_col(table, column)],
+    )
+    return GeneratedExample(question, _single(query), pattern="group_count")
+
+
+def _fk_pairs(ctx: TemplateContext) -> list[tuple[TableSpec, TableSpec, ColumnSpec]]:
+    """(child, parent, fk-column) triples between *entity* tables."""
+    pairs = []
+    entity_names = {t.name for t in ctx.entity_tables()}
+    for table in ctx.instance.spec.tables:
+        if table.is_bridge:
+            continue
+        for column in table.columns:
+            if column.fk is not None and column.fk[0] in entity_names:
+                parent = ctx.instance.spec.table(column.fk[0])
+                pairs.append((table, parent, column))
+    return pairs
+
+
+def _bridge_pairs(ctx: TemplateContext) -> list[tuple[TableSpec, TableSpec, TableSpec]]:
+    """(left parent, right parent, bridge) triples."""
+    triples = []
+    for table in ctx.instance.spec.tables:
+        if not table.is_bridge:
+            continue
+        fks = [c for c in table.columns if c.fk is not None]
+        if len(fks) >= 2:
+            left = ctx.instance.spec.table(fks[0].fk[0])   # type: ignore[index]
+            right = ctx.instance.spec.table(fks[1].fk[0])  # type: ignore[index]
+            triples.append((left, right, table))
+    return triples
+
+
+def pattern_join_filter(ctx: TemplateContext) -> GeneratedExample | None:
+    pairs = _fk_pairs(ctx)
+    pair = ctx.pick(pairs)
+    if pair is None:
+        return None
+    child, parent, _fk_col = pair
+    item, item_nl = _name_item(child, ctx)
+    built = _category_condition(ctx, parent)
+    if built is None:
+        built_numeric = _numeric_condition(ctx, parent)
+        if built_numeric is None:
+            return None
+        condition, phrase, value = built_numeric
+        difficulty = EASY
+    else:
+        condition, phrase, value, difficulty = built
+    parent_noun, trailing = _attach_adjective(parent.plural, phrase)
+    child_noun = ctx.noun(child)
+    question = ctx.rng.choice([
+        f"List the {item_nl} of {child_noun} of {_join_phrase(parent_noun, trailing)}.",
+        f"Show the {item_nl} of every {child.singular} whose {parent.singular} is among the {_join_phrase(parent_noun, trailing)}.",
+        f"What are the {item_nl}s of {child_noun} belonging to {_join_phrase(parent_noun, trailing)}?",
+    ])
+    query = SelectQuery(
+        select=[item],
+        tables=[child.name, parent.name],
+        where=condition,
+    )
+    return GeneratedExample(
+        question, _single(query), [value], [difficulty], pattern="join_filter"
+    )
+
+
+def pattern_bridge_join(ctx: TemplateContext) -> GeneratedExample | None:
+    triples = _bridge_pairs(ctx)
+    triple = ctx.pick(triples)
+    if triple is None:
+        return None
+    left, right, _bridge = triple
+    item, item_nl = _name_item(left, ctx)
+    built = _category_condition(ctx, right) or None
+    if built is not None:
+        condition, phrase, value, difficulty = built
+        values, difficulties = [value], [difficulty]
+    else:
+        numeric = _numeric_condition(ctx, right)
+        if numeric is None:
+            return None
+        condition, phrase, value = numeric
+        values, difficulties = [value], [EASY]
+    right_noun, trailing = _attach_adjective(right.plural, phrase)
+    question = ctx.rng.choice([
+        f"List the {item_nl} of {ctx.noun(left)} that have {_join_phrase(right_noun, trailing)}.",
+        f"Which {ctx.noun(left)} have {_join_phrase(right_noun, trailing)}? Show their {item_nl}.",
+    ])
+    query = SelectQuery(
+        select=[item],
+        tables=[left.name, right.name],
+        where=condition,
+    )
+    return GeneratedExample(
+        question, _single(query), values, difficulties, pattern="bridge_join"
+    )
+
+
+def pattern_count_join(ctx: TemplateContext) -> GeneratedExample | None:
+    triples = _bridge_pairs(ctx)
+    triple = ctx.pick(triples)
+    if triple is None:
+        return None
+    left, right, bridge = triple
+    built = _category_condition(ctx, left)
+    if built is None:
+        return None
+    condition, phrase, value, difficulty = built
+    left_noun, trailing = _attach_adjective(left.plural, phrase)
+    question = ctx.rng.choice([
+        f"How many {ctx.noun(right)} are owned by {_join_phrase(left_noun, trailing)}?",
+        f"Count the {ctx.noun(right)} of {_join_phrase(left_noun, trailing)}.",
+    ])
+    query = SelectQuery(
+        select=[SelectItem(ColumnRef(bridge.name, "*"), AggregateFunction.COUNT)],
+        tables=[bridge.name, left.name],
+        where=condition,
+    )
+    return GeneratedExample(
+        question, _single(query), [value], [difficulty], pattern="count_join"
+    )
+
+
+def pattern_between(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    column = ctx.pick(ctx.columns_with_role(table, "numeric"))
+    if column is None:
+        return None
+    low = ctx.sample_numeric(table, column)
+    high = ctx.sample_numeric(table, column)
+    if isinstance(low, float) or isinstance(high, float):
+        low, high = min(float(low), float(high)), max(float(low), float(high)) + 1.0
+    else:
+        low, high = min(low, high), max(low, high) + 1
+    item, item_nl = _name_item(table, ctx)
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"List the {item_nl} of {noun} with {column.nl} between {low} and {high}.",
+        f"Which {noun} have a {column.nl} between {low} and {high}?",
+    ])
+    query = SelectQuery(
+        select=[item],
+        tables=[table.name],
+        where=Condition(
+            _col(table, column), Operator.BETWEEN, (Literal(low), Literal(high))
+        ),
+    )
+    return GeneratedExample(
+        question, _single(query), [low, high], [EASY, EASY], pattern="between"
+    )
+
+
+def pattern_two_conditions(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    category = _category_condition(ctx, table)
+    numeric = _numeric_condition(ctx, table)
+    if category is None or numeric is None:
+        return None
+    cat_condition, cat_phrase, cat_value, cat_difficulty = category
+    num_condition, num_phrase, num_value = numeric
+    item, item_nl = _name_item(table, ctx)
+    noun, trailing = _attach_adjective(ctx.noun(table), cat_phrase)
+    question = ctx.rng.choice([
+        f"List the {item_nl} of {_join_phrase(noun, trailing)} {num_phrase}.",
+        f"Which {_join_phrase(noun, trailing)} are {num_phrase}? Show their {item_nl}.",
+        f"Find the {item_nl} of {_join_phrase(noun, trailing)} that are also {num_phrase}.",
+    ])
+    query = SelectQuery(
+        select=[item],
+        tables=[table.name],
+        where=BooleanExpr("and", (cat_condition, num_condition)),
+    )
+    return GeneratedExample(
+        question,
+        _single(query),
+        [cat_value, num_value],
+        [cat_difficulty, EASY],
+        pattern="two_conditions",
+    )
+
+
+def pattern_superlative(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    column = ctx.pick(ctx.columns_with_role(table, "numeric"))
+    if column is None:
+        return None
+    n = ctx.rng.randint(1, 5)
+    descending = ctx.rng.random() < 0.6
+    direction_nl = "highest" if descending else "lowest"
+    item, item_nl = _name_item(table, ctx)
+    noun = ctx.noun(table)
+    if n == 1:
+        question = ctx.rng.choice([
+            f"Which {table.singular} has the {direction_nl} {column.nl}? Show its {item_nl}.",
+            f"What is the {item_nl} of the {table.singular} with the {direction_nl} {column.nl}?",
+        ])
+    else:
+        question = ctx.rng.choice([
+            f"List the {item_nl} of the {n} {noun} with the {direction_nl} {column.nl}.",
+            f"What are the {item_nl}s of the top {n} {noun} by {column.nl}?"
+            if descending else
+            f"Show the {item_nl} of the {n} {noun} with the smallest {column.nl}.",
+        ])
+    query = SelectQuery(
+        select=[item],
+        tables=[table.name],
+        order_by=OrderBy(
+            items=(SelectItem(_col(table, column)),),
+            direction=OrderDirection.DESC if descending else OrderDirection.ASC,
+        ),
+        limit=n,
+    )
+    return GeneratedExample(
+        question, _single(query), [n], [EASY], pattern="superlative"
+    )
+
+
+def pattern_order_by(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    column = ctx.pick(ctx.columns_with_role(table, "numeric"))
+    if column is None:
+        return None
+    item, item_nl = _name_item(table, ctx)
+    descending = ctx.rng.random() < 0.5
+    order_nl = "descending" if descending else "ascending"
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"List the {item_nl} of all {noun} sorted by {column.nl} in {order_nl} order.",
+        f"Show the {item_nl} of every {table.singular} ordered by {column.nl} {order_nl}.",
+    ])
+    query = SelectQuery(
+        select=[item],
+        tables=[table.name],
+        order_by=OrderBy(
+            items=(SelectItem(_col(table, column)),),
+            direction=OrderDirection.DESC if descending else OrderDirection.ASC,
+        ),
+    )
+    return GeneratedExample(question, _single(query), pattern="order_by")
+
+
+def pattern_having(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    column = ctx.pick(ctx.columns_with_role(table, "category"))
+    if column is None:
+        return None
+    n = ctx.rng.randint(1, 4)
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"Which {column.nl}s have more than {n} {noun}?",
+        f"List the {column.nl}s with more than {n} {noun}.",
+    ])
+    query = SelectQuery(
+        select=[SelectItem(_col(table, column))],
+        tables=[table.name],
+        group_by=[_col(table, column)],
+        having=Condition(
+            ColumnRef(None, "*"), Operator.GT, Literal(n), AggregateFunction.COUNT
+        ),
+    )
+    return GeneratedExample(question, _single(query), [n], [EASY], pattern="having")
+
+
+def pattern_nested_in(ctx: TemplateContext) -> GeneratedExample | None:
+    pair = ctx.pick(_fk_pairs(ctx))
+    if pair is None:
+        triples = _bridge_pairs(ctx)
+        if not triples:
+            return None
+        left, _right, bridge = ctx.rng.choice(triples)
+        fk_col = next(c for c in bridge.columns if c.fk is not None and c.fk[0] == left.name)
+        child, parent = bridge, left
+    else:
+        child, parent, fk_col = pair
+    assert fk_col.fk is not None
+    item, item_nl = _name_item(parent, ctx)
+    negated = ctx.rng.random() < 0.4
+    child_noun = ctx.noun(child) if not child.is_bridge else child.plural
+    if child.is_bridge:
+        # phrase via the other side of the bridge when possible
+        other_fks = [c for c in child.columns if c.fk is not None and c.fk[0] != parent.name]
+        if other_fks:
+            other = ctx.instance.spec.table(other_fks[0].fk[0])  # type: ignore[index]
+            child_noun = other.plural
+    if negated:
+        question = ctx.rng.choice([
+            f"List the {item_nl} of {parent.plural} that do not have any {child_noun}.",
+            f"Which {parent.plural} have no {child_noun}? Show their {item_nl}.",
+        ])
+        operator = Operator.NOT_IN
+    else:
+        question = ctx.rng.choice([
+            f"List the {item_nl} of {parent.plural} that have at least one {child.singular if not child.is_bridge else child_noun.rstrip('s')}.",
+            f"Which {parent.plural} have {child_noun}? Show their {item_nl}.",
+        ])
+        operator = Operator.IN
+    pk_column = next(c for c in parent.columns if c.pk)
+    subquery = Query(
+        body=SelectQuery(
+            select=[SelectItem(ColumnRef(child.name, fk_col.name))],
+            tables=[child.name],
+        )
+    )
+    query = SelectQuery(
+        select=[item],
+        tables=[parent.name],
+        where=Condition(_col(parent, pk_column), operator, subquery),
+    )
+    return GeneratedExample(question, _single(query), pattern="nested_in")
+
+
+def pattern_above_average(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    column = ctx.pick(ctx.columns_with_role(table, "numeric"))
+    if column is None:
+        return None
+    item, item_nl = _name_item(table, ctx)
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"List the {item_nl} of {noun} with a {column.nl} above the average.",
+        f"Which {noun} have a {column.nl} higher than the average {column.nl}?",
+    ])
+    subquery = Query(
+        body=SelectQuery(
+            select=[SelectItem(_col(table, column), AggregateFunction.AVG)],
+            tables=[table.name],
+        )
+    )
+    query = SelectQuery(
+        select=[item],
+        tables=[table.name],
+        where=Condition(_col(table, column), Operator.GT, subquery),
+    )
+    return GeneratedExample(question, _single(query), pattern="above_average")
+
+
+def pattern_compound(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    first = _category_condition(ctx, table)
+    second = _numeric_condition(ctx, table)
+    if first is None or second is None:
+        return None
+    cat_condition, cat_phrase, cat_value, cat_difficulty = first
+    num_condition, num_phrase, num_value = second
+    item, item_nl = _name_item(table, ctx)
+    set_op, connective = ctx.rng.choice([
+        (SetOperator.UNION, "or"),
+        (SetOperator.INTERSECT, "and also"),
+        (SetOperator.EXCEPT, "but not"),
+    ])
+    noun, trailing = _attach_adjective(ctx.noun(table), cat_phrase)
+    question = (
+        f"List the {item_nl} of {_join_phrase(noun, trailing)} {connective} "
+        f"{table.plural} {num_phrase}."
+    )
+    left = SelectQuery(select=[item], tables=[table.name], where=cat_condition)
+    right = SelectQuery(select=[item], tables=[table.name], where=num_condition)
+    query = Query(body=left, set_operator=set_op, compound=Query(body=right))
+    return GeneratedExample(
+        _capitalize(question),
+        query,
+        [cat_value, num_value],
+        [cat_difficulty, EASY],
+        pattern="compound",
+    )
+
+
+def pattern_superlative_filter(ctx: TemplateContext) -> GeneratedExample | None:
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    column = ctx.pick(ctx.columns_with_role(table, "numeric"))
+    built = _category_condition(ctx, table)
+    if column is None or built is None:
+        return None
+    condition, phrase, value, difficulty = built
+    n = ctx.rng.randint(1, 4)
+    item, item_nl = _name_item(table, ctx)
+    noun, trailing = _attach_adjective(ctx.noun(table), phrase)
+    question = (
+        f"Among {_join_phrase(noun, trailing)}, list the {item_nl} of the "
+        f"{n} with the highest {column.nl}."
+    )
+    query = SelectQuery(
+        select=[item],
+        tables=[table.name],
+        where=condition,
+        order_by=OrderBy(
+            items=(SelectItem(_col(table, column)),), direction=OrderDirection.DESC
+        ),
+        limit=n,
+    )
+    return GeneratedExample(
+        _capitalize(question),
+        _single(query),
+        [value, n],
+        [difficulty, EASY],
+        pattern="superlative_filter",
+    )
+
+
+def pattern_nested_max(ctx: TemplateContext) -> GeneratedExample | None:
+    """Superlative phrased via a sub-query: WHERE col = (SELECT max(col))."""
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    column = ctx.pick(ctx.columns_with_role(table, "numeric"))
+    if column is None:
+        return None
+    use_max = ctx.rng.random() < 0.6
+    agg = AggregateFunction.MAX if use_max else AggregateFunction.MIN
+    direction_nl = "highest" if use_max else "lowest"
+    item, item_nl = _name_item(table, ctx)
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"Find the {item_nl} of the {table.singular} whose {column.nl} equals the {direction_nl} {column.nl} of all {noun}.",
+        f"Which {noun} have the {direction_nl} {column.nl}? List their {item_nl}.",
+    ])
+    subquery = Query(
+        body=SelectQuery(
+            select=[SelectItem(_col(table, column), agg)], tables=[table.name]
+        )
+    )
+    query = SelectQuery(
+        select=[item],
+        tables=[table.name],
+        where=Condition(_col(table, column), Operator.EQ, subquery),
+    )
+    return GeneratedExample(question, _single(query), pattern="nested_max")
+
+
+def pattern_nested_max_join(ctx: TemplateContext) -> GeneratedExample | None:
+    """Join plus a superlative sub-query: extra-hard, no values."""
+    pair = ctx.pick(_fk_pairs(ctx))
+    if pair is None:
+        return None
+    child, parent, _fk_col = pair
+    column = ctx.pick(ctx.columns_with_role(child, "numeric"))
+    parent_item, parent_item_nl = _name_item(parent, ctx)
+    if column is None:
+        return None
+    use_max = ctx.rng.random() < 0.6
+    agg = AggregateFunction.MAX if use_max else AggregateFunction.MIN
+    direction_nl = "highest" if use_max else "lowest"
+    question = ctx.rng.choice([
+        f"What is the {parent_item_nl} of the {parent.singular} of the {child.singular} with the {direction_nl} {column.nl}?",
+        f"Show the {parent_item_nl} of the {parent.singular} whose {child.singular} has the {direction_nl} {column.nl}.",
+    ])
+    subquery = Query(
+        body=SelectQuery(
+            select=[SelectItem(_col(child, column), agg)], tables=[child.name]
+        )
+    )
+    query = SelectQuery(
+        select=[parent_item],
+        tables=[parent.name, child.name],
+        where=Condition(_col(child, column), Operator.EQ, subquery),
+    )
+    return GeneratedExample(question, _single(query), pattern="nested_max_join")
+
+
+def pattern_or_conditions(ctx: TemplateContext) -> GeneratedExample | None:
+    """Disjunction of two category conditions on the same table."""
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    column = ctx.pick(ctx.columns_with_role(table, "category"))
+    if column is None:
+        return None
+    value_a, surface_a, diff_a = ctx.sample_category(table, column)
+    value_b, surface_b, diff_b = ctx.sample_category(table, column)
+    if str(value_a) == str(value_b):
+        return None
+    item, item_nl = _name_item(table, ctx)
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"List the {item_nl} of {noun} whose {column.nl} is {surface_a} or {surface_b}.",
+        f"Which {noun} have {column.nl} {surface_a} or {column.nl} {surface_b}?",
+    ])
+    query = SelectQuery(
+        select=[item],
+        tables=[table.name],
+        where=BooleanExpr("or", (
+            Condition(_col(table, column), Operator.EQ, Literal(value_a)),
+            Condition(_col(table, column), Operator.EQ, Literal(value_b)),
+        )),
+    )
+    return GeneratedExample(
+        question, _single(query), [value_a, value_b], [diff_a, diff_b],
+        pattern="or_conditions",
+    )
+
+
+def pattern_nested_in_filtered(ctx: TemplateContext) -> GeneratedExample | None:
+    """Nested IN whose sub-query joins and filters: extra-hard sketch with
+    a value ("students that have dogs")."""
+    triples = _bridge_pairs(ctx)
+    triple = ctx.pick(triples)
+    if triple is None:
+        return None
+    left, right, bridge = triple
+    built = _category_condition(ctx, right)
+    if built is None:
+        return None
+    condition, phrase, value, difficulty = built
+    left_fk = next(c for c in bridge.columns if c.fk is not None and c.fk[0] == left.name)
+    item, item_nl = _name_item(left, ctx)
+    right_noun, trailing = _attach_adjective(right.plural, phrase)
+    question = ctx.rng.choice([
+        f"List the {item_nl} of {ctx.noun(left)} that have {_join_phrase(right_noun, trailing)}.",
+        f"Find the {item_nl} of every {left.singular} that has {_join_phrase(right_noun, trailing)}.",
+    ])
+    pk_column = next(c for c in left.columns if c.pk)
+    subquery = Query(
+        body=SelectQuery(
+            select=[SelectItem(ColumnRef(bridge.name, left_fk.name))],
+            tables=[bridge.name, right.name],
+            where=condition,
+        )
+    )
+    query = SelectQuery(
+        select=[item],
+        tables=[left.name],
+        where=Condition(_col(left, pk_column), Operator.IN, subquery),
+    )
+    return GeneratedExample(
+        question, _single(query), [value], [difficulty], pattern="nested_in_filtered"
+    )
+
+
+def pattern_join_group(ctx: TemplateContext) -> GeneratedExample | None:
+    """Per-parent counts over a join: 'for each maker, how many cars'."""
+    pair = ctx.pick(_fk_pairs(ctx))
+    if pair is None:
+        return None
+    child, parent, _fk_col = pair
+    name_column = ctx.name_column(parent)
+    if name_column is None:
+        return None
+    question = ctx.rng.choice([
+        f"For each {parent.singular}, how many {ctx.noun(child)} are there? Show the {parent.singular} {name_column.nl} and the count.",
+        f"Count the {ctx.noun(child)} of each {parent.singular}.",
+    ])
+    query = SelectQuery(
+        select=[
+            SelectItem(_col(parent, name_column)),
+            SelectItem(ColumnRef(child.name, "*"), AggregateFunction.COUNT),
+        ],
+        tables=[child.name, parent.name],
+        group_by=[_col(parent, name_column)],
+    )
+    return GeneratedExample(question, _single(query), pattern="join_group")
+
+
+def pattern_three_values(ctx: TemplateContext) -> GeneratedExample | None:
+    """Category filter + numeric filter + superlative limit: three values."""
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    category = _category_condition(ctx, table)
+    numeric = _numeric_condition(ctx, table)
+    column = ctx.pick(ctx.columns_with_role(table, "numeric"))
+    if category is None or numeric is None or column is None:
+        return None
+    cat_condition, cat_phrase, cat_value, cat_difficulty = category
+    num_condition, num_phrase, num_value = numeric
+    n = ctx.rng.randint(2, 5)
+    item, item_nl = _name_item(table, ctx)
+    noun, trailing = _attach_adjective(ctx.noun(table), cat_phrase)
+    question = (
+        f"Among {_join_phrase(noun, trailing)} {num_phrase}, show the {item_nl} "
+        f"of the {n} with the highest {column.nl}."
+    )
+    query = SelectQuery(
+        select=[item],
+        tables=[table.name],
+        where=BooleanExpr("and", (cat_condition, num_condition)),
+        order_by=OrderBy(
+            items=(SelectItem(_col(table, column)),), direction=OrderDirection.DESC
+        ),
+        limit=n,
+    )
+    return GeneratedExample(
+        _capitalize(question),
+        _single(query),
+        [cat_value, num_value, n],
+        [cat_difficulty, EASY, EASY],
+        pattern="three_values",
+    )
+
+
+def pattern_name_lookup(ctx: TemplateContext) -> GeneratedExample | None:
+    """Look up one entity by name and project a column (easy, 1 value)."""
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    name_column = ctx.name_column(table)
+    other = ctx.pick(
+        ctx.columns_with_role(table, "numeric")
+        + ctx.columns_with_role(table, "category")
+        + ctx.columns_with_role(table, "year")
+    )
+    if name_column is None or other is None:
+        return None
+    value = ctx.sample_name(table, name_column)
+    question = ctx.rng.choice([
+        f"What is the {other.nl} of the {table.singular} named {value}?",
+        f"Show the {other.nl} of {value}.",
+        f"Find the {other.nl} of the {table.singular} called {value}.",
+    ])
+    query = SelectQuery(
+        select=[SelectItem(_col(table, other))],
+        tables=[table.name],
+        where=Condition(_col(table, name_column), Operator.EQ, Literal(value)),
+    )
+    return GeneratedExample(
+        question, _single(query), [value], [EASY], pattern="name_lookup"
+    )
+
+
+def pattern_like(ctx: TemplateContext) -> GeneratedExample | None:
+    """LIKE on a name column with a quoted fragment (quoted heuristic)."""
+    table = ctx.pick(ctx.entity_tables())
+    if table is None:
+        return None
+    name_column = ctx.name_column(table)
+    if name_column is None:
+        return None
+    full_value = ctx.sample_name(table, name_column)
+    words = full_value.split()
+    fragment = ctx.rng.choice(words)[: ctx.rng.randint(2, 4)]
+    noun = ctx.noun(table)
+    question = ctx.rng.choice([
+        f"Which {noun} have a {name_column.nl} containing the substring '{fragment}'?",
+        f"List the {name_column.nl} of {noun} whose {name_column.nl} contains '{fragment}'.",
+    ])
+    query = SelectQuery(
+        select=[SelectItem(_col(table, name_column))],
+        tables=[table.name],
+        where=Condition(
+            _col(table, name_column), Operator.LIKE, Literal(f"%{fragment}%")
+        ),
+    )
+    return GeneratedExample(
+        question, _single(query), [f"%{fragment}%"], [EASY], pattern="like"
+    )
+
+
+# Pattern -> sampling weight.  Weights are tuned so the per-sample value
+# count distribution approximates Fig. 9 (~50% no-value, ~36% one value,
+# ~13% two, a tail of three) and all hardness classes are populated.
+PATTERN_WEIGHTS: list[tuple[str, object, float]] = [
+    # -- no-value patterns (~48% of samples, Fig. 9) --------------------
+    # easy sketches
+    ("count_all", pattern_count_all, 2),
+    ("list_all", pattern_list_all, 2),
+    ("select_column", pattern_select_column, 2),
+    ("aggregate", pattern_aggregate, 2),
+    ("distinct", pattern_distinct, 1.5),
+    ("order_by", pattern_order_by, 2),
+    # medium sketches
+    ("group_count", pattern_group_count, 7),
+    ("join_group", pattern_join_group, 7),
+    # hard sketches
+    ("nested_in", pattern_nested_in, 4),
+    ("above_average", pattern_above_average, 3),
+    ("nested_max", pattern_nested_max, 4),
+    # extra-hard sketches
+    ("nested_max_join", pattern_nested_max_join, 9),
+    # -- one-value patterns (~38%) ---------------------------------------
+    ("filter_category", pattern_filter_category, 4),
+    ("filter_numeric", pattern_filter_numeric, 3),
+    ("name_lookup", pattern_name_lookup, 2),
+    ("count_filtered", pattern_count_filtered, 1.5),
+    ("join_filter", pattern_join_filter, 5),
+    ("bridge_join", pattern_bridge_join, 3),
+    ("count_join", pattern_count_join, 3),
+    ("superlative", pattern_superlative, 4),
+    ("having", pattern_having, 3),
+    ("two_columns", pattern_two_columns, 2),
+    ("like", pattern_like, 1),
+    ("nested_in_filtered", pattern_nested_in_filtered, 4),
+    # -- two-value patterns (~13%) ---------------------------------------
+    ("between", pattern_between, 1),
+    ("two_conditions", pattern_two_conditions, 4),
+    ("superlative_filter", pattern_superlative_filter, 1.5),
+    ("or_conditions", pattern_or_conditions, 1.5),
+    ("compound", pattern_compound, 9),
+    # -- three-value tail (~1%) -------------------------------------------
+    ("three_values", pattern_three_values, 1),
+]
+
+
+def decorate_question(question: str, rng: random.Random) -> str:
+    """Surface variation that multiplies phrasing diversity.
+
+    Prefix/suffix decorations keep the low-diversity no-value patterns from
+    saturating the per-domain deduplication (without them, "How many X are
+    there?" admits only a handful of distinct strings per domain).
+    """
+    roll = rng.random()
+    if roll < 0.18:
+        body = question[0].lower() + question[1:]
+        return rng.choice(["Please ", "Could you ", "I want to know: "]) + body
+    if roll < 0.28 and question.endswith("?"):
+        return question[:-1] + " in the database?"
+    if roll < 0.36 and question.endswith("."):
+        return question[:-1] + " in the database."
+    return question
+
+
+def generate_example(ctx: TemplateContext) -> GeneratedExample | None:
+    """Sample one pattern (by weight) and run it; None when inapplicable."""
+    functions = [entry[1] for entry in PATTERN_WEIGHTS]
+    weights = [entry[2] for entry in PATTERN_WEIGHTS]
+    chosen = ctx.rng.choices(range(len(functions)), weights=weights, k=1)[0]
+    example = functions[chosen](ctx)
+    if example is not None:
+        example.question = decorate_question(example.question, ctx.rng)
+    return example

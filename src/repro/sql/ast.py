@@ -1,0 +1,238 @@
+"""SQL abstract syntax tree for the Spider SQL subset.
+
+The AST is the meeting point of three components:
+
+* the SQL *parser* turns gold-query strings into this AST (training data
+  preparation and exact-match evaluation),
+* the SemQL translator converts between this AST and SemQL 2.0 trees,
+* the SQL *renderer* turns the AST back into executable SQLite SQL with
+  aliases and fully-specified ``ON`` clauses.
+
+Covered subset (everything the Spider queries and the paper's grammar
+need): SELECT with aggregations and DISTINCT, multi-table FROM with INNER
+JOINs, WHERE/HAVING condition trees with AND/OR, the comparison operators
+``= != < > <= >= LIKE NOT LIKE IN NOT IN BETWEEN``, nested sub-queries on
+the right-hand side of comparisons, GROUP BY, ORDER BY with LIMIT, and the
+compound operators UNION / INTERSECT / EXCEPT.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+
+class AggregateFunction(enum.Enum):
+    """SQL aggregate functions (plus NONE for a bare column)."""
+
+    NONE = "none"
+    MAX = "max"
+    MIN = "min"
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+
+
+class Operator(enum.Enum):
+    """Comparison operators appearing in WHERE/HAVING conditions."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    LIKE = "like"
+    NOT_LIKE = "not like"
+    IN = "in"
+    NOT_IN = "not in"
+    BETWEEN = "between"
+
+    def negated(self) -> "Operator":
+        """The logical negation where one exists (used by SemQL)."""
+        mapping = {
+            Operator.EQ: Operator.NE,
+            Operator.NE: Operator.EQ,
+            Operator.LT: Operator.GE,
+            Operator.GT: Operator.LE,
+            Operator.LE: Operator.GT,
+            Operator.GE: Operator.LT,
+            Operator.LIKE: Operator.NOT_LIKE,
+            Operator.NOT_LIKE: Operator.LIKE,
+            Operator.IN: Operator.NOT_IN,
+            Operator.NOT_IN: Operator.IN,
+        }
+        if self not in mapping:
+            raise ValueError(f"operator {self} has no negation")
+        return mapping[self]
+
+
+class SetOperator(enum.Enum):
+    """Compound query operators."""
+
+    UNION = "union"
+    INTERSECT = "intersect"
+    EXCEPT = "except"
+
+
+class OrderDirection(enum.Enum):
+    ASC = "asc"
+    DESC = "desc"
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to ``table.column`` with the table name fully resolved.
+
+    ``table`` is ``None`` only for the ``*`` column of a single-table query
+    where qualification is unnecessary.
+    """
+
+    table: str | None
+    column: str
+
+    def is_star(self) -> bool:
+        return self.column == "*"
+
+    def __str__(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.column}"
+        return self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal value (string or number) as it appears in the SQL text."""
+
+    value: str | int | float
+
+    def is_number(self) -> bool:
+        return isinstance(self.value, (int, float))
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: an optional aggregate applied to a column."""
+
+    column: ColumnRef
+    aggregate: AggregateFunction = AggregateFunction.NONE
+    distinct: bool = False
+
+
+# A condition's right-hand side is a literal, a pair of literals (BETWEEN),
+# or a nested query.
+ConditionRhs = Union[Literal, tuple[Literal, Literal], "Query"]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A leaf predicate ``[agg(]column[)] op rhs``.
+
+    ``aggregate`` is only populated in HAVING clauses (``count(*) > 5``).
+    """
+
+    column: ColumnRef
+    operator: Operator
+    rhs: ConditionRhs
+    aggregate: AggregateFunction = AggregateFunction.NONE
+
+    def rhs_is_query(self) -> bool:
+        return isinstance(self.rhs, Query)
+
+
+@dataclass(frozen=True)
+class BooleanExpr:
+    """AND/OR combination of conditions, kept flat (left-deep in SQL text)."""
+
+    connector: str  # "and" | "or"
+    operands: tuple["ConditionExpr", ...]
+
+    def __post_init__(self) -> None:
+        if self.connector not in ("and", "or"):
+            raise ValueError(f"unknown boolean connector {self.connector!r}")
+        if len(self.operands) < 2:
+            raise ValueError("BooleanExpr needs at least two operands")
+
+
+ConditionExpr = Union[Condition, BooleanExpr]
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """ORDER BY a list of (aggregated) columns with one shared direction."""
+
+    items: tuple[SelectItem, ...]
+    direction: OrderDirection = OrderDirection.ASC
+
+
+@dataclass
+class SelectQuery:
+    """A single (non-compound) SELECT statement.
+
+    ``tables`` lists every table in the FROM clause in join order; join
+    conditions are *not* stored here — the renderer re-derives them from
+    the schema graph, exactly like ValueNet's post-processing does.
+    """
+
+    select: list[SelectItem]
+    tables: list[str]
+    distinct: bool = False
+    where: ConditionExpr | None = None
+    group_by: list[ColumnRef] = field(default_factory=list)
+    having: ConditionExpr | None = None
+    order_by: OrderBy | None = None
+    limit: int | None = None
+
+
+@dataclass
+class Query:
+    """A possibly-compound query: ``body [set_op compound]``."""
+
+    body: SelectQuery
+    set_operator: SetOperator | None = None
+    compound: "Query | None" = None
+
+    def __post_init__(self) -> None:
+        if (self.set_operator is None) != (self.compound is None):
+            raise ValueError("set_operator and compound must be set together")
+
+    def is_compound(self) -> bool:
+        return self.set_operator is not None
+
+    def all_select_queries(self) -> list[SelectQuery]:
+        """Flatten the compound chain into its SELECT bodies."""
+        queries = [self.body]
+        if self.compound is not None:
+            queries.extend(self.compound.all_select_queries())
+        return queries
+
+
+def iter_conditions(expr: ConditionExpr | None):
+    """Yield every leaf :class:`Condition` in a condition tree."""
+    if expr is None:
+        return
+    if isinstance(expr, Condition):
+        yield expr
+        return
+    for operand in expr.operands:
+        yield from iter_conditions(operand)
+
+
+def iter_literals(query: Query):
+    """Yield every :class:`Literal` in the query, sub-queries included."""
+    for select_query in query.all_select_queries():
+        for expr in (select_query.where, select_query.having):
+            for condition in iter_conditions(expr):
+                rhs = condition.rhs
+                if isinstance(rhs, Literal):
+                    yield rhs
+                elif isinstance(rhs, tuple):
+                    yield from rhs
+                elif isinstance(rhs, Query):
+                    yield from iter_literals(rhs)
+        if select_query.limit is not None:
+            yield Literal(select_query.limit)

@@ -1,0 +1,168 @@
+"""Render the SQL AST into executable SQLite SQL.
+
+The renderer performs the deterministic post-processing the paper describes
+in Section III-C: it infers the full JOIN path over the PK/FK schema graph
+(including bridge tables that the model never predicted) and emits complete
+``ON`` clauses, because under Execution Accuracy a bare ``A JOIN B`` is a
+cross join and the query result would be wrong.
+
+Tables receive aliases ``T1 .. Tn`` (matching the Spider gold-query style)
+whenever more than one table participates in a FROM clause.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+from repro.schema.graph import SchemaGraph
+from repro.schema.joins import plan_joins
+from repro.sql.ast import (
+    AggregateFunction,
+    BooleanExpr,
+    ColumnRef,
+    Condition,
+    ConditionExpr,
+    Literal,
+    OrderBy,
+    Query,
+    SelectItem,
+    SelectQuery,
+)
+
+
+def quote_string(value: str) -> str:
+    """Quote a string literal for SQLite (single quotes, doubled to escape)."""
+    return "'" + value.replace("'", "''") + "'"
+
+
+def render_literal(literal: Literal) -> str:
+    """Render a literal: numbers bare, strings quoted."""
+    if literal.is_number():
+        value = literal.value
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+    return quote_string(str(literal.value))
+
+
+class SqlRenderer:
+    """Stateless renderer bound to one schema graph."""
+
+    def __init__(self, graph: SchemaGraph):
+        self._graph = graph
+
+    # ------------------------------------------------------------- public
+
+    def render(self, query: Query) -> str:
+        """Render a (possibly compound) query to a SQL string."""
+        sql = self._render_select_query(query.body)
+        if query.set_operator is not None and query.compound is not None:
+            sql = f"{sql} {query.set_operator.value.upper()} {self.render(query.compound)}"
+        return sql
+
+    # ------------------------------------------------------------ helpers
+
+    def _render_select_query(self, query: SelectQuery) -> str:
+        if not query.tables:
+            raise TranslationError("query has no FROM tables")
+
+        plan = plan_joins(self._graph, query.tables)
+        aliases = self._build_aliases(plan.tables)
+
+        parts = [self._render_select_clause(query, aliases)]
+        parts.append(self._render_from_clause(plan, aliases))
+        if query.where is not None:
+            parts.append("WHERE " + self._render_condition(query.where, aliases))
+        if query.group_by:
+            rendered = ", ".join(self._render_column(c, aliases) for c in query.group_by)
+            parts.append("GROUP BY " + rendered)
+        if query.having is not None:
+            parts.append("HAVING " + self._render_condition(query.having, aliases))
+        if query.order_by is not None:
+            parts.append(self._render_order_by(query.order_by, aliases))
+        if query.limit is not None:
+            parts.append(f"LIMIT {query.limit}")
+        return " ".join(parts)
+
+    @staticmethod
+    def _build_aliases(tables: tuple[str, ...]) -> dict[str, str]:
+        """Map lower-cased table name -> alias (or the bare name if single)."""
+        if len(tables) == 1:
+            return {tables[0].lower(): tables[0]}
+        return {
+            table.lower(): f"T{i + 1}" for i, table in enumerate(tables)
+        }
+
+    def _render_select_clause(self, query: SelectQuery, aliases: dict[str, str]) -> str:
+        items = ", ".join(self._render_select_item(item, aliases) for item in query.select)
+        distinct = "DISTINCT " if query.distinct else ""
+        return f"SELECT {distinct}{items}"
+
+    def _render_select_item(self, item: SelectItem, aliases: dict[str, str]) -> str:
+        if item.column.is_star() and item.aggregate is not AggregateFunction.NONE:
+            # SQLite rejects COUNT(T1.*); a qualified star inside an
+            # aggregate renders as the bare star (the qualifying table still
+            # participates in the FROM clause via the join plan).
+            column = "*"
+        else:
+            column = self._render_column(item.column, aliases)
+        if item.aggregate is AggregateFunction.NONE:
+            return column
+        inner = f"DISTINCT {column}" if item.distinct else column
+        return f"{item.aggregate.value.upper()}({inner})"
+
+    def _render_column(self, column: ColumnRef, aliases: dict[str, str]) -> str:
+        if column.is_star() and column.table is None:
+            return "*"
+        if column.table is None:
+            return column.column
+        alias = aliases.get(column.table.lower())
+        if alias is None:
+            # Column references a table outside the FROM clause; render it
+            # qualified with the raw table name so the error is visible in
+            # the SQL instead of silently mis-binding.
+            alias = column.table
+        return f"{alias}.{column.column}"
+
+    def _render_from_clause(self, plan, aliases: dict[str, str]) -> str:
+        first = plan.tables[0]
+        if len(plan.tables) == 1:
+            return f"FROM {first}"
+        rendered = [f"FROM {first} AS {aliases[first.lower()]}"]
+        for table, edge in zip(plan.tables[1:], plan.edges):
+            left_alias = aliases[edge.left_table.lower()]
+            right_alias = aliases[edge.right_table.lower()]
+            condition = edge.condition(left_alias, right_alias)
+            rendered.append(f"JOIN {table} AS {aliases[table.lower()]} ON {condition}")
+        return " ".join(rendered)
+
+    def _render_condition(self, expr: ConditionExpr, aliases: dict[str, str]) -> str:
+        if isinstance(expr, BooleanExpr):
+            rendered = [self._render_operand(op, aliases) for op in expr.operands]
+            return f" {expr.connector.upper()} ".join(rendered)
+        return self._render_leaf(expr, aliases)
+
+    def _render_operand(self, expr: ConditionExpr, aliases: dict[str, str]) -> str:
+        rendered = self._render_condition(expr, aliases)
+        if isinstance(expr, BooleanExpr):
+            return f"({rendered})"
+        return rendered
+
+    def _render_leaf(self, condition: Condition, aliases: dict[str, str]) -> str:
+        column = self._render_column(condition.column, aliases)
+        if condition.aggregate is not AggregateFunction.NONE:
+            column = f"{condition.aggregate.value.upper()}({column})"
+        operator = condition.operator.value.upper()
+
+        rhs = condition.rhs
+        if isinstance(rhs, tuple):
+            low, high = rhs
+            return f"{column} BETWEEN {render_literal(low)} AND {render_literal(high)}"
+        if isinstance(rhs, Query):
+            return f"{column} {operator} ({self.render(rhs)})"
+        return f"{column} {operator} {render_literal(rhs)}"
+
+    def _render_order_by(self, order_by: OrderBy, aliases: dict[str, str]) -> str:
+        items = ", ".join(
+            self._render_select_item(item, aliases) for item in order_by.items
+        )
+        return f"ORDER BY {items} {order_by.direction.value.upper()}"

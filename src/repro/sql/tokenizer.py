@@ -1,0 +1,91 @@
+"""SQL tokenizer for the Spider subset.
+
+Produces a flat token stream for the recursive-descent parser in
+:mod:`repro.sql.parser`.  String literals keep their quotes stripped but
+remember that they were quoted (so ``'20'`` and ``20`` stay
+distinguishable); keywords are recognized case-insensitively.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import SqlParseError
+
+KEYWORDS = {
+    "select", "distinct", "from", "as", "join", "inner", "left", "on",
+    "where", "and", "or", "not", "in", "like", "between", "group", "order",
+    "by", "having", "asc", "desc", "limit", "union", "intersect", "except",
+    "count", "sum", "avg", "min", "max",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class SqlToken:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *keywords: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in keywords
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<string>'(?:[^']|'')*'|"(?:[^"]|"")*")
+    | (?P<number>\d+(?:\.\d+)?)
+    | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<operator><=|>=|!=|<>|=|<|>)
+    | (?P<punct>[(),.*])
+    | (?P<space>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize_sql(sql: str) -> list[SqlToken]:
+    """Tokenize ``sql``; raises :class:`SqlParseError` on unknown characters."""
+    tokens: list[SqlToken] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise SqlParseError(
+                f"cannot tokenize SQL at position {position}: {sql[position:position + 20]!r}"
+            )
+        if match.lastgroup == "space":
+            position = match.end()
+            continue
+        text = match.group(0)
+        if match.lastgroup == "string":
+            quote = text[0]
+            inner = text[1:-1].replace(quote * 2, quote)
+            tokens.append(SqlToken(TokenType.STRING, inner, position))
+        elif match.lastgroup == "number":
+            tokens.append(SqlToken(TokenType.NUMBER, text, position))
+        elif match.lastgroup == "word":
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(SqlToken(TokenType.KEYWORD, lowered, position))
+            else:
+                tokens.append(SqlToken(TokenType.IDENTIFIER, text, position))
+        elif match.lastgroup == "operator":
+            value = "!=" if text == "<>" else text
+            tokens.append(SqlToken(TokenType.OPERATOR, value, position))
+        else:
+            tokens.append(SqlToken(TokenType.PUNCT, text, position))
+        position = match.end()
+    tokens.append(SqlToken(TokenType.END, "", len(sql)))
+    return tokens

@@ -1,0 +1,50 @@
+"""n-gram generation for value candidate expansion.
+
+Paper Section IV-B2, third approach: for every extracted value with more
+than one token, all contiguous sub-sequences are generated as additional
+value candidates.  "A value like 'Kennedy International Airport' generates
+one trigram, two bigrams, and three single words as value candidates."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+
+def ngrams(tokens: Sequence[str], n: int) -> Iterator[tuple[str, ...]]:
+    """Yield every contiguous ``n``-gram of ``tokens``.
+
+    >>> list(ngrams(["a", "b", "c"], 2))
+    [('a', 'b'), ('b', 'c')]
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    for start in range(len(tokens) - n + 1):
+        yield tuple(tokens[start:start + n])
+
+
+def all_ngrams(tokens: Sequence[str], *, max_n: int | None = None) -> list[tuple[str, ...]]:
+    """All contiguous sub-sequences of ``tokens``, longest first.
+
+    The longest-first ordering matters downstream: the candidate generator
+    prefers longer, more specific candidates and deduplicates on insertion.
+
+    >>> [" ".join(g) for g in all_ngrams(["Kennedy", "International", "Airport"])]
+    ['Kennedy International Airport', 'Kennedy International', 'International Airport', 'Kennedy', 'International', 'Airport']
+    """
+    top = len(tokens) if max_n is None else min(max_n, len(tokens))
+    result: list[tuple[str, ...]] = []
+    for n in range(top, 0, -1):
+        result.extend(ngrams(tokens, n))
+    return result
+
+
+def character_ngrams(text: str, n: int) -> list[str]:
+    """Character ``n``-grams of ``text`` (used for blocking keys).
+
+    >>> character_ngrams("jfk", 2)
+    ['jf', 'fk']
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return [text[i:i + n] for i in range(len(text) - n + 1)]

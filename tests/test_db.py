@@ -1,0 +1,145 @@
+"""Unit tests for repro.db: database wrapper, introspection, executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import (
+    Database,
+    execute_and_compare,
+    gold_orders_rows,
+    introspect_schema,
+    normalize_rows,
+    rows_equal,
+)
+from repro.errors import ExecutionError, SchemaError
+from repro.schema import Column, ColumnType, Schema, Table
+
+
+class TestDatabase:
+    def test_create_and_count(self, pets_db):
+        assert pets_db.row_count("student") == 4
+        assert pets_db.row_count("pet") == 3
+
+    def test_execute_rows(self, pets_db):
+        rows = pets_db.execute("SELECT name FROM student WHERE age > 21 ORDER BY name")
+        assert rows == [("Ann Miller",), ("Cid Rossi",)]
+
+    def test_execute_bad_sql_raises(self, pets_db):
+        with pytest.raises(ExecutionError):
+            pets_db.execute("SELECT nope FROM student")
+
+    def test_max_rows_guard(self, pets_db):
+        with pytest.raises(ExecutionError):
+            pets_db.execute("SELECT * FROM student, pet, has_pet", max_rows=5)
+
+    def test_column_values(self, pets_db):
+        column = pets_db.schema.column("student", "home_country")
+        values = pets_db.column_values(column)
+        assert sorted(set(values)) == ["France", "Italy", "Spain"]
+
+    def test_column_values_star_raises(self, pets_db):
+        with pytest.raises(SchemaError):
+            pets_db.column_values(pets_db.schema.star_column)
+
+    def test_contains_value_case_insensitive(self, pets_db):
+        column = pets_db.schema.column("student", "home_country")
+        assert pets_db.contains_value(column, "france")
+        assert not pets_db.contains_value(column, "atlantis")
+
+    def test_contains_numeric_value(self, pets_db):
+        column = pets_db.schema.column("student", "age")
+        assert pets_db.contains_value(column, 22)
+        assert not pets_db.contains_value(column, 99)
+
+    def test_insert_bad_shape_raises(self, pets_db):
+        with pytest.raises(ExecutionError):
+            pets_db.insert_rows("student", [(1, "only-two")])
+
+    def test_file_database_roundtrip(self, pets_schema, tmp_path):
+        path = tmp_path / "pets.sqlite"
+        db = Database.create(pets_schema, path)
+        db.insert_rows("student", [(9, "Zoe", 30, "France", "F")])
+        db.close()
+        reopened = Database.open(path, pets_schema)
+        assert reopened.row_count("student") == 1
+        reopened.close()
+
+    def test_context_manager(self, pets_schema):
+        with Database.create(pets_schema) as db:
+            assert db.row_count("student") == 0
+
+
+class TestIntrospection:
+    def test_introspects_tables_columns_pks_fks(self, pets_schema, tmp_path):
+        path = tmp_path / "pets.sqlite"
+        Database.create(pets_schema, path).close()
+        db = Database.open(path)  # schema omitted -> introspection
+        schema = db.schema
+        assert {t.name for t in schema.tables} == {"student", "pet", "has_pet"}
+        assert schema.column("student", "stuid").is_primary_key
+        assert schema.column("pet", "weight").column_type is ColumnType.NUMBER
+        fk_pairs = {
+            (fk.source_table, fk.source_column, fk.target_table, fk.target_column)
+            for fk in schema.foreign_keys
+        }
+        assert ("has_pet", "stuid", "student", "stuid") in fk_pairs
+        db.close()
+
+    def test_empty_database_raises(self, tmp_path):
+        import sqlite3
+
+        connection = sqlite3.connect(tmp_path / "empty.sqlite")
+        with pytest.raises(SchemaError):
+            introspect_schema(connection)
+
+
+class TestResultComparison:
+    def test_normalize_integral_floats(self):
+        assert normalize_rows([(3.0, "x")]) == [(3, "x")]
+
+    def test_multiset_semantics(self):
+        assert rows_equal([(1,), (2,), (1,)], [(2,), (1,), (1,)])
+        assert not rows_equal([(1,), (1,)], [(1,)])
+
+    def test_order_matters_flag(self):
+        assert not rows_equal([(1,), (2,)], [(2,), (1,)], order_matters=True)
+        assert rows_equal([(1,), (2,)], [(2,), (1,)], order_matters=False)
+
+    def test_execute_and_compare_correct(self, pets_db):
+        outcome = execute_and_compare(
+            pets_db,
+            "SELECT name FROM student WHERE age > 21",
+            "SELECT name FROM student WHERE age >= 22",
+        )
+        assert outcome.correct
+
+    def test_execute_and_compare_wrong(self, pets_db):
+        outcome = execute_and_compare(
+            pets_db,
+            "SELECT name FROM student WHERE age > 25",
+            "SELECT name FROM student WHERE age > 21",
+        )
+        assert not outcome.correct
+        assert outcome.predicted_error is None
+
+    def test_predicted_failure_is_incorrect(self, pets_db):
+        outcome = execute_and_compare(
+            pets_db, "SELECT broken FROM student", "SELECT name FROM student"
+        )
+        assert not outcome.correct
+        assert outcome.predicted_failed
+
+    def test_gold_failure_recorded(self, pets_db):
+        outcome = execute_and_compare(
+            pets_db, "SELECT name FROM student", "SELECT broken FROM student"
+        )
+        assert not outcome.correct
+        assert outcome.gold_error is not None
+
+    def test_gold_orders_rows_top_level_only(self):
+        assert gold_orders_rows("SELECT a FROM t ORDER BY a")
+        assert not gold_orders_rows(
+            "SELECT a FROM t WHERE x IN (SELECT b FROM u ORDER BY b)"
+        )
+        assert not gold_orders_rows("SELECT a FROM t")

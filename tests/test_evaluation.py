@@ -1,0 +1,278 @@
+"""Tests for repro.evaluation: exact match, reports, error analysis,
+extraction coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import (
+    AccuracyReport,
+    EvaluatedSample,
+    Hardness,
+    ValueDifficulty,
+    analyze_failures,
+    diagnose_sample,
+    exact_match,
+    measure_extraction_coverage,
+    query_signature,
+)
+from repro.evaluation.difficulty import combine_value_difficulty
+from repro.pipeline import StageTimings, TranslationResult
+from repro.preprocessing import Preprocessor
+from repro.semql import query_to_semql
+from repro.spider.corpus import Example
+from repro.sql import parse_sql
+
+
+def _example(pets_schema, sql: str, question: str = "q", values=None) -> Example:
+    from repro.evaluation.difficulty import classify_hardness
+
+    query = parse_sql(sql, pets_schema)
+    return Example(
+        question=question,
+        db_id="pets",
+        gold_sql=sql,
+        gold_query=query,
+        gold_semql=query_to_semql(query, pets_schema),
+        values=values or [],
+        value_difficulties=[ValueDifficulty.EASY] * len(values or []),
+        hardness=classify_hardness(query),
+    )
+
+
+class TestExactMatch:
+    def test_select_order_insensitive(self, pets_schema):
+        a = parse_sql("SELECT name, age FROM student", pets_schema)
+        b = parse_sql("SELECT age, name FROM student", pets_schema)
+        assert exact_match(a, b)
+
+    def test_condition_order_insensitive(self, pets_schema):
+        a = parse_sql(
+            "SELECT name FROM student WHERE age > 20 AND sex = 'F'", pets_schema
+        )
+        b = parse_sql(
+            "SELECT name FROM student WHERE sex = 'F' AND age > 20", pets_schema
+        )
+        assert exact_match(a, b)
+
+    def test_values_ignored_by_default(self, pets_schema):
+        """The paper's core criticism of Exact Matching Accuracy."""
+        a = parse_sql("SELECT name FROM student WHERE age > 20", pets_schema)
+        b = parse_sql("SELECT name FROM student WHERE age > 99", pets_schema)
+        assert exact_match(a, b)
+        assert not exact_match(a, b, with_values=True)
+
+    def test_string_values_checked_when_requested(self, pets_schema):
+        a = parse_sql(
+            "SELECT name FROM student WHERE home_country = 'France'", pets_schema
+        )
+        b = parse_sql(
+            "SELECT name FROM student WHERE home_country = 'Italy'", pets_schema
+        )
+        assert exact_match(a, b)
+        assert not exact_match(a, b, with_values=True)
+
+    def test_different_column_not_matched(self, pets_schema):
+        a = parse_sql("SELECT name FROM student", pets_schema)
+        b = parse_sql("SELECT age FROM student", pets_schema)
+        assert not exact_match(a, b)
+
+    def test_aggregate_distinguished(self, pets_schema):
+        a = parse_sql("SELECT count(*) FROM student", pets_schema)
+        b = parse_sql("SELECT count(*) FROM pet", pets_schema)
+        assert not exact_match(a, b)
+
+    def test_subquery_compared_recursively(self, pets_schema):
+        a = parse_sql(
+            "SELECT name FROM student WHERE stuid IN (SELECT stuid FROM has_pet)",
+            pets_schema,
+        )
+        b = parse_sql(
+            "SELECT name FROM student WHERE stuid IN (SELECT petid FROM has_pet)",
+            pets_schema,
+        )
+        assert not exact_match(a, b)
+
+    def test_compound_operator_distinguished(self, pets_schema):
+        a = parse_sql(
+            "SELECT name FROM student UNION SELECT name FROM student", pets_schema
+        )
+        b = parse_sql(
+            "SELECT name FROM student INTERSECT SELECT name FROM student", pets_schema
+        )
+        assert not exact_match(a, b)
+
+    def test_limit_presence_matters_without_values(self, pets_schema):
+        a = parse_sql("SELECT name FROM student ORDER BY age DESC LIMIT 3", pets_schema)
+        b = parse_sql("SELECT name FROM student ORDER BY age DESC", pets_schema)
+        c = parse_sql("SELECT name FROM student ORDER BY age DESC LIMIT 5", pets_schema)
+        assert not exact_match(a, b)
+        assert exact_match(a, c)  # limit value ignored without values
+        assert not exact_match(a, c, with_values=True)
+
+    def test_signature_stable(self, pets_schema):
+        query = parse_sql("SELECT name FROM student WHERE age > 20", pets_schema)
+        assert query_signature(query) == query_signature(query)
+
+
+class TestAccuracyReport:
+    def _sample(self, pets_schema, correct: bool, hardness_sql: str, values=None):
+        example = _example(pets_schema, hardness_sql, values=values)
+        result = TranslationResult(question="q", sql="SELECT 1", timings=StageTimings())
+        return EvaluatedSample(example, result, correct)
+
+    def test_accuracy(self, pets_schema):
+        report = AccuracyReport()
+        report.add(self._sample(pets_schema, True, "SELECT name FROM student"))
+        report.add(self._sample(pets_schema, False, "SELECT name FROM student"))
+        assert report.accuracy == 0.5
+        assert report.total == 2 and report.num_correct == 1
+
+    def test_accuracy_by_hardness(self, pets_schema):
+        report = AccuracyReport()
+        report.add(self._sample(pets_schema, True, "SELECT name FROM student"))
+        report.add(
+            self._sample(
+                pets_schema, False,
+                "SELECT name FROM student UNION SELECT name FROM student",
+            )
+        )
+        by_hardness = report.accuracy_by_hardness()
+        assert by_hardness[Hardness.EASY] == (1.0, 1)
+        assert by_hardness[Hardness.EXTRA_HARD] == (0.0, 1)
+
+    def test_accuracy_by_value_difficulty(self, pets_schema):
+        report = AccuracyReport()
+        report.add(
+            self._sample(
+                pets_schema, True,
+                "SELECT name FROM student WHERE age > 20", values=[20],
+            )
+        )
+        report.add(self._sample(pets_schema, False, "SELECT name FROM student"))
+        table = report.accuracy_by_value_difficulty()
+        assert table[ValueDifficulty.EASY] == (1.0, 1)
+        assert table[None] == (0.0, 1)
+
+    def test_empty_report(self):
+        assert AccuracyReport().accuracy == 0.0
+
+
+class TestErrorAnalysis:
+    def _evaluated(self, pets_schema, gold_sql: str, predicted_sql: str | None):
+        example = _example(pets_schema, gold_sql)
+        result = TranslationResult(question="q", timings=StageTimings())
+        if predicted_sql is not None:
+            query = parse_sql(predicted_sql, pets_schema)
+            result.sql = predicted_sql
+            result.semql = query_to_semql(query, pets_schema)
+        return EvaluatedSample(example, result, correct=False)
+
+    def test_column_error(self, pets_schema):
+        sample = self._evaluated(
+            pets_schema,
+            "SELECT name FROM student",
+            "SELECT age FROM student",
+        )
+        assert "column" in diagnose_sample(sample).causes
+
+    def test_sketch_error(self, pets_schema):
+        sample = self._evaluated(
+            pets_schema,
+            "SELECT name FROM student WHERE age > 20",
+            "SELECT name FROM student",
+        )
+        assert "sketch" in diagnose_sample(sample).causes
+
+    def test_table_error(self, pets_schema):
+        sample = self._evaluated(
+            pets_schema,
+            "SELECT count(*) FROM student",
+            "SELECT count(*) FROM pet",
+        )
+        causes = diagnose_sample(sample).causes
+        assert "table" in causes
+
+    def test_value_error_isolated(self, pets_schema):
+        sample = self._evaluated(
+            pets_schema,
+            "SELECT name FROM student WHERE home_country = 'France'",
+            "SELECT name FROM student WHERE home_country = 'Italy'",
+        )
+        assert diagnose_sample(sample).causes == ("value",)
+
+    def test_no_prediction(self, pets_schema):
+        sample = self._evaluated(pets_schema, "SELECT name FROM student", None)
+        assert diagnose_sample(sample).causes == ("no_prediction",)
+
+    def test_false_negative(self, pets_schema):
+        sample = self._evaluated(
+            pets_schema,
+            "SELECT name FROM student",
+            "SELECT name FROM student",
+        )
+        assert diagnose_sample(sample).causes == ("false_negative",)
+
+    def test_analyze_failures_only_counts_failures(self, pets_schema):
+        wrong = self._evaluated(
+            pets_schema, "SELECT name FROM student", "SELECT age FROM student"
+        )
+        right = EvaluatedSample(
+            _example(pets_schema, "SELECT name FROM student"),
+            TranslationResult(question="q", sql="x", timings=StageTimings()),
+            correct=True,
+        )
+        report = analyze_failures([wrong, right])
+        assert report.num_failures == 1
+        shares = report.cause_shares()
+        assert shares["column"] == 1.0
+
+
+class TestExtractionCoverage:
+    def test_coverage_on_pets(self, pets_db, pets_schema):
+        examples = [
+            _example(
+                pets_schema,
+                "SELECT name FROM student WHERE home_country = 'France'",
+                question="List the name of students from France",
+                values=["France"],
+            ),
+            _example(
+                pets_schema,
+                "SELECT name FROM student WHERE age > 20",
+                question="students older than 20",
+                values=[20],
+            ),
+            _example(
+                pets_schema,
+                "SELECT name FROM student WHERE home_country = 'Italy'",
+                question="students whose home country is Atlantis",  # unfindable
+                values=["Zzzzz"],
+            ),
+        ]
+        report = measure_extraction_coverage(
+            examples, {"pets": Preprocessor(pets_db)}
+        )
+        assert report.total_samples == 3
+        assert report.covered_samples == 2
+        assert 0.6 < report.sample_coverage < 0.7
+
+    def test_no_value_examples_ignored(self, pets_db, pets_schema):
+        examples = [_example(pets_schema, "SELECT name FROM student")]
+        report = measure_extraction_coverage(
+            examples, {"pets": Preprocessor(pets_db)}
+        )
+        assert report.total_samples == 0
+
+
+class TestValueDifficultyCombination:
+    def test_empty_is_none(self):
+        assert combine_value_difficulty([]) is None
+
+    def test_max_of_classes(self):
+        assert (
+            combine_value_difficulty(
+                [ValueDifficulty.EASY, ValueDifficulty.HARD, ValueDifficulty.MEDIUM]
+            )
+            is ValueDifficulty.HARD
+        )

@@ -1,0 +1,269 @@
+"""Tests for the neural model: featurization, supervision, encode/decode,
+training mechanics, and checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.candidates import ValueCandidate
+from repro.config import ModelConfig, TrainingConfig
+from repro.errors import ModelError
+from repro.index import ValueLocation
+from repro.model import (
+    DecoderStep,
+    Trainer,
+    ValueNetModel,
+    build_preprocessors,
+    build_vocabulary,
+    featurize,
+    match_candidate,
+    prepare_samples,
+    steps_to_tree,
+    tree_to_steps,
+)
+from repro.model.featurize import SEG_COLUMN, SEG_QUESTION, SEG_TABLE, SEG_VALUE
+from repro.preprocessing import Preprocessor
+from repro.semql import query_to_semql
+from repro.spider import CorpusConfig, generate_corpus
+from repro.sql import parse_sql
+
+TINY = ModelConfig(
+    dim=32, num_layers=1, num_heads=2, ff_dim=48, summary_hidden=16,
+    decoder_hidden=32, pointer_hidden=24, dropout=0.0, word_dropout=0.0,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    corpus = generate_corpus(CorpusConfig(train_per_domain=8, dev_per_domain=4))
+    yield corpus
+    corpus.close()
+
+
+@pytest.fixture(scope="module")
+def vocab(tiny_corpus):
+    return build_vocabulary(
+        [e.question for e in tiny_corpus.train],
+        [tiny_corpus.schema(d) for d in tiny_corpus.train_domains],
+        [str(v) for e in tiny_corpus.train for v in e.values],
+        vocab_size=600,
+    )
+
+
+@pytest.fixture(scope="module")
+def model(vocab):
+    return ValueNetModel(vocab, TINY)
+
+
+class TestFeaturize:
+    def test_structure(self, pets_db, vocab):
+        pre = Preprocessor(pets_db).run("How many French students are there?")
+        encoder_input = featurize(pre, pets_db.schema, vocab)
+        assert encoder_input.length > 0
+        assert len(encoder_input.question_spans) == len(pre.tokens)
+        assert len(encoder_input.column_spans) == len(pets_db.schema.all_columns())
+        assert len(encoder_input.table_spans) == pets_db.schema.num_tables
+        assert len(encoder_input.value_spans) == len(pre.candidates)
+        assert len(encoder_input.column_hints) == len(encoder_input.column_spans)
+        assert len(encoder_input.value_located) == len(encoder_input.value_spans)
+
+    def test_segments_ordered(self, pets_db, vocab):
+        pre = Preprocessor(pets_db).run("students from France")
+        encoder_input = featurize(pre, pets_db.schema, vocab)
+        segments = encoder_input.segment_ids
+        # question pieces come first, then columns, tables, values
+        first_column = segments.index(SEG_COLUMN)
+        first_table = segments.index(SEG_TABLE)
+        assert all(s == SEG_QUESTION for s in segments[:first_column])
+        assert first_column < first_table
+        if SEG_VALUE in segments:
+            assert first_table < segments.index(SEG_VALUE)
+
+    def test_spans_nonempty_and_within_bounds(self, pets_db, vocab):
+        pre = Preprocessor(pets_db).run("oldest pets by weight")
+        encoder_input = featurize(pre, pets_db.schema, vocab)
+        for span in (
+            encoder_input.question_spans
+            + encoder_input.column_spans
+            + encoder_input.table_spans
+            + encoder_input.value_spans
+        ):
+            assert 0 <= span.start < span.end <= encoder_input.length
+
+
+class TestSupervision:
+    def test_match_candidate_normalized(self):
+        candidates = [ValueCandidate("France", "gold"), ValueCandidate(3, "gold")]
+        assert match_candidate("france", candidates) == 0
+        assert match_candidate(3.0, candidates) == 1
+        assert match_candidate("nope", candidates) is None
+
+    def test_tree_to_steps_and_back(self, pets_db):
+        schema = pets_db.schema
+        sql = "SELECT name FROM student WHERE home_country = 'France' AND age > 20"
+        tree = query_to_semql(parse_sql(sql, schema), schema)
+        candidates = [ValueCandidate("France", "gold"), ValueCandidate(20, "gold")]
+        steps = tree_to_steps(tree, schema, candidates)
+        assert steps is not None
+        rebuilt = steps_to_tree(steps, schema, candidates)
+        assert rebuilt.to_sexpr() == tree.to_sexpr()
+
+    def test_missing_value_returns_none(self, pets_db):
+        schema = pets_db.schema
+        sql = "SELECT name FROM student WHERE age > 20"
+        tree = query_to_semql(parse_sql(sql, schema), schema)
+        assert tree_to_steps(tree, schema, []) is None
+
+    def test_steps_to_tree_range_checks(self, pets_db):
+        schema = pets_db.schema
+        with pytest.raises(ModelError):
+            steps_to_tree([DecoderStep("C", 999)], schema, [])
+
+    def test_pointer_indices_are_schema_aligned(self, pets_db):
+        schema = pets_db.schema
+        sql = "SELECT count(*) FROM student"
+        tree = query_to_semql(parse_sql(sql, schema), schema)
+        steps = tree_to_steps(tree, schema, [])
+        column_steps = [s for s in steps if s.kind == "C"]
+        assert column_steps[0].target == 0  # '*' is column index 0
+
+
+class TestModelForward:
+    def test_encode_shapes(self, model, pets_db):
+        pre = Preprocessor(pets_db).run("How many French students are there?")
+        encoded = model.encode(pre, pets_db.schema)
+        assert encoded.question.shape == (len(pre.tokens), TINY.dim)
+        assert encoded.columns.shape == (len(pets_db.schema.all_columns()), TINY.dim)
+        assert encoded.tables.shape == (3, TINY.dim)
+        assert encoded.summary.shape == (TINY.dim,)
+
+    def test_loss_none_when_value_unmatched(self, model, pets_db):
+        schema = pets_db.schema
+        pre = Preprocessor(pets_db).run_light("q", [])
+        sql = "SELECT name FROM student WHERE age > 20"
+        tree = query_to_semql(parse_sql(sql, schema), schema)
+        assert model.loss(pre, schema, tree) is None
+
+    def test_loss_positive(self, model, pets_db):
+        schema = pets_db.schema
+        pre = Preprocessor(pets_db).run_light(
+            "students older than 20", [20]
+        )
+        sql = "SELECT name FROM student WHERE age > 20"
+        tree = query_to_semql(parse_sql(sql, schema), schema)
+        loss = model.loss(pre, schema, tree)
+        assert loss is not None and loss.item() > 0
+
+    def test_predict_valid_tree(self, model, pets_db):
+        pre = Preprocessor(pets_db).run("How many students are there?")
+        tree = model.predict(pre, pets_db.schema)
+        tree.validate()
+
+    def test_predict_restores_training_mode(self, model, pets_db):
+        model.train()
+        pre = Preprocessor(pets_db).run("How many students are there?")
+        model.predict(pre, pets_db.schema)
+        assert model.training
+        model.eval()
+
+    def test_decode_is_deterministic(self, model, pets_db):
+        pre = Preprocessor(pets_db).run("names of all students")
+        model.eval()
+        a = model.predict(pre, pets_db.schema).to_sexpr()
+        b = model.predict(pre, pets_db.schema).to_sexpr()
+        assert a == b
+
+    def test_predicted_tree_is_executable(self, model, pets_db):
+        from repro.postprocessing import SqlBuilder
+
+        pre = Preprocessor(pets_db).run("How many students are there?")
+        tree = model.predict(pre, pets_db.schema)
+        sql = SqlBuilder(pets_db.schema).build(tree)
+        pets_db.execute(sql)  # grammar-constrained output is always valid SQL
+
+
+class TestTraining:
+    def test_single_example_overfits(self, vocab, pets_db):
+        model = ValueNetModel(vocab, TINY)
+        schema = pets_db.schema
+        pre = Preprocessor(pets_db).run_light(
+            "How many students are there?", []
+        )
+        sql = "SELECT count(*) FROM student"
+        tree = query_to_semql(parse_sql(sql, schema), schema)
+        steps = tree_to_steps(tree, schema, pre.candidates)
+        optimizer = model.build_optimizer(
+            encoder_lr=1e-3, decoder_lr=2e-3, connection_lr=1e-3
+        )
+        model.train()
+        first = None
+        for _ in range(25):
+            optimizer.zero_grad()
+            loss = model.decoder.loss(model.encode(pre, schema), steps)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            optimizer.step()
+        model.eval()
+        assert loss.item() < first * 0.2
+        predicted = model.predict(pre, schema)
+        assert predicted.to_sexpr() == tree.to_sexpr()
+
+    def test_trainer_loop_decreases_loss(self, tiny_corpus, vocab):
+        model = ValueNetModel(vocab, TINY)
+        preprocessors = build_preprocessors(tiny_corpus)
+        samples, _dropped = prepare_samples(
+            tiny_corpus.train[:12], preprocessors, model, mode="light"
+        )
+        trainer = Trainer(model, TrainingConfig(epochs=3, batch_size=4))
+        history = trainer.train(samples)
+        assert len(history.epochs) == 3
+        assert history.epochs[-1].mean_loss < history.epochs[0].mean_loss
+
+    def test_prepare_samples_modes(self, tiny_corpus, vocab):
+        model = ValueNetModel(vocab, TINY)
+        preprocessors = build_preprocessors(tiny_corpus)
+        light, light_dropped = prepare_samples(
+            tiny_corpus.train[:30], preprocessors, model, mode="light"
+        )
+        assert light_dropped == 0  # gold values always present in light mode
+        full, full_dropped = prepare_samples(
+            tiny_corpus.train[:30], preprocessors, model, mode="valuenet"
+        )
+        assert len(full) + full_dropped == 30
+
+    def test_prepare_rejects_unknown_mode(self, tiny_corpus, vocab):
+        model = ValueNetModel(vocab, TINY)
+        with pytest.raises(ValueError):
+            prepare_samples(
+                tiny_corpus.train[:1], build_preprocessors(tiny_corpus), model,
+                mode="bogus",
+            )
+
+
+class TestCheckpointing:
+    def test_save_load_same_predictions(self, model, pets_db, tmp_path):
+        pre = Preprocessor(pets_db).run("names of students from France")
+        model.eval()
+        before = model.predict(pre, pets_db.schema).to_sexpr()
+        model.save(tmp_path / "ckpt")
+        loaded = ValueNetModel.load(tmp_path / "ckpt")
+        after = loaded.predict(pre, pets_db.schema).to_sexpr()
+        assert before == after
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(ModelError):
+            ValueNetModel.load(tmp_path / "nothing")
+
+    def test_optimizer_groups(self, model):
+        optimizer = model.build_optimizer(
+            encoder_lr=1e-3, decoder_lr=2e-3, connection_lr=5e-4
+        )
+        groups = optimizer._groups
+        assert [g.name for g in groups] == ["encoder", "decoder", "connection"]
+        total = sum(len(g.params) for g in groups)
+        assert total == len(model.parameters())
+        # no parameter appears in two groups
+        ids = [id(p) for g in groups for p in g.params]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,305 @@
+"""Unit + gradient tests for layers, attention, transformer, RNN, optim."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BiLSTMSummarizer,
+    BilinearAttention,
+    Dropout,
+    Embedding,
+    LSTM,
+    LSTMCell,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    MultiHeadSelfAttention,
+    ParamGroup,
+    PointerNetwork,
+    Tensor,
+    TransformerEncoder,
+    cross_entropy,
+    load_module,
+    save_module,
+    sinusoidal_positions,
+)
+from repro.errors import ModelError
+
+RNG = np.random.default_rng(11)
+
+
+def gradcheck_params(fn, params, *, tol=2e-5, samples=10):
+    """Spot-check analytic vs numeric gradients on random entries."""
+    for parameter in params:
+        parameter.zero_grad()
+    fn().backward()
+    rng = np.random.default_rng(3)
+    for parameter in params:
+        analytic = parameter.grad
+        if analytic is None:
+            analytic = np.zeros_like(parameter.data)
+        flat = parameter.data.reshape(-1)
+        indices = rng.choice(flat.size, size=min(flat.size, samples), replace=False)
+        for i in indices:
+            original = flat[i]
+            eps = 1e-6
+            flat[i] = original + eps
+            upper = fn().item()
+            flat[i] = original - eps
+            lower = fn().item()
+            flat[i] = original
+            numeric = (upper - lower) / (2 * eps)
+            assert abs(analytic.reshape(-1)[i] - numeric) < tol, (
+                f"grad mismatch: {analytic.reshape(-1)[i]} vs {numeric}"
+            )
+
+
+class TestModuleSystem:
+    def test_named_parameters_walks_tree(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = Linear(3, 4, RNG)
+                self.layers = [Linear(4, 4, RNG), Linear(4, 2, RNG)]
+
+        names = dict(Net().named_parameters())
+        assert "layer.weight" in names
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+
+    def test_train_eval_propagates(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.dropout = Dropout(0.5, RNG)
+                self.inner = [Dropout(0.5, RNG)]
+
+        net = Net()
+        net.eval()
+        assert not net.dropout.training
+        assert not net.inner[0].training
+        net.train()
+        assert net.dropout.training
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4, RNG)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, RNG)
+        (layer(Tensor(np.ones(2))).sum()).backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = Linear(5, 7, RNG)
+        assert layer(Tensor(np.ones(5))).shape == (7,)
+        assert layer(Tensor(np.ones((3, 5)))).shape == (3, 7)
+
+    def test_linear_no_bias(self):
+        layer = Linear(5, 7, RNG, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_gradcheck(self):
+        layer = Linear(4, 3, RNG)
+        x = Tensor(RNG.normal(size=4))
+        gradcheck_params(lambda: cross_entropy(layer(x), 1), layer.parameters())
+
+    def test_embedding_lookup(self):
+        embedding = Embedding(10, 4, RNG)
+        out = embedding([1, 5, 1])
+        assert out.shape == (3, 4)
+        np.testing.assert_array_equal(out.data[0], out.data[2])
+
+    def test_embedding_gradient_accumulates_repeats(self):
+        embedding = Embedding(10, 4, RNG)
+        embedding([2, 2, 2]).sum().backward()
+        np.testing.assert_allclose(embedding.weight.grad[2], 3.0)
+
+    def test_layernorm_statistics(self):
+        norm = LayerNorm(8)
+        out = norm(Tensor(RNG.normal(size=(5, 8)) * 10 + 3))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0, atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1, atol=1e-4)
+
+    def test_layernorm_gradcheck(self):
+        norm = LayerNorm(6)
+        x = Tensor(RNG.normal(size=(2, 6)), requires_grad=True)
+        weights = Tensor(RNG.normal(size=(2, 6)))
+        gradcheck_params(lambda: (norm(x) * weights).sum(), [x, *norm.parameters()])
+
+    def test_mlp_forward(self):
+        mlp = MLP(4, 8, 2, RNG)
+        assert mlp(Tensor(np.ones(4))).shape == (2,)
+
+
+class TestAttention:
+    def test_self_attention_shape(self):
+        attention = MultiHeadSelfAttention(8, 2, RNG, dropout_rate=0.0)
+        out = attention(Tensor(RNG.normal(size=(5, 8))))
+        assert out.shape == (5, 8)
+
+    def test_dim_head_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(7, 2, RNG)
+
+    def test_self_attention_gradcheck(self):
+        attention = MultiHeadSelfAttention(6, 2, RNG, dropout_rate=0.0)
+        attention.eval()
+        x = Tensor(RNG.normal(size=(4, 6)), requires_grad=True)
+        gradcheck_params(
+            lambda: cross_entropy(attention(x).sum(axis=0), 2),
+            [x] + attention.parameters()[:2],
+        )
+
+    def test_pointer_network_scores(self):
+        pointer = PointerNetwork(6, 8, 10, RNG)
+        scores = pointer(Tensor(RNG.normal(size=6)), Tensor(RNG.normal(size=(5, 8))))
+        assert scores.shape == (5,)
+
+    def test_pointer_gradcheck(self):
+        pointer = PointerNetwork(4, 5, 6, RNG)
+        q = Tensor(RNG.normal(size=4), requires_grad=True)
+        memory = Tensor(RNG.normal(size=(3, 5)), requires_grad=True)
+        gradcheck_params(
+            lambda: cross_entropy(pointer(q, memory), 1),
+            [q, memory] + pointer.parameters(),
+        )
+
+    def test_bilinear_attention(self):
+        attention = BilinearAttention(4, 6, RNG)
+        scores = attention(Tensor(RNG.normal(size=4)), Tensor(RNG.normal(size=(5, 6))))
+        assert scores.shape == (5,)
+
+
+class TestTransformer:
+    def test_encoder_shape_preserved(self):
+        encoder = TransformerEncoder(8, 2, 2, 16, RNG, dropout_rate=0.0)
+        out = encoder(Tensor(RNG.normal(size=(7, 8))))
+        assert out.shape == (7, 8)
+
+    def test_encoder_gradcheck(self):
+        encoder = TransformerEncoder(8, 1, 2, 12, RNG, dropout_rate=0.0)
+        encoder.eval()
+        x = Tensor(RNG.normal(size=(4, 8)), requires_grad=True)
+        gradcheck_params(
+            lambda: cross_entropy(encoder(x).sum(axis=0), 1),
+            [x] + encoder.parameters()[:3],
+            tol=5e-5,
+        )
+
+    def test_sinusoidal_positions(self):
+        positions = sinusoidal_positions(10, 8)
+        assert positions.shape == (10, 8)
+        assert np.abs(positions).max() <= 1.0
+        # distinct positions get distinct encodings
+        assert not np.allclose(positions[0], positions[5])
+
+
+class TestRnn:
+    def test_cell_shapes(self):
+        cell = LSTMCell(4, 6, RNG)
+        h, c = cell(Tensor(np.ones(4)), cell.initial_state())
+        assert h.shape == (6,) and c.shape == (6,)
+
+    def test_forget_bias_initialized(self):
+        cell = LSTMCell(4, 6, RNG)
+        np.testing.assert_array_equal(cell.bias.data[6:12], 1.0)
+
+    def test_lstm_over_sequence(self):
+        lstm = LSTM(4, 6, RNG)
+        outputs, (h, c) = lstm(Tensor(RNG.normal(size=(5, 4))))
+        assert outputs.shape == (5, 6)
+        np.testing.assert_array_equal(outputs.data[-1], h.data)
+
+    def test_lstm_gradcheck(self):
+        cell = LSTMCell(3, 4, RNG)
+        sequence = Tensor(RNG.normal(size=(3, 3)), requires_grad=True)
+
+        def run():
+            state = cell.initial_state()
+            for t in range(3):
+                state = cell(sequence[t], state)
+            return (state[0] * state[0]).sum()
+
+        gradcheck_params(run, [sequence] + cell.parameters(), tol=5e-5)
+
+    def test_bilstm_summary_shape(self):
+        summarizer = BiLSTMSummarizer(4, 5, 6, RNG)
+        assert summarizer(Tensor(RNG.normal(size=(3, 4)))).shape == (6,)
+
+    def test_bilstm_single_token(self):
+        summarizer = BiLSTMSummarizer(4, 5, 6, RNG)
+        assert summarizer(Tensor(RNG.normal(size=(1, 4)))).shape == (6,)
+
+    def test_bilstm_direction_sensitivity(self):
+        summarizer = BiLSTMSummarizer(4, 5, 6, RNG)
+        span = RNG.normal(size=(3, 4))
+        forward = summarizer(Tensor(span))
+        backward = summarizer(Tensor(span[::-1].copy()))
+        assert not np.allclose(forward.data, backward.data)
+
+
+class TestOptim:
+    def test_adam_minimizes_quadratic(self):
+        x = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        optimizer = Adam.single_group([x], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            (x * x).sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(x.data, 0.0, atol=1e-2)
+
+    def test_param_groups_have_independent_rates(self):
+        fast = Tensor(np.array([1.0]), requires_grad=True)
+        slow = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = Adam(
+            [ParamGroup([fast], lr=0.1), ParamGroup([slow], lr=0.0001)]
+        )
+        optimizer.zero_grad()
+        ((fast * fast).sum() + (slow * slow).sum()).backward()
+        optimizer.step()
+        assert abs(1.0 - fast.data[0]) > abs(1.0 - slow.data[0])
+
+    def test_gradient_clipping(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = Adam.single_group([x], lr=0.1, max_grad_norm=1.0)
+        optimizer.zero_grad()
+        (x * 1e6).sum().backward()
+        norm = optimizer.step()
+        assert norm > 1.0  # pre-clip norm reported
+        assert np.isfinite(x.data).all()
+
+    def test_none_gradients_skipped(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = Adam.single_group([x], lr=0.1)
+        optimizer.step()  # no backward happened; must not crash
+        np.testing.assert_array_equal(x.data, [1.0])
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        layer = Linear(3, 4, RNG)
+        save_module(layer, tmp_path / "m.npz")
+        other = Linear(3, 4, np.random.default_rng(99))
+        assert not np.allclose(other.weight.data, layer.weight.data)
+        load_module(other, tmp_path / "m.npz")
+        np.testing.assert_array_equal(other.weight.data, layer.weight.data)
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        save_module(Linear(3, 4, RNG), tmp_path / "m.npz")
+        with pytest.raises(ModelError):
+            load_module(Linear(3, 5, RNG), tmp_path / "m.npz")
+
+    def test_missing_parameter_raises(self, tmp_path):
+        save_module(Linear(3, 4, RNG, bias=False), tmp_path / "m.npz")
+        with pytest.raises(ModelError):
+            load_module(Linear(3, 4, RNG), tmp_path / "m.npz")

@@ -1,0 +1,61 @@
+"""Tests for the result-table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import ExperimentReport, ResultTable
+
+
+class TestResultTable:
+    def test_add_and_render_text(self):
+        table = ResultTable("Numbers", ("name", "value"))
+        table.add("a", 1)
+        table.add("bbbb", 22.5)
+        text = table.render_text()
+        assert "Numbers" in text
+        assert "bbbb" in text
+        lines = text.splitlines()
+        assert len(lines) == 1 + 2 + 2  # title + header+rule + two rows
+
+    def test_wrong_arity_raises(self):
+        table = ResultTable("x", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_markdown_shape(self):
+        table = ResultTable("T", ("a", "b"))
+        table.add("x", "y")
+        table.note("a note")
+        markdown = table.render_markdown()
+        assert markdown.startswith("### T")
+        assert "| a | b |" in markdown
+        assert "| x | y |" in markdown
+        assert "*a note*" in markdown
+
+    def test_alignment(self):
+        table = ResultTable("T", ("col", "v"))
+        table.add("long-name-here", "1")
+        table.add("s", "2")
+        lines = table.render_text().splitlines()
+        # all data lines have equal length (aligned columns)
+        assert len(lines[3].rstrip()) <= len(lines[2])
+
+
+class TestExperimentReport:
+    def test_collects_tables_in_order(self):
+        report = ExperimentReport("Title", preamble="intro")
+        first = report.table("One", ("a",))
+        first.add("1")
+        second = report.table("Two", ("b",))
+        second.add("2")
+        markdown = report.render_markdown()
+        assert markdown.index("### One") < markdown.index("### Two")
+        assert markdown.startswith("# Title")
+        assert "intro" in markdown
+
+    def test_text_render(self):
+        report = ExperimentReport("R")
+        report.table("T", ("h",)).add("v")
+        text = report.render_text()
+        assert "=== T ===" in text
