@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Closed-loop load generator for ``repro serve``.
+
+Spawns N client threads; each sends its share of requests back-to-back
+(closed loop: a client waits for each response before sending the next),
+then reports throughput, latency percentiles (p50/p95/p99), and the
+serving-contract counters: cache hits, degraded fallbacks, and errors.
+
+Example::
+
+    PYTHONPATH=src python -m repro serve --database demo.sqlite &
+    python scripts/load_test.py --clients 8 --requests 25
+
+Exit code is non-zero when any request was dropped (connection error or
+5xx other than deliberate 503 shedding), so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+DEFAULT_QUESTIONS = [
+    "How many rows are there?",
+    "List all names.",
+    "How many entries are in the table?",
+    "Show everything.",
+]
+
+
+@dataclass
+class ClientStats:
+    latencies_s: list[float] = field(default_factory=list)
+    ok: int = 0
+    degraded: int = 0
+    cache_hits: int = 0
+    http_errors: int = 0
+    dropped: int = 0
+    engines: dict[str, int] = field(default_factory=dict)
+
+
+def percentile(sorted_values: list[float], p: float) -> float:
+    """Nearest-rank percentile over an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, round(p / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def run_client(
+    args: argparse.Namespace,
+    client_index: int,
+    count: int,
+    stats: ClientStats,
+) -> None:
+    for i in range(count):
+        question = args.questions[(client_index + i) % len(args.questions)]
+        body = {"question": question, "execute": args.execute}
+        if args.database_id:
+            body["database_id"] = args.database_id
+        if args.timeout_ms is not None:
+            body["timeout_ms"] = args.timeout_ms
+        # Deterministic injection pattern so runs are reproducible.
+        if args.failure_rate > 0 and (i % max(1, round(1 / args.failure_rate))) == 0:
+            body["inject_failure"] = True
+        request = urllib.request.Request(
+            args.url.rstrip("/") + "/translate",
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        start = time.perf_counter()
+        try:
+            with urllib.request.urlopen(request, timeout=args.client_timeout) as resp:
+                payload = json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            stats.latencies_s.append(time.perf_counter() - start)
+            stats.http_errors += 1
+            if exc.code >= 500 and exc.code != 503:
+                stats.dropped += 1
+            continue
+        except (urllib.error.URLError, TimeoutError, OSError):
+            stats.dropped += 1
+            continue
+        stats.latencies_s.append(time.perf_counter() - start)
+        if payload.get("sql") and not payload.get("error"):
+            stats.ok += 1
+        if payload.get("degraded"):
+            stats.degraded += 1
+        if payload.get("cache_hit"):
+            stats.cache_hits += 1
+        engine = payload.get("engine", "?")
+        stats.engines[engine] = stats.engines.get(engine, 0) + 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--url", default="http://127.0.0.1:8765")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument(
+        "--requests", type=int, default=25, help="requests per client")
+    parser.add_argument("--database-id", default=None)
+    parser.add_argument(
+        "--question", action="append", dest="questions", default=None,
+        help="question to cycle through (repeatable)")
+    parser.add_argument("--timeout-ms", type=float, default=None)
+    parser.add_argument("--client-timeout", type=float, default=60.0)
+    parser.add_argument(
+        "--failure-rate", type=float, default=0.0,
+        help="fraction of requests sent with inject_failure "
+             "(server must run with --allow-injection)")
+    parser.add_argument("--execute", action="store_true")
+    args = parser.parse_args(argv)
+    if not args.questions:
+        args.questions = DEFAULT_QUESTIONS
+
+    per_client = [ClientStats() for _ in range(args.clients)]
+    threads = [
+        threading.Thread(
+            target=run_client, args=(args, i, args.requests, per_client[i])
+        )
+        for i in range(args.clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    latencies = sorted(x for s in per_client for x in s.latencies_s)
+    total_sent = args.clients * args.requests
+    completed = len(latencies)
+    ok = sum(s.ok for s in per_client)
+    degraded = sum(s.degraded for s in per_client)
+    cache_hits = sum(s.cache_hits for s in per_client)
+    http_errors = sum(s.http_errors for s in per_client)
+    dropped = sum(s.dropped for s in per_client)
+    engines: dict[str, int] = {}
+    for s in per_client:
+        for engine, n in s.engines.items():
+            engines[engine] = engines.get(engine, 0) + n
+
+    print(f"clients={args.clients} requests/client={args.requests} "
+          f"total={total_sent}")
+    print(f"wall time        {elapsed:.2f} s")
+    print(f"throughput       {completed / elapsed:.1f} req/s")
+    print(f"completed        {completed}  (ok={ok} degraded={degraded} "
+          f"cache_hits={cache_hits})")
+    print(f"engines          {engines}")
+    print(f"http errors      {http_errors}  dropped={dropped}")
+    if latencies:
+        print(f"latency p50      {1000 * percentile(latencies, 50):.1f} ms")
+        print(f"latency p95      {1000 * percentile(latencies, 95):.1f} ms")
+        print(f"latency p99      {1000 * percentile(latencies, 99):.1f} ms")
+        print(f"latency max      {1000 * latencies[-1]:.1f} ms")
+    if dropped:
+        print(f"FAIL: {dropped} requests dropped")
+        return 1
+    print("OK: zero dropped requests")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

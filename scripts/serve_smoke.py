@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Serve smoke test: start the service in-process, one /translate
+round-trip against a throwaway database, clean shutdown.
+
+Run with ``PYTHONPATH=src python scripts/serve_smoke.py``; exits 0 on
+success.  CI runs this after the tier-1 suite to catch wiring breaks in
+the HTTP layer that unit tests (which call the service directly) miss.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import sys
+import tempfile
+import threading
+import urllib.request
+from pathlib import Path
+
+from repro.db import Database
+from repro.serving import DatabaseRuntime, ServingServer, TranslationService
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "smoke.sqlite"
+        connection = sqlite3.connect(path)
+        connection.executescript(
+            """
+            CREATE TABLE city (
+                city_id INTEGER PRIMARY KEY,
+                city_name VARCHAR(40),
+                country VARCHAR(40),
+                population INTEGER
+            );
+            INSERT INTO city VALUES (1, 'Paris', 'France', 21);
+            INSERT INTO city VALUES (2, 'Rome', 'Italy', 28);
+            """
+        )
+        connection.commit()
+        connection.close()
+
+        database = Database.open(path)
+        service = TranslationService(
+            [DatabaseRuntime(database, database_id="smoke")], workers=2
+        ).start()
+        server = ServingServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            health = json.loads(
+                urllib.request.urlopen(server.url + "/healthz", timeout=10).read()
+            )
+            assert health["status"] == "ok", health
+
+            request = urllib.request.Request(
+                server.url + "/translate",
+                data=json.dumps(
+                    {"question": "How many cities are there?", "execute": True}
+                ).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            payload = json.loads(urllib.request.urlopen(request, timeout=30).read())
+            assert payload["sql"], payload
+            assert payload["error"] is None, payload
+            assert payload["rows"] == [[2]], payload
+
+            metrics = urllib.request.urlopen(
+                server.url + "/metrics", timeout=10
+            ).read().decode("utf-8")
+            assert "serving_responses_ok_total 1" in metrics, metrics
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+            database.close()
+    print("serve smoke test OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

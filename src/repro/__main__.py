@@ -8,6 +8,8 @@ Commands:
                        with a trained model.
 * ``inspect``        — show pre-processing output (hints + candidates)
                        for a question, no model required.
+* ``serve``          — run the concurrent HTTP inference service
+                       (``/translate``, ``/healthz``, ``/metrics``).
 """
 
 from __future__ import annotations
@@ -104,6 +106,63 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.db import Database
+    from repro.serving import (
+        DatabaseRuntime,
+        ServingServer,
+        TranslationCache,
+        TranslationService,
+    )
+
+    model = None
+    if args.model is not None:
+        from repro.model import ValueNetModel
+
+        model = ValueNetModel.load(args.model)
+
+    runtimes = []
+    for spec in args.databases:
+        database_id, _, path = spec.rpartition("=")
+        database_id = database_id or Path(path).stem
+        runtimes.append(DatabaseRuntime(
+            Database.open(path),
+            model,
+            database_id=database_id,
+            beam_size=args.beam,
+        ))
+
+    service = TranslationService(
+        runtimes,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+        cache=TranslationCache(capacity=args.cache_size, ttl_s=args.cache_ttl),
+        default_timeout_ms=args.timeout_ms,
+        allow_failure_injection=args.allow_injection,
+    )
+    service.start()
+    server = ServingServer((args.host, args.port), service)
+    engine = "model" if model is not None else "heuristic-only"
+    print(f"serving {len(runtimes)} database(s) [{engine}] on {server.url}")
+    print(f"  databases: {', '.join(sorted(service.runtimes))}")
+    print("  endpoints: POST /translate  GET /healthz  GET /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down ...")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+        for runtime in runtimes:
+            runtime.database.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -135,6 +194,35 @@ def main(argv: list[str] | None = None) -> int:
     inspect.add_argument("question")
     inspect.add_argument("--database", required=True, help="SQLite file")
     inspect.set_defaults(func=_cmd_inspect)
+
+    serve = commands.add_parser("serve", help="run the HTTP inference service")
+    serve.add_argument(
+        "--database", action="append", required=True, dest="databases",
+        metavar="[ID=]PATH",
+        help="SQLite file to serve (repeatable); id defaults to the file stem",
+    )
+    serve.add_argument(
+        "--model", default=None,
+        help="saved model directory; omit to serve the heuristic baseline only",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--queue-size", type=int, default=64)
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--batch-window-ms", type=float, default=2.0)
+    serve.add_argument("--cache-size", type=int, default=256)
+    serve.add_argument("--cache-ttl", type=float, default=300.0)
+    serve.add_argument(
+        "--timeout-ms", type=float, default=10_000.0,
+        help="default per-request deadline",
+    )
+    serve.add_argument("--beam", type=int, default=1)
+    serve.add_argument(
+        "--allow-injection", action="store_true",
+        help="honor inject_failure request flags (load/chaos testing only)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

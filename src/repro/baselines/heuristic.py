@@ -10,6 +10,8 @@ harness with a cheap, deterministic system.
 
 from __future__ import annotations
 
+import time
+
 from repro.db.database import Database
 from repro.pipeline.timing import StageTimings
 from repro.pipeline.valuenet import TranslationResult
@@ -42,7 +44,10 @@ class HeuristicBaseline:
     def translate(self, question: str, **_ignored) -> TranslationResult:
         """Translate with rules only (gold values, if passed, are ignored)."""
         result = TranslationResult(question=question, timings=StageTimings())
-        pre = self.preprocessor.run(question)
+        stage_times: dict[str, float] = {}
+        pre = self.preprocessor.run(question, timings=stage_times)
+        result.timings.preprocessing = stage_times.get("preprocessing", 0.0)
+        result.timings.value_lookup = stage_times.get("value_lookup", 0.0)
         result.candidates = pre.candidates
 
         table = self._pick_table(pre)
@@ -62,10 +67,12 @@ class HeuristicBaseline:
 
         where = self._build_condition(table, pre)
         query = Query(body=SelectQuery(select=select, tables=[table], where=where))
+        start = time.perf_counter()
         try:
             result.sql = self._renderer.render(query)
         except Exception as exc:  # pragma: no cover - defensive
             result.error = str(exc)
+        result.timings.postprocessing = time.perf_counter() - start
         return result
 
     def _pick_table(self, pre) -> str:

@@ -4,11 +4,20 @@ Every synthetic Spider-like database in this reproduction is a real SQLite
 database (in memory or on disk): queries are genuinely *executed* for the
 Execution Accuracy metric, and the value candidate machinery reads real
 base data through this wrapper.
+
+One :class:`Database` may be shared across threads (the serving worker
+pool does this): each non-owner thread lazily receives its own SQLite
+connection — a fresh connection to the same file for file-backed
+databases, or a snapshot clone (via the SQLite backup API) for in-memory
+databases.  Clones of in-memory databases are read-only snapshots taken
+at first use from that thread; writes made afterwards through the owner
+thread are not visible to already-cloned threads.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import threading
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
@@ -32,9 +41,21 @@ class Database:
     is introspected when not supplied).
     """
 
-    def __init__(self, schema: Schema, connection: sqlite3.Connection):
+    def __init__(
+        self,
+        schema: Schema,
+        connection: sqlite3.Connection,
+        *,
+        path: str | Path | None = None,
+    ):
         self.schema = schema
+        self._path = str(path) if path is not None else None
         self._connection = connection
+        self._owner_thread = threading.get_ident()
+        self._thread_local = threading.local()
+        self._clone_lock = threading.Lock()
+        self._clones: list[sqlite3.Connection] = []
+        self._closed = False
         self._connection.execute("PRAGMA foreign_keys = ON")
 
     # -------------------------------------------------------- construction
@@ -47,8 +68,11 @@ class Database:
             schema: logical schema to materialize.
             path: SQLite file path; ``None`` creates an in-memory database.
         """
-        connection = sqlite3.connect(str(path) if path is not None else ":memory:")
-        database = cls(schema, connection)
+        connection = sqlite3.connect(
+            str(path) if path is not None else ":memory:",
+            check_same_thread=False,
+        )
+        database = cls(schema, connection, path=path)
         database._create_tables()
         return database
 
@@ -59,12 +83,12 @@ class Database:
         When ``schema`` is omitted the logical schema is introspected from
         SQLite metadata (see :mod:`repro.db.introspect`).
         """
-        connection = sqlite3.connect(str(path))
+        connection = sqlite3.connect(str(path), check_same_thread=False)
         if schema is None:
             from repro.db.introspect import introspect_schema
 
             schema = introspect_schema(connection, name=Path(path).stem)
-        return cls(schema, connection)
+        return cls(schema, connection, path=path)
 
     def _create_tables(self) -> None:
         for table in self.schema.tables:
@@ -86,6 +110,41 @@ class Database:
             self._connection.execute(ddl)
         self._connection.commit()
 
+    # ----------------------------------------------------- thread handling
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The SQLite connection for the *current* thread.
+
+        The thread that constructed the :class:`Database` gets the primary
+        connection; every other thread gets a lazily created per-thread
+        connection (see the module docstring for snapshot semantics).
+        """
+        if self._closed:
+            raise ExecutionError("database is closed")
+        if threading.get_ident() == self._owner_thread:
+            return self._connection
+        connection = getattr(self._thread_local, "connection", None)
+        if connection is None:
+            connection = self._open_thread_connection()
+            self._thread_local.connection = connection
+        return connection
+
+    def _open_thread_connection(self) -> sqlite3.Connection:
+        if self._path is not None:
+            connection = sqlite3.connect(self._path, check_same_thread=False)
+        else:
+            connection = sqlite3.connect(":memory:", check_same_thread=False)
+            # The backup API reads the primary connection; serialize against
+            # other cloning threads (sqlite3.threadsafety handles concurrent
+            # owner-thread queries).
+            with self._clone_lock:
+                self._connection.backup(connection)
+        connection.execute("PRAGMA foreign_keys = ON")
+        with self._clone_lock:
+            self._clones.append(connection)
+        return connection
+
     # ------------------------------------------------------------- loading
 
     def insert_rows(self, table_name: str, rows: Iterable[Sequence[object]]) -> int:
@@ -94,13 +153,14 @@ class Database:
         placeholders = ", ".join("?" for _ in table.columns)
         statement = f'INSERT INTO "{table.name}" VALUES ({placeholders})'
         rows = list(rows)
+        connection = self.connection
         try:
-            self._connection.executemany(statement, rows)
+            connection.executemany(statement, rows)
         except sqlite3.Error as exc:
             raise ExecutionError(
                 f"failed to insert into {table_name!r}: {exc}"
             ) from exc
-        self._connection.commit()
+        connection.commit()
         return len(rows)
 
     # ------------------------------------------------------------ querying
@@ -112,7 +172,7 @@ class Database:
             ExecutionError: on any SQLite error (syntax, missing table, ...).
         """
         try:
-            cursor = self._connection.execute(sql)
+            cursor = self.connection.execute(sql)
             if max_rows is None:
                 return cursor.fetchall()
             rows = cursor.fetchmany(max_rows + 1)
@@ -150,7 +210,7 @@ class Database:
         else:
             sql = f'SELECT 1 FROM "{column.table}" WHERE "{column.name}" = ? LIMIT 1'
         try:
-            cursor = self._connection.execute(sql, (value,))
+            cursor = self.connection.execute(sql, (value,))
             return cursor.fetchone() is not None
         except sqlite3.Error as exc:
             raise ExecutionError(f"value lookup failed: {exc}") from exc
@@ -160,6 +220,16 @@ class Database:
         return self.execute(f'SELECT COUNT(*) FROM "{table.name}"')[0][0]
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._clone_lock:
+            clones, self._clones = self._clones, []
+        for connection in clones:
+            try:
+                connection.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
         self._connection.close()
 
     def __enter__(self) -> "Database":

@@ -93,23 +93,56 @@ def execute_and_compare(
     )
 
 
+def _skip_quoted(text: str, start: int) -> int:
+    """Index just past the quoted literal/identifier opening at ``start``.
+
+    Handles SQLite's doubled-quote escape (``'it''s'``); an unterminated
+    literal consumes the rest of the string.
+    """
+    quote = text[start]
+    i = start + 1
+    n = len(text)
+    while i < n:
+        if text[i] == quote:
+            if i + 1 < n and text[i + 1] == quote:
+                i += 2  # doubled quote is an escaped quote, not a close
+                continue
+            return i + 1
+        i += 1
+    return n
+
+
 def gold_orders_rows(gold_sql: str) -> bool:
     """Heuristic: does the gold query's *top level* impose row order?
 
     An ORDER BY inside a sub-query (``IN (SELECT ... ORDER BY ...)``) does
     not constrain the outer result order.  We check for ORDER BY at paren
-    depth zero.
+    depth zero, skipping quoted literals and identifiers so that a string
+    like ``'order by'`` or a ``'('`` inside a value cannot miscount depth
+    or false-positive.
     """
     depth = 0
     lowered = gold_sql.lower()
     i = 0
-    while i < len(lowered):
+    n = len(lowered)
+    while i < n:
         ch = lowered[i]
+        if ch in ("'", '"', "`"):
+            i = _skip_quoted(lowered, i)
+            continue
+        if ch == "[":  # SQLite bracket-quoted identifier
+            end = lowered.find("]", i + 1)
+            i = n if end == -1 else end + 1
+            continue
         if ch == "(":
             depth += 1
         elif ch == ")":
             depth -= 1
-        elif depth == 0 and lowered.startswith("order by", i):
+        elif (
+            depth == 0
+            and lowered.startswith("order by", i)
+            and (i == 0 or not (lowered[i - 1].isalnum() or lowered[i - 1] == "_"))
+        ):
             return True
         i += 1
     return False

@@ -133,11 +133,8 @@ class ValueNetLightPipeline(_BasePipeline):
     def _preprocess(
         self, question: str, timings: StageTimings, *, values: list[object]
     ) -> PreprocessedQuestion:
-        start = time.perf_counter()
-        pre = self.preprocessor.run_light(question, values)
-        elapsed = time.perf_counter() - start
-        # run_light's only DB work is locating the provided values; count
-        # that as the value-lookup stage.
-        timings.preprocessing = elapsed * 0.5
-        timings.value_lookup = elapsed * 0.5
+        stage_times: dict[str, float] = {}
+        pre = self.preprocessor.run_light(question, values, timings=stage_times)
+        timings.preprocessing = stage_times.get("preprocessing", 0.0)
+        timings.value_lookup = stage_times.get("value_lookup", 0.0)
         return pre

@@ -14,6 +14,7 @@ candidate list to produce pointer supervision) and inference.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.candidates.generation import CandidateGenerator, GenerationConfig
@@ -90,8 +91,6 @@ class Preprocessor:
                 against the database) — the split reported in the paper's
                 Table II.
         """
-        import time
-
         t0 = time.perf_counter()
         tokens = tokenize(question)
         extracted = self._extractor.extract(question)
@@ -115,12 +114,27 @@ class Preprocessor:
     # ------------------------------------------------ ValueNet light mode
 
     def run_light(
-        self, question: str, gold_values: list[object]
+        self,
+        question: str,
+        gold_values: list[object],
+        timings: dict[str, float] | None = None,
     ) -> PreprocessedQuestion:
         """ValueNet light pre-processing: gold values arrive as an oracle
         set of options; we only locate them in the database (the encoder
-        wants locations) and compute hints."""
+        wants locations) and compute hints.
+
+        Args:
+            question: the NL question.
+            gold_values: the oracle value options.
+            timings: optional dict that receives per-stage wall-clock
+                seconds, split the same way :meth:`run` does —
+                ``preprocessing`` covers tokenization + hints and
+                ``value_lookup`` covers locating the supplied values in
+                the index.
+        """
+        t0 = time.perf_counter()
         tokens = tokenize(question)
+        t1 = time.perf_counter()
         candidates = [
             ValueCandidate(value, "gold") for value in gold_values
         ]
@@ -131,7 +145,14 @@ class Preprocessor:
                 key=lambda loc: (loc.table, loc.column),
             ))
             located.append(candidate.with_locations(locations))
-        return self._finish(question, tokens, dedupe_candidates(located), [])
+        deduped = dedupe_candidates(located)
+        t2 = time.perf_counter()
+        result = self._finish(question, tokens, deduped, [])
+        t3 = time.perf_counter()
+        if timings is not None:
+            timings["preprocessing"] = (t1 - t0) + (t3 - t2)
+            timings["value_lookup"] = t2 - t1
+        return result
 
     # ------------------------------------------------------------- shared
 

@@ -1,0 +1,51 @@
+"""Concurrent NL-to-SQL inference serving.
+
+The production-shaped layer over the translation pipelines: a bounded
+request queue with a micro-batching worker pool
+(:class:`TranslationService`), an LRU+TTL result cache
+(:class:`TranslationCache`), graceful degradation to the heuristic
+baseline on model failure or deadline breach, a metrics registry
+(:class:`MetricsRegistry`), and a stdlib HTTP front-end
+(:class:`ServingServer`).  Start it from the CLI with ``repro serve``.
+"""
+
+from repro.serving.cache import CacheKey, TranslationCache, normalize_question
+from repro.serving.http import ServingRequestHandler, ServingServer
+from repro.serving.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.serving.runtime import DatabaseRuntime
+from repro.serving.service import (
+    QueueFullError,
+    ServeRequest,
+    ServeResponse,
+    ServiceStoppedError,
+    ServingError,
+    TranslationService,
+    UnknownDatabaseError,
+)
+
+__all__ = [
+    "CacheKey",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DatabaseRuntime",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueueFullError",
+    "ServeRequest",
+    "ServeResponse",
+    "ServiceStoppedError",
+    "ServingError",
+    "ServingRequestHandler",
+    "ServingServer",
+    "TranslationCache",
+    "TranslationService",
+    "UnknownDatabaseError",
+    "normalize_question",
+]

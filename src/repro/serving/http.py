@@ -1,0 +1,151 @@
+"""Stdlib HTTP front-end for the translation service.
+
+Endpoints (all JSON unless noted):
+
+* ``GET  /healthz``  — liveness + queue/cache snapshot.
+* ``GET  /metrics``  — Prometheus text exposition; ``?format=json`` for a
+  JSON snapshot with p50/p95/p99 per histogram.
+* ``POST /translate`` — body ``{"question": ..., "database_id": ...,
+  "beam_size": ..., "execute": ..., "timeout_ms": ...,
+  "inject_failure": ...}``; only ``question`` is required (and
+  ``database_id`` only when serving several databases).
+
+Status codes: 200 on success (including degraded responses — the
+degradation contract lives in the body, not the status), 400 on malformed
+requests, 404 on unknown paths or databases, 503 when the queue is full.
+Served by :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, all funneling into the service's bounded queue.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.serving.service import (
+    QueueFullError,
+    ServiceStoppedError,
+    TranslationService,
+    UnknownDatabaseError,
+)
+
+MAX_BODY_BYTES = 64 * 1024
+
+
+class ServingRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serving/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> TranslationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------ plumbing
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ------------------------------------------------------------ handlers
+
+    def do_GET(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
+            self._send_json(200, self.service.health())
+        elif parsed.path == "/metrics":
+            params = parse_qs(parsed.query)
+            if params.get("format", [""])[0] == "json":
+                self._send_json(200, self.service.metrics.snapshot())
+            else:
+                self._send_text(
+                    200,
+                    self.service.metrics.render_text(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+        else:
+            self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        if parsed.path != "/translate":
+            self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_json(400, {"error": "bad Content-Length"})
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(400, {"error": "body required (<= 64 KiB)"})
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"invalid JSON body: {exc}"})
+            return
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("question"), str
+        ):
+            self._send_json(400, {"error": 'body must include a string "question"'})
+            return
+        try:
+            response = self.service.translate(
+                payload["question"],
+                payload.get("database_id"),
+                beam_size=payload.get("beam_size"),
+                execute=bool(payload.get("execute", False)),
+                timeout_ms=payload.get("timeout_ms"),
+                inject_failure=bool(payload.get("inject_failure", False)),
+            )
+        except UnknownDatabaseError as exc:
+            self._send_json(404, {"error": str(exc)})
+            return
+        except QueueFullError as exc:
+            self._send_json(503, {"error": str(exc)})
+            return
+        except ServiceStoppedError as exc:
+            self._send_json(503, {"error": str(exc)})
+            return
+        except (TypeError, ValueError) as exc:
+            self._send_json(400, {"error": f"bad request parameters: {exc}"})
+            return
+        self._send_json(200, response.as_dict())
+
+
+class ServingServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`TranslationService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: TranslationService,
+        *,
+        verbose: bool = False,
+    ):
+        super().__init__(address, ServingRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"

@@ -1,0 +1,236 @@
+"""Thread-safe serving metrics: counters, gauges, and latency histograms.
+
+A tiny dependency-free metrics layer in the spirit of the Prometheus
+client: the service records per-stage translation latency (building on
+:data:`repro.pipeline.STAGES` / :class:`~repro.pipeline.StageTimings`),
+cache traffic, queue depth, and batch sizes, and the HTTP layer exposes
+the registry both as a Prometheus text exposition and as JSON.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+# Upper bucket bounds in seconds, tuned for interactive NL-to-SQL latency
+# (paper Table II reports per-stage times between ~1 ms and ~2 s).
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (e.g. current queue depth)."""
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help_text = help_text
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimation.
+
+    Buckets are cumulative-style upper bounds (Prometheus ``le``
+    semantics); observations above the last bound land in the +Inf
+    bucket.  :meth:`quantile` linearly interpolates inside the bucket
+    containing the target rank, which is exact enough for p50/p95/p99
+    reporting at the bucket resolution used here.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.help_text = help_text
+        self.bounds = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.bounds) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` (0 < q <= 1); 0.0 when empty."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q * self._count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                previous = cumulative
+                cumulative += bucket_count
+                if cumulative >= target:
+                    if index >= len(self.bounds):
+                        return self._max  # +Inf bucket: best estimate is max
+                    lower = self.bounds[index - 1] if index > 0 else 0.0
+                    upper = self.bounds[index]
+                    if bucket_count == 0:  # pragma: no cover - defensive
+                        return upper
+                    fraction = (target - previous) / bucket_count
+                    return min(lower + fraction * (upper - lower), self._max)
+            return self._max  # pragma: no cover - unreachable
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            cumulative, buckets = 0, []
+            for bound, bucket_count in zip(self.bounds, self._counts):
+                cumulative += bucket_count
+                buckets.append({"le": bound, "count": cumulative})
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "max": self._max,
+                "buckets": buckets,
+            }
+
+
+class MetricsRegistry:
+    """Named metric store with get-or-create semantics and exporters."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory, kind):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} is {type(metric).__name__}, "
+                    f"not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help_text), Counter)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help_text), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, help_text, buckets), Histogram
+        )
+
+    # ----------------------------------------------------------- exporters
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dump of every metric."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict[str, object] = {}
+        for name, metric in sorted(metrics.items()):
+            if isinstance(metric, Histogram):
+                data = metric.snapshot()
+                data["p50"] = metric.quantile(0.50)
+                data["p95"] = metric.quantile(0.95)
+                data["p99"] = metric.quantile(0.99)
+                out[name] = data
+            else:
+                out[name] = metric.value
+        return out
+
+    def render_text(self) -> str:
+        """Prometheus text exposition (version 0.0.4)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        lines: list[str] = []
+        for name, metric in sorted(metrics.items()):
+            if metric.help_text:
+                lines.append(f"# HELP {name} {metric.help_text}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {metric.value:g}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {metric.value:g}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                data = metric.snapshot()
+                for bucket in data["buckets"]:
+                    lines.append(
+                        f'{name}_bucket{{le="{bucket["le"]:g}"}} {bucket["count"]}'
+                    )
+                lines.append(f'{name}_bucket{{le="+Inf"}} {data["count"]}')
+                lines.append(f"{name}_sum {data['sum']:g}")
+                lines.append(f"{name}_count {data['count']}")
+        return "\n".join(lines) + "\n"

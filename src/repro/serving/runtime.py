@@ -1,0 +1,111 @@
+"""Per-database serving state: pipeline, fallback, and shared indexes.
+
+One :class:`DatabaseRuntime` bundles everything the service needs to
+answer questions against a single database: the (thread-safe)
+:class:`~repro.db.database.Database`, a shared
+:class:`~repro.preprocessing.pipeline.Preprocessor` (its inverted index is
+built once and read concurrently), the neural
+:class:`~repro.pipeline.ValueNetPipeline` when a model is available, and
+the :class:`~repro.baselines.heuristic.HeuristicBaseline` used both as the
+primary engine in model-free deployments and as the degraded fallback.
+
+The neural model mutates shared state during prediction (train/eval
+flags, per-step decoder caches), so translate calls are serialized per
+runtime with a lock; different databases still run fully in parallel, and
+cache hits never take the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.baselines.heuristic import HeuristicBaseline
+from repro.db.database import Database
+from repro.model.valuenet import ValueNetModel
+from repro.pipeline.valuenet import TranslationResult, ValueNetPipeline
+from repro.preprocessing.pipeline import Preprocessor
+
+
+class DatabaseRuntime:
+    """Everything needed to serve one database.
+
+    Args:
+        database: the database to answer questions against.
+        model: trained model; ``None`` serves heuristic-only (the
+            fallback becomes the primary engine and responses are not
+            marked degraded).
+        database_id: external name for routing; defaults to the schema
+            name.
+        beam_size: beam width for the neural pipeline.
+        pipeline: pre-built pipeline override (used by tests to inject
+            fakes); mutually exclusive with ``model``.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        model: ValueNetModel | None = None,
+        *,
+        database_id: str | None = None,
+        beam_size: int = 1,
+        pipeline: ValueNetPipeline | None = None,
+    ):
+        if model is not None and pipeline is not None:
+            raise ValueError("pass either model or pipeline, not both")
+        self.database = database
+        self.database_id = database_id or database.schema.name
+        self.beam_size = beam_size
+        self.preprocessor = Preprocessor(database)
+        if pipeline is not None:
+            self.pipeline = pipeline
+        elif model is not None:
+            self.pipeline = ValueNetPipeline(
+                model, database, preprocessor=self.preprocessor, beam_size=beam_size
+            )
+        else:
+            self.pipeline = None
+        self.fallback = HeuristicBaseline(database, preprocessor=self.preprocessor)
+        self._lock = threading.Lock()
+
+    @property
+    def has_model(self) -> bool:
+        return self.pipeline is not None
+
+    def translate(
+        self,
+        question: str,
+        *,
+        execute: bool = False,
+        beam_size: int | None = None,
+    ) -> TranslationResult:
+        """Run the neural pipeline (requires a model).
+
+        ``beam_size`` overrides the pipeline's configured beam for this
+        call; the per-runtime lock makes the temporary override safe.
+        """
+        if self.pipeline is None:
+            raise RuntimeError(f"runtime {self.database_id!r} has no model")
+        with self._lock:
+            configured = self.pipeline.beam_size
+            if beam_size is not None:
+                self.pipeline.beam_size = beam_size
+            try:
+                return self.pipeline.translate(question, execute=execute)
+            finally:
+                self.pipeline.beam_size = configured
+
+    def translate_fallback(
+        self, question: str, *, execute: bool = False
+    ) -> TranslationResult:
+        """Run the rule-based fallback engine."""
+        with self._lock:
+            result = self.fallback.translate(question)
+        if execute and result.sql is not None and result.error is None:
+            start = time.perf_counter()
+            try:
+                result.rows = self.database.execute(result.sql)
+            except Exception as exc:  # ExecutionError, kept broad on purpose
+                result.error = f"execution failed: {exc}"
+            result.timings.execution = time.perf_counter() - start
+        return result

@@ -1,0 +1,486 @@
+"""The concurrent translation service: queue, worker pool, micro-batching.
+
+Request lifecycle::
+
+    submit() -> bounded queue -> worker pulls a request, drains compatible
+    requests into a micro-batch (same database + beam size, bounded by
+    ``max_batch`` and ``batch_window_ms``) -> per request: cache lookup ->
+    neural pipeline -> on failure or deadline breach, heuristic fallback
+    tagged ``degraded`` -> response event set.
+
+Deadline policy: a request that is already past its deadline when a
+worker picks it up skips the model entirely and is answered by the
+heuristic fallback (reason ``deadline``); a model answer that completes
+*after* the deadline is still returned (the work is already paid for) but
+tagged degraded with reason ``late``.  Model exceptions and translation
+errors fall back with reason ``model_error``.  Failure injection
+(``inject_failure=True`` on a request, honored only when the service was
+built with ``allow_failure_injection``) exercises the same path for load
+tests and chaos checks.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.pipeline.timing import STAGES
+from repro.pipeline.valuenet import TranslationResult
+from repro.serving.cache import CacheKey, TranslationCache
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.runtime import DatabaseRuntime
+
+
+class ServingError(ReproError):
+    """Base class for serving-layer failures."""
+
+
+class QueueFullError(ServingError):
+    """The bounded request queue is at capacity (shed load upstream)."""
+
+
+class UnknownDatabaseError(ServingError):
+    """The request names a database the service does not host."""
+
+
+class ServiceStoppedError(ServingError):
+    """submit() was called on a stopped (or never started) service."""
+
+
+@dataclass
+class ServeResponse:
+    """What the service returns for one request."""
+
+    question: str
+    database_id: str
+    sql: str | None = None
+    rows: list[tuple] | None = None
+    error: str | None = None
+    engine: str = "model"  # "model" | "heuristic" | "cache"
+    degraded: bool = False
+    degraded_reason: str | None = None
+    cache_hit: bool = False
+    timings: dict[str, float] = field(default_factory=dict)
+    queue_ms: float = 0.0
+    service_ms: float = 0.0
+    batch_size: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.sql is not None and self.error is None
+
+    def as_dict(self) -> dict:
+        return {
+            "question": self.question,
+            "database_id": self.database_id,
+            "sql": self.sql,
+            "rows": [list(row) for row in self.rows] if self.rows is not None else None,
+            "error": self.error,
+            "engine": self.engine,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "cache_hit": self.cache_hit,
+            "timings_ms": {k: 1000.0 * v for k, v in self.timings.items()},
+            "queue_ms": self.queue_ms,
+            "service_ms": self.service_ms,
+            "batch_size": self.batch_size,
+        }
+
+
+@dataclass
+class ServeRequest:
+    """An in-flight request; ``done`` fires once ``response`` is set."""
+
+    question: str
+    database_id: str
+    beam_size: int
+    execute: bool
+    inject_failure: bool
+    deadline: float  # monotonic seconds
+    enqueued_at: float
+    done: threading.Event = field(default_factory=threading.Event)
+    response: ServeResponse | None = None
+
+    def resolve(self, response: ServeResponse) -> None:
+        self.response = response
+        self.done.set()
+
+
+_SHUTDOWN = object()
+
+
+class TranslationService:
+    """Bounded-queue, worker-pool NL-to-SQL service over many databases.
+
+    Args:
+        runtimes: the databases to serve (ids must be unique).
+        workers: worker-thread count.
+        queue_size: bound on queued requests; :meth:`submit` raises
+            :class:`QueueFullError` beyond it.
+        max_batch: micro-batch cap per worker dequeue.
+        batch_window_ms: how long a worker waits to fill a batch after
+            its first request.
+        cache: result cache (one is created when omitted; pass ``None``
+            explicitly via ``cache_capacity=0`` semantics is not
+            supported — use a tiny TTL instead).
+        default_timeout_ms: deadline applied when a request has none.
+        metrics: registry to record into (created when omitted).
+        allow_failure_injection: honor per-request ``inject_failure``
+            flags (keep off outside load tests).
+    """
+
+    def __init__(
+        self,
+        runtimes: list[DatabaseRuntime],
+        *,
+        workers: int = 4,
+        queue_size: int = 64,
+        max_batch: int = 8,
+        batch_window_ms: float = 2.0,
+        cache: TranslationCache | None = None,
+        default_timeout_ms: float = 10_000.0,
+        metrics: MetricsRegistry | None = None,
+        allow_failure_injection: bool = False,
+    ):
+        if not runtimes:
+            raise ValueError("need at least one DatabaseRuntime")
+        self.runtimes: dict[str, DatabaseRuntime] = {}
+        for runtime in runtimes:
+            if runtime.database_id in self.runtimes:
+                raise ValueError(f"duplicate database id {runtime.database_id!r}")
+            self.runtimes[runtime.database_id] = runtime
+        self.workers = workers
+        self.max_batch = max(1, max_batch)
+        self.batch_window_s = max(0.0, batch_window_ms) / 1000.0
+        self.cache = cache if cache is not None else TranslationCache()
+        self.default_timeout_ms = default_timeout_ms
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.allow_failure_injection = allow_failure_injection
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._stopping = False
+        self.started_at = time.time()
+        self._init_metrics()
+
+    # ------------------------------------------------------------- metrics
+
+    def _init_metrics(self) -> None:
+        m = self.metrics
+        self._requests_total = m.counter(
+            "serving_requests_total", "requests accepted into the queue")
+        self._rejected_total = m.counter(
+            "serving_rejected_total", "requests rejected (queue full)")
+        self._responses_ok = m.counter(
+            "serving_responses_ok_total", "successful responses")
+        self._responses_error = m.counter(
+            "serving_responses_error_total", "responses with an error")
+        self._responses_degraded = m.counter(
+            "serving_responses_degraded_total", "responses served by fallback")
+        self._cache_hits = m.counter(
+            "serving_cache_hits_total", "cache hits")
+        self._cache_misses = m.counter(
+            "serving_cache_misses_total", "cache misses")
+        self._queue_depth = m.gauge(
+            "serving_queue_depth", "requests currently queued")
+        self._inflight = m.gauge(
+            "serving_inflight", "requests currently being processed")
+        self._batch_hist = m.histogram(
+            "serving_batch_size", "micro-batch sizes",
+            buckets=tuple(float(n) for n in range(1, 17)))
+        self._queue_wait = m.histogram(
+            "serving_queue_wait_seconds", "time from submit to worker pickup")
+        self._latency = m.histogram(
+            "serving_latency_seconds", "total in-service latency")
+        self._stage_hists = {
+            stage: m.histogram(
+                f"serving_stage_{stage}_seconds",
+                f"per-request {stage} stage latency (Table II split)")
+            for stage in STAGES
+        }
+
+    # ----------------------------------------------------------- lifecycle
+
+    def start(self) -> "TranslationService":
+        if self._started:
+            return self
+        self._started = True
+        self._stopping = False
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"serving-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        """Drain the queue and join the workers (idempotent)."""
+        if not self._started:
+            return
+        self._stopping = True
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        self._started = False
+
+    def __enter__(self) -> "TranslationService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ---------------------------------------------------------- submission
+
+    def submit(
+        self,
+        question: str,
+        database_id: str | None = None,
+        *,
+        beam_size: int | None = None,
+        execute: bool = False,
+        timeout_ms: float | None = None,
+        inject_failure: bool = False,
+    ) -> ServeRequest:
+        """Enqueue a request; returns immediately with the in-flight handle.
+
+        ``database_id`` may be omitted when the service hosts exactly one
+        database.
+        """
+        if self._stopping:
+            raise ServiceStoppedError("service is stopping")
+        if database_id is None:
+            if len(self.runtimes) != 1:
+                raise UnknownDatabaseError(
+                    "database_id is required when serving multiple databases"
+                )
+            database_id = next(iter(self.runtimes))
+        elif database_id not in self.runtimes:
+            raise UnknownDatabaseError(
+                f"unknown database {database_id!r}; serving: "
+                + ", ".join(sorted(self.runtimes))
+            )
+        runtime = self.runtimes[database_id]
+        now = time.monotonic()
+        timeout_s = (
+            timeout_ms if timeout_ms is not None else self.default_timeout_ms
+        ) / 1000.0
+        request = ServeRequest(
+            question=question,
+            database_id=database_id,
+            beam_size=int(beam_size) if beam_size is not None else runtime.beam_size,
+            execute=execute,
+            inject_failure=inject_failure and self.allow_failure_injection,
+            deadline=now + timeout_s,
+            enqueued_at=now,
+        )
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self._rejected_total.inc()
+            raise QueueFullError(
+                f"request queue is full ({self._queue.maxsize} pending)"
+            ) from None
+        self._requests_total.inc()
+        self._queue_depth.set(self._queue.qsize())
+        return request
+
+    def translate(self, question: str, database_id: str | None = None, **kwargs) -> ServeResponse:
+        """Closed-loop convenience: submit and wait for the response."""
+        request = self.submit(question, database_id, **kwargs)
+        budget = max(0.0, request.deadline - time.monotonic())
+        # Workers enforce the deadline; the wait cap only guards against a
+        # wedged worker, so it is generous.
+        if not request.done.wait(timeout=budget + 60.0):
+            return ServeResponse(
+                question=question,
+                database_id=request.database_id,
+                error="internal timeout: no worker picked up the request",
+                engine="none",
+            )
+        assert request.response is not None
+        return request.response
+
+    # ------------------------------------------------------------- workers
+
+    def _worker_loop(self) -> None:
+        pending: ServeRequest | None = None
+        while True:
+            first = pending if pending is not None else self._queue.get()
+            pending = None
+            if first is _SHUTDOWN:
+                return
+            batch = [first]
+            window_end = time.monotonic() + self.batch_window_s
+            while len(batch) < self.max_batch:
+                remaining = window_end - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    # Re-post for a sibling worker; finish this batch first.
+                    self._queue.put(_SHUTDOWN)
+                    break
+                if (
+                    nxt.database_id == first.database_id
+                    and nxt.beam_size == first.beam_size
+                ):
+                    batch.append(nxt)
+                else:
+                    pending = nxt  # seeds this worker's next batch
+                    break
+            self._queue_depth.set(self._queue.qsize())
+            self._process_batch(batch)
+
+    def _process_batch(self, batch: list[ServeRequest]) -> None:
+        self._batch_hist.observe(float(len(batch)))
+        runtime = self.runtimes[batch[0].database_id]
+        for request in batch:
+            self._inflight.inc()
+            try:
+                response = self._process_one(runtime, request, len(batch))
+            except Exception as exc:  # never let a worker die
+                response = ServeResponse(
+                    question=request.question,
+                    database_id=request.database_id,
+                    error=f"internal error: {exc}",
+                    engine="none",
+                )
+            finally:
+                self._inflight.dec()
+            self._record(response)
+            request.resolve(response)
+
+    def _process_one(
+        self, runtime: DatabaseRuntime, request: ServeRequest, batch_size: int
+    ) -> ServeResponse:
+        picked_up = time.monotonic()
+        queue_wait = picked_up - request.enqueued_at
+        self._queue_wait.observe(queue_wait)
+
+        response = ServeResponse(
+            question=request.question,
+            database_id=request.database_id,
+            queue_ms=1000.0 * queue_wait,
+            batch_size=batch_size,
+        )
+
+        key = CacheKey.make(request.database_id, request.question, request.beam_size)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._cache_hits.inc()
+            response.sql = cached["sql"]
+            response.timings = dict(cached["timings"])
+            response.engine = "cache"
+            response.cache_hit = True
+            response.service_ms = 1000.0 * (time.monotonic() - picked_up)
+            if request.execute:
+                self._execute_rows(runtime, response)
+            return response
+        self._cache_misses.inc()
+
+        result: TranslationResult | None = None
+        if request.inject_failure:
+            response.degraded = True
+            response.degraded_reason = "injected"
+        elif picked_up >= request.deadline:
+            response.degraded = True
+            response.degraded_reason = "deadline"
+        elif runtime.has_model:
+            try:
+                result = runtime.translate(
+                    request.question,
+                    execute=request.execute,
+                    beam_size=request.beam_size,
+                )
+            except Exception as exc:
+                response.degraded = True
+                response.degraded_reason = "model_error"
+                response.error = str(exc)
+                result = None
+            if result is not None and result.error is not None:
+                response.degraded = True
+                response.degraded_reason = "model_error"
+                response.error = result.error
+                result = None
+
+        if result is None and not response.degraded and not runtime.has_model:
+            # No model configured: the heuristic IS the primary engine.
+            result = runtime.translate_fallback(
+                request.question, execute=request.execute
+            )
+            response.engine = "heuristic"
+
+        if response.degraded:
+            result = runtime.translate_fallback(
+                request.question, execute=request.execute
+            )
+            response.engine = "heuristic"
+            response.error = result.error  # fallback outcome supersedes
+
+        assert result is not None
+        response.sql = result.sql
+        response.rows = result.rows
+        if result.error is not None:
+            response.error = result.error
+        response.timings = result.timings.as_dict()
+
+        finished = time.monotonic()
+        if (
+            response.engine == "model"
+            and finished > request.deadline
+            and not response.degraded
+        ):
+            # The model answer arrived late; return it but flag the breach.
+            response.degraded = True
+            response.degraded_reason = "late"
+        response.service_ms = 1000.0 * (finished - picked_up)
+
+        if response.ok and not response.degraded:
+            self.cache.put(key, {"sql": response.sql, "timings": response.timings})
+        return response
+
+    def _execute_rows(self, runtime: DatabaseRuntime, response: ServeResponse) -> None:
+        try:
+            response.rows = runtime.database.execute(response.sql)
+        except Exception as exc:
+            response.error = f"execution failed: {exc}"
+
+    # ------------------------------------------------------------ recording
+
+    def _record(self, response: ServeResponse) -> None:
+        if response.ok:
+            self._responses_ok.inc()
+        else:
+            self._responses_error.inc()
+        if response.degraded:
+            self._responses_degraded.inc()
+        self._latency.observe(response.service_ms / 1000.0)
+        if response.cache_hit:
+            return  # cached timings describe work that did not run now
+        for stage, seconds in response.timings.items():
+            hist = self._stage_hists.get(stage)
+            if hist is not None and seconds > 0.0:
+                hist.observe(seconds)
+
+    # ------------------------------------------------------------- health
+
+    def health(self) -> dict:
+        return {
+            "status": "stopping" if self._stopping else (
+                "ok" if self._started else "idle"),
+            "uptime_s": time.time() - self.started_at,
+            "databases": sorted(self.runtimes),
+            "workers": self.workers,
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self._queue.maxsize,
+            "cache": self.cache.stats(),
+        }

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.db import (
@@ -68,6 +70,70 @@ class TestDatabase:
     def test_context_manager(self, pets_schema):
         with Database.create(pets_schema) as db:
             assert db.row_count("student") == 0
+
+
+class TestThreadSafety:
+    """One Database shared across a worker pool (serving requirement)."""
+
+    @staticmethod
+    def _hammer(db, errors, results):
+        try:
+            for _ in range(25):
+                rows = db.execute(
+                    "SELECT name FROM student WHERE age > 20 ORDER BY name"
+                )
+                results.append(tuple(rows))
+                count = db.row_count("pet")
+                assert count == 3, count
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    def _run_threads(self, db):
+        errors: list = []
+        results: list = []
+        threads = [
+            threading.Thread(target=self._hammer, args=(db, errors, results))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[0]
+        expected = (("Ann Miller",), ("Cid Rossi",), ("Dana Levi",))
+        assert set(results) == {expected}
+        assert len(results) == 8 * 25
+
+    def test_in_memory_database_shared_across_threads(self, pets_db):
+        # Worker threads read a snapshot clone of the in-memory database.
+        self._run_threads(pets_db)
+
+    def test_file_database_shared_across_threads(self, pets_schema, tmp_path):
+        db = Database.create(pets_schema, tmp_path / "pets.sqlite")
+        db.insert_rows(
+            "student",
+            [
+                (1, "Ann Miller", 22, "France", "F"),
+                (2, "Bob Smith", 19, "France", "M"),
+                (3, "Cid Rossi", 25, "Italy", "M"),
+                (4, "Dana Levi", 21, "Spain", "F"),
+            ],
+        )
+        db.insert_rows("pet", [(10, "Dog", 3, 12.0), (11, "Cat", 1, 3.5),
+                               (12, "Dog", 7, 20.0)])
+        try:
+            self._run_threads(db)
+        finally:
+            db.close()
+
+    def test_owner_thread_keeps_primary_connection(self, pets_db):
+        assert pets_db.connection is pets_db.connection
+
+    def test_close_then_use_raises(self, pets_schema):
+        db = Database.create(pets_schema)
+        db.close()
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT 1")
 
 
 class TestIntrospection:
@@ -143,3 +209,37 @@ class TestResultComparison:
             "SELECT a FROM t WHERE x IN (SELECT b FROM u ORDER BY b)"
         )
         assert not gold_orders_rows("SELECT a FROM t")
+
+    def test_gold_orders_rows_literal_containing_order_by(self):
+        # 'order by' inside a string literal must not count as a clause.
+        assert not gold_orders_rows("SELECT a FROM t WHERE x = 'order by'")
+        assert not gold_orders_rows('SELECT a FROM t WHERE x = "ORDER BY a"')
+
+    def test_gold_orders_rows_parens_in_literals_do_not_miscount_depth(self):
+        # A '(' inside a literal used to push depth to 1, hiding the real
+        # top-level ORDER BY; a ')' used to push it to -1 and un-hide
+        # sub-query ones.
+        assert gold_orders_rows("SELECT a FROM t WHERE x = '(' ORDER BY a")
+        assert gold_orders_rows("SELECT a FROM t WHERE x = ':-)' ORDER BY a")
+        assert not gold_orders_rows(
+            "SELECT a FROM t WHERE x = ')' "
+            "AND y IN (SELECT b FROM u ORDER BY b)"
+        )
+
+    def test_gold_orders_rows_doubled_quote_escape(self):
+        assert gold_orders_rows(
+            "SELECT a FROM t WHERE x = 'it''s (' ORDER BY a"
+        )
+        assert not gold_orders_rows(
+            "SELECT a FROM t WHERE x = 'it''s order by'"
+        )
+
+    def test_gold_orders_rows_word_boundary(self):
+        # A column whose name merely ends in "order" + " by ..." must not
+        # match; unterminated literals consume the rest of the query.
+        assert not gold_orders_rows("SELECT preorder bY FROM t")
+        assert not gold_orders_rows("SELECT a FROM t WHERE x = 'oops ORDER BY a")
+
+    def test_gold_orders_rows_bracket_identifier(self):
+        assert not gold_orders_rows("SELECT [order by] FROM t")
+        assert gold_orders_rows("SELECT [weird col] FROM t ORDER BY 1")

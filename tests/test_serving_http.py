@@ -1,0 +1,130 @@
+"""HTTP front-end tests: endpoints, status codes, and the JSON contract."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serving import DatabaseRuntime, ServingServer, TranslationService
+
+
+@pytest.fixture
+def server(pets_db):
+    service = TranslationService(
+        [DatabaseRuntime(pets_db, database_id="pets")], workers=2
+    ).start()
+    server = ServingServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    service.stop()
+
+
+def get(url: str):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def post_json(url: str, payload: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+class TestHealthz:
+    def test_ok(self, server):
+        status, body = get(server.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["databases"] == ["pets"]
+
+
+class TestMetrics:
+    def test_prometheus_text(self, server):
+        post_json(server.url + "/translate", {"question": "How many students?"})
+        status, body = get(server.url + "/metrics")
+        assert status == 200
+        assert "# TYPE serving_requests_total counter" in body
+        assert "serving_latency_seconds_bucket" in body
+
+    def test_json_format(self, server):
+        status, body = get(server.url + "/metrics?format=json")
+        assert status == 200
+        snapshot = json.loads(body)
+        assert "serving_requests_total" in snapshot
+
+
+class TestTranslate:
+    def test_round_trip_with_execution(self, server):
+        status, payload = post_json(server.url + "/translate", {
+            "question": "How many students are there?",
+            "database_id": "pets",
+            "execute": True,
+        })
+        assert status == 200
+        assert payload["sql"] is not None
+        assert payload["error"] is None
+        assert payload["rows"] == [[4]]
+        assert payload["engine"] == "heuristic"
+        assert payload["timings_ms"]["preprocessing"] >= 0
+
+    def test_missing_question_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(server.url + "/translate", {"nope": 1})
+        assert excinfo.value.code == 400
+
+    def test_invalid_json_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/translate",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_unknown_database_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(server.url + "/translate", {
+                "question": "q", "database_id": "missing",
+            })
+        assert excinfo.value.code == 404
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_concurrent_http_clients(self, server):
+        results: list = [None] * 8
+        errors: list = []
+
+        def client(index: int):
+            try:
+                results[index] = post_json(server.url + "/translate", {
+                    "question": f"How many students {index}?",
+                })
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert all(status == 200 for status, _ in results)
+        assert all(payload["sql"] for _, payload in results)

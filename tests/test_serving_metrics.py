@@ -1,0 +1,127 @@
+"""Unit tests for the serving metrics registry and histogram math."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving import MetricsRegistry
+from repro.serving.metrics import Counter, Gauge, Histogram
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.dec(4)
+        gauge.inc(1)
+        assert gauge.value == pytest.approx(7)
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = Counter("c")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestHistogram:
+    def test_count_sum_max(self):
+        hist = Histogram("h", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(5.555)
+        snap = hist.snapshot()
+        assert snap["max"] == pytest.approx(5.0)
+
+    def test_bucket_placement_le_semantics(self):
+        hist = Histogram("h", buckets=(0.01, 0.1))
+        hist.observe(0.01)  # == bound -> that bucket (Prometheus `le`)
+        hist.observe(0.011)
+        snap = hist.snapshot()
+        assert snap["buckets"][0] == {"le": 0.01, "count": 1}
+        assert snap["buckets"][1] == {"le": 0.1, "count": 2}
+
+    def test_quantiles_on_uniform_data(self):
+        hist = Histogram("h", buckets=(0.025, 0.05, 0.075, 0.1, 0.25))
+        # 100 observations spread uniformly over (0, 0.1].
+        for i in range(1, 101):
+            hist.observe(i / 1000.0)
+        assert hist.quantile(0.50) == pytest.approx(0.05, abs=0.005)
+        assert hist.quantile(0.95) == pytest.approx(0.095, abs=0.01)
+        assert hist.quantile(1.00) == pytest.approx(0.1, abs=0.005)
+
+    def test_quantile_empty_and_overflow(self):
+        hist = Histogram("h", buckets=(0.01,))
+        assert hist.quantile(0.5) == 0.0
+        hist.observe(3.0)  # lands in +Inf bucket
+        assert hist.quantile(0.99) == pytest.approx(3.0)
+
+    def test_quantile_identical_observations_capped_at_max(self):
+        hist = Histogram("h", buckets=(0.0025, 0.005))
+        for _ in range(10):
+            hist.observe(0.003)
+        assert hist.quantile(0.5) == pytest.approx(0.003)
+
+    def test_rejects_bad_buckets_and_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(0.1, 0.01))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(0.1,)).quantile(0.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_snapshot_includes_percentiles(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs").inc(3)
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        snap = registry.snapshot()
+        assert snap["reqs"] == 3
+        assert snap["lat"]["count"] == 1
+        assert "p50" in snap["lat"] and "p99" in snap["lat"]
+
+    def test_render_text_prometheus_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", "total requests").inc()
+        registry.gauge("depth").set(2)
+        registry.histogram("lat", buckets=(0.1,)).observe(0.05)
+        text = registry.render_text()
+        assert "# TYPE reqs counter" in text
+        assert "reqs 1" in text
+        assert "depth 2" in text
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+        assert text.endswith("\n")
