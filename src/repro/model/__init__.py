@@ -3,7 +3,14 @@
 from repro.model.beam import beam_decode
 from repro.model.decoder import DecoderStep, ValueNetDecoder
 from repro.model.encoder import EncodedExample, ValueNetEncoder
-from repro.model.featurize import EncoderInput, ItemSpan, build_vocabulary, featurize
+from repro.model.featurize import (
+    EncoderInput,
+    ItemSpan,
+    SchemaFeatureCache,
+    SchemaFeatures,
+    build_vocabulary,
+    featurize,
+)
 from repro.model.supervision import match_candidate, steps_to_tree, tree_to_steps
 from repro.model.training import (
     EpochStats,
@@ -22,6 +29,8 @@ __all__ = [
     "EncoderInput",
     "EpochStats",
     "ItemSpan",
+    "SchemaFeatureCache",
+    "SchemaFeatures",
     "TrainSample",
     "Trainer",
     "TrainingHistory",

@@ -119,7 +119,11 @@ def _expand(
             constrained = np.full_like(log_probs, -1e30)
             constrained[forced] = log_probs[forced]
             log_probs = constrained
-        for index in np.argsort(log_probs)[::-1][:beam_size]:
+        # Stable descending sort: ties resolve to the lowest index, the
+        # same choice np.argmax makes in the greedy decoder (a reversed
+        # plain argsort would pick the highest index instead, making
+        # beam_size=1 diverge from greedy on exact ties).
+        for index in np.argsort(-log_probs, kind="stable")[:beam_size]:
             if log_probs[index] < -1e20:
                 continue
             fork = grammar.clone()
@@ -143,16 +147,28 @@ def _expand(
 
     logits = decoder.sketch_head(h)
     remaining = decoder.config.max_decode_steps - len(hypothesis.steps)
+    # Mirror the greedy decoder's budget policy exactly, including its
+    # hard cap on recursive expansions — beam_size=1 must reproduce
+    # greedy decoding step for step.
+    recursive_so_far = sum(
+        1 for s in hypothesis.steps
+        if s.kind == "grammar" and (
+            ActionType.FILTER in GRAMMAR_ACTION_LIST[s.target].children
+            or ActionType.R in GRAMMAR_ACTION_LIST[s.target].children
+        )
+    )
     mask = decoder._grammar_mask(
         expected,
         encoded.num_values,
-        conserve_budget=remaining < 6 * grammar.pending + 12,
+        conserve_budget=(
+            remaining < 6 * grammar.pending + 12 or recursive_so_far >= 8
+        ),
         in_subquery=grammar.expected_in_subquery(),
         in_compound=grammar.expected_in_compound_branch(),
         required_arity=grammar.required_select_arity(),
     )
     log_probs = masked_log_softmax(logits, mask).data
-    for action_id in np.argsort(log_probs)[::-1][:beam_size]:
+    for action_id in np.argsort(-log_probs, kind="stable")[:beam_size]:
         if math.isinf(log_probs[action_id]) or log_probs[action_id] < -1e20:
             continue
         fork = grammar.clone()

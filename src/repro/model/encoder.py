@@ -136,3 +136,91 @@ class ValueNetEncoder(Module):
             self.summarizer(contextual[span.start:span.end]) for span in spans
         ]
         return stack(summaries, axis=0)
+
+    # ------------------------------------------------------- batched path
+
+    def encode_batch(self, inputs: list[EncoderInput]) -> list[EncodedExample]:
+        """Encode a micro-batch with one padded transformer forward.
+
+        Sequences are right-padded to the batch maximum and the attention
+        is masked over padding, so every real position sees exactly the
+        keys it would unbatched; item spans are then summarized in fused
+        equal-length groups across the whole batch.  The result matches
+        per-example :meth:`__call__` outputs to floating-point tolerance.
+
+        Inference-only: word dropout is not applied (run under ``eval()``
+        — the serving path does).
+        """
+        if not inputs:
+            return []
+        if len(inputs) == 1:
+            return [self(inputs[0])]
+
+        batch = len(inputs)
+        max_len = max(inp.length for inp in inputs)
+        piece = np.zeros((batch, max_len), dtype=np.int64)
+        segment = np.zeros((batch, max_len), dtype=np.int64)
+        hint = np.zeros((batch, max_len), dtype=np.int64)
+        type_ = np.zeros((batch, max_len), dtype=np.int64)
+        mask = np.zeros((batch, max_len), dtype=bool)
+        for i, inp in enumerate(inputs):
+            n = inp.length
+            piece[i, :n] = inp.piece_ids
+            segment[i, :n] = inp.segment_ids
+            hint[i, :n] = inp.hint_ids
+            type_[i, :n] = inp.type_ids
+            mask[i, :n] = True
+
+        embedded = (
+            self.piece_embedding(piece)
+            + self.segment_embedding(segment)
+            + self.hint_embedding(hint)
+            + self.type_embedding(type_)
+            + Tensor(self._positions(max_len) * 0.1)
+        )
+        contextual = self.transformer(embedded, mask=mask)
+
+        # Summarize every item span of every example, grouped by span
+        # length so each group is one fused pass through the BiLSTM.
+        categories = ("question", "column", "table", "value")
+        by_length: dict[int, list[tuple[int, str, int, int, int]]] = {}
+        for i, inp in enumerate(inputs):
+            for kind, spans in zip(categories, (
+                inp.question_spans, inp.column_spans,
+                inp.table_spans, inp.value_spans,
+            )):
+                for j, span in enumerate(spans):
+                    by_length.setdefault(span.end - span.start, []).append(
+                        (i, kind, j, span.start, span.end)
+                    )
+        summaries: dict[tuple[int, str, int], Tensor] = {}
+        for group in by_length.values():
+            rows = self.summarizer.summarize_spans(
+                contextual, [(i, start, end) for i, _, _, start, end in group]
+            )
+            for row, (i, kind, j, _, _) in enumerate(group):
+                summaries[(i, kind, j)] = rows[row]
+
+        out: list[EncodedExample] = []
+        for i, inp in enumerate(inputs):
+            def gather(kind: str, count: int, example: int = i) -> Tensor | None:
+                if count == 0:
+                    return None
+                return stack(
+                    [summaries[(example, kind, j)] for j in range(count)], axis=0
+                )
+
+            question = gather("question", len(inp.question_spans))
+            columns = gather("column", len(inp.column_spans))
+            tables = gather("table", len(inp.table_spans))
+            values = gather("value", len(inp.value_spans))
+            if inp.column_hints:
+                columns = columns + self.output_column_hint(inp.column_hints)
+            if inp.table_hints:
+                tables = tables + self.output_table_hint(inp.table_hints)
+            if values is not None and inp.value_located:
+                values = values + self.output_value_located(inp.value_located)
+            out.append(EncodedExample(
+                question, columns, tables, values, contextual[(i, 0)]
+            ))
+        return out

@@ -17,6 +17,7 @@ question token / column / table / candidate.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.candidates.types import ValueCandidate
@@ -95,6 +96,73 @@ def _question_hint_id(hint: QuestionHint) -> int:
     return hint.value
 
 
+@dataclass(frozen=True)
+class SchemaFeatures:
+    """WordPiece encodings of one schema's tokens, computed once.
+
+    The piece ids of a column/table name depend only on the schema and the
+    vocabulary — never on the question — so re-encoding them per request
+    wastes the bulk of featurization time on schema-heavy databases.  Hint
+    ids *do* depend on the question and stay per-request.
+
+    The ``schema``/``vocab`` references pin the keyed objects alive so an
+    ``id()``-based cache key can never alias a collected object.
+    """
+
+    schema: Schema
+    vocab: WordPieceVocab
+    column_pieces: tuple[tuple[int, ...], ...]  # aligned with all_columns()
+    column_type_ids: tuple[int, ...]
+    table_pieces: tuple[tuple[int, ...], ...]  # aligned with schema.tables
+
+    @staticmethod
+    def build(schema: Schema, vocab: WordPieceVocab) -> "SchemaFeatures":
+        column_pieces = []
+        column_type_ids = []
+        for column in schema.all_columns():
+            words = column.words or ["all"]
+            column_pieces.append(tuple(
+                piece for word in words for piece in vocab.encode_word(word)
+            ))
+            column_type_ids.append(
+                0 if column.is_star() else _COLUMN_TYPE_IDS[column.column_type]
+            )
+        table_pieces = tuple(
+            tuple(piece for word in table.words for piece in vocab.encode_word(word))
+            for table in schema.tables
+        )
+        return SchemaFeatures(
+            schema=schema,
+            vocab=vocab,
+            column_pieces=tuple(column_pieces),
+            column_type_ids=tuple(column_type_ids),
+            table_pieces=table_pieces,
+        )
+
+
+class SchemaFeatureCache:
+    """Thread-safe per-(schema, vocab) cache of :class:`SchemaFeatures`."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, int], SchemaFeatures] = {}
+        self._lock = threading.Lock()
+
+    def get(self, schema: Schema, vocab: WordPieceVocab) -> SchemaFeatures:
+        key = (id(schema), id(vocab))
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is not None and entry.schema is schema and entry.vocab is vocab:
+            return entry
+        entry = SchemaFeatures.build(schema, vocab)
+        with self._lock:
+            self._entries[key] = entry
+        return entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 def candidate_words(candidate: ValueCandidate) -> list[str]:
     """The words encoding a candidate: its value plus its first location.
 
@@ -113,8 +181,16 @@ def featurize(
     pre: PreprocessedQuestion,
     schema: Schema,
     vocab: WordPieceVocab,
+    *,
+    cache: SchemaFeatureCache | None = None,
 ) -> EncoderInput:
-    """Build the flat encoder input for one pre-processed question."""
+    """Build the flat encoder input for one pre-processed question.
+
+    When ``cache`` is given, the WordPiece encoding of schema tokens is
+    taken from it (featurized once per database) instead of re-encoding
+    every column/table name per request.
+    """
+    features = cache.get(schema, vocab) if cache is not None else None
     out = EncoderInput()
     out._append(vocab.cls_id, SEG_QUESTION, HINT_NEUTRAL)
 
@@ -137,29 +213,44 @@ def featurize(
         table.name.lower(): hint.value
         for table, hint in zip(schema.tables, pre.schema_hints.table_hints)
     }
-    for column, hint in zip(schema.all_columns(), pre.schema_hints.column_hints):
+    for index, (column, hint) in enumerate(
+        zip(schema.all_columns(), pre.schema_hints.column_hints)
+    ):
         owner_hint = (
             0 if column.is_star()
             else table_hint_by_name.get(column.table.lower(), 0)
         )
         out.column_hints.append(hint.value * 4 + owner_hint)
         hint_id = _schema_hint_id(hint)
-        type_id = 0 if column.is_star() else _COLUMN_TYPE_IDS[column.column_type]
-        words = column.words or ["all"]
+        if features is not None:
+            pieces = features.column_pieces[index]
+            type_id = features.column_type_ids[index]
+        else:
+            type_id = 0 if column.is_star() else _COLUMN_TYPE_IDS[column.column_type]
+            words = column.words or ["all"]
+            pieces = [
+                piece for word in words for piece in vocab.encode_word(word)
+            ]
         start = out.length
-        for word in words:
-            for piece in vocab.encode_word(word):
-                out._append(piece, SEG_COLUMN, hint_id, type_id)
+        for piece in pieces:
+            out._append(piece, SEG_COLUMN, hint_id, type_id)
         out.column_spans.append(ItemSpan(start, out.length))
 
     # Tables, aligned with schema.tables.
-    for table, hint in zip(schema.tables, pre.schema_hints.table_hints):
+    for index, (table, hint) in enumerate(
+        zip(schema.tables, pre.schema_hints.table_hints)
+    ):
         out.table_hints.append(hint.value)
         hint_id = _schema_hint_id(hint)
+        if features is not None:
+            pieces = features.table_pieces[index]
+        else:
+            pieces = [
+                piece for word in table.words for piece in vocab.encode_word(word)
+            ]
         start = out.length
-        for word in table.words:
-            for piece in vocab.encode_word(word):
-                out._append(piece, SEG_TABLE, hint_id)
+        for piece in pieces:
+            out._append(piece, SEG_TABLE, hint_id)
         out.table_spans.append(ItemSpan(start, out.length))
 
     # Value candidates, each bracketed by separators (Fig. 8).

@@ -15,12 +15,12 @@ from repro.config import ModelConfig
 from repro.errors import ModelError
 from repro.model.decoder import DecoderStep, ValueNetDecoder
 from repro.model.encoder import EncodedExample, ValueNetEncoder
-from repro.model.featurize import featurize
+from repro.model.featurize import SchemaFeatureCache, featurize
 from repro.model.supervision import steps_to_tree, tree_to_steps
 from repro.nn.layers import Module
 from repro.nn.optim import Adam, ParamGroup
 from repro.nn.serialization import load_module, save_module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, inference_mode
 from repro.preprocessing.pipeline import PreprocessedQuestion
 from repro.schema.model import Schema
 from repro.semql.tree import SemQLNode
@@ -37,11 +37,83 @@ class ValueNetModel(Module):
         rng = np.random.default_rng(self.config.seed)
         self.encoder = ValueNetEncoder(len(vocab), self.config, rng)
         self.decoder = ValueNetDecoder(self.config, rng)
+        # Schema token featurization is question-independent; cache it per
+        # (schema, vocab) so serving featurizes each database once.
+        self.schema_cache = SchemaFeatureCache()
 
     # ------------------------------------------------------------ forward
 
     def encode(self, pre: PreprocessedQuestion, schema: Schema) -> EncodedExample:
-        return self.encoder(featurize(pre, schema, self.vocab))
+        return self.encoder(
+            featurize(pre, schema, self.vocab, cache=self.schema_cache)
+        )
+
+    def encode_batch(
+        self, pres: list[PreprocessedQuestion], schema: Schema
+    ) -> list[EncodedExample]:
+        """Encode a micro-batch of questions over one schema at once.
+
+        Runs in eval mode under :func:`inference_mode` — one padded
+        transformer forward for the whole batch, no autograd graph.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            with inference_mode():
+                inputs = [
+                    featurize(pre, schema, self.vocab, cache=self.schema_cache)
+                    for pre in pres
+                ]
+                return self.encoder.encode_batch(inputs)
+        finally:
+            if was_training:
+                self.train()
+
+    def _column_to_table(self, schema: Schema) -> list[int | None]:
+        return [
+            None if column.is_star() else schema.table_index(column.table)
+            for column in schema.all_columns()
+        ]
+
+    def decode_encoded(
+        self,
+        encoded: EncodedExample,
+        pre: PreprocessedQuestion,
+        schema: Schema,
+        *,
+        beam_size: int = 1,
+    ) -> SemQLNode:
+        """Decode an already-encoded example into a SemQL tree.
+
+        Used by the serving batch path: encode once per micro-batch via
+        :meth:`encode_batch`, then decode per request.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            with inference_mode():
+                steps = self._decode_steps(
+                    encoded, beam_size, self._column_to_table(schema)
+                )
+        finally:
+            if was_training:
+                self.train()
+        return steps_to_tree(steps, schema, pre.candidates)
+
+    def _decode_steps(
+        self,
+        encoded: EncodedExample,
+        beam_size: int,
+        column_to_table: list[int | None],
+    ) -> list[DecoderStep]:
+        if beam_size > 1:
+            from repro.model.beam import beam_decode
+
+            return beam_decode(
+                self.decoder, encoded, beam_size=beam_size,
+                column_to_table=column_to_table,
+            )
+        return self.decoder.decode(encoded, column_to_table=column_to_table)
 
     def loss(
         self,
@@ -74,22 +146,11 @@ class ValueNetModel(Module):
         """
         was_training = self.training
         self.eval()
-        column_to_table: list[int | None] = [
-            None if column.is_star() else schema.table_index(column.table)
-            for column in schema.all_columns()
-        ]
         try:
-            encoded = self.encode(pre, schema)
-            if beam_size > 1:
-                from repro.model.beam import beam_decode
-
-                steps: list[DecoderStep] = beam_decode(
-                    self.decoder, encoded, beam_size=beam_size,
-                    column_to_table=column_to_table,
-                )
-            else:
-                steps = self.decoder.decode(
-                    encoded, column_to_table=column_to_table
+            with inference_mode():
+                encoded = self.encode(pre, schema)
+                steps = self._decode_steps(
+                    encoded, beam_size, self._column_to_table(schema)
                 )
         finally:
             if was_training:

@@ -24,7 +24,7 @@ from repro.nn.layers import (
 from repro.nn.optim import Adam, ParamGroup
 from repro.nn.rnn import BiLSTMSummarizer, LSTM, LSTMCell
 from repro.nn.serialization import load_module, save_module
-from repro.nn.tensor import Tensor, concat, stack
+from repro.nn.tensor import Tensor, concat, inference_mode, is_grad_enabled, stack
 from repro.nn.transformer import TransformerEncoder, TransformerLayer, sinusoidal_positions
 
 __all__ = [
@@ -51,6 +51,8 @@ __all__ = [
     "concat_features",
     "cross_entropy",
     "dropout",
+    "inference_mode",
+    "is_grad_enabled",
     "load_module",
     "log_softmax",
     "masked_log_softmax",

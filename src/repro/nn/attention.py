@@ -11,17 +11,21 @@ import math
 
 import numpy as np
 
-from repro.nn.functional import softmax
+from repro.nn.functional import NEG_INF, softmax
 from repro.nn.layers import Dropout, Linear, Module
 from repro.nn.tensor import Tensor, concat
 
 
 class MultiHeadSelfAttention(Module):
-    """Multi-head scaled-dot-product self-attention over an (n, d) sequence.
+    """Multi-head scaled-dot-product self-attention.
 
-    Heads are computed with an explicit loop over slices — the sequences
-    here are short (question + schema + candidates, typically < 150
-    positions) and head counts small, so clarity beats vectorization.
+    Accepts an (n, d) sequence or a padded (batch, n, d) stack; the
+    optional ``mask`` (shape (n,) or (batch, n), True = real token)
+    excludes padded *keys* so every real position attends exactly as it
+    would unbatched.  Heads are computed with an explicit loop over
+    slices — the sequences here are short (question + schema +
+    candidates, typically < 150 positions) and head counts small, so
+    clarity beats vectorization.
     """
 
     def __init__(
@@ -43,19 +47,27 @@ class MultiHeadSelfAttention(Module):
         self.output = Linear(dim, dim, rng)
         self.dropout = Dropout(dropout_rate, rng)
 
-    def __call__(self, x: Tensor) -> Tensor:
+    def __call__(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
         q = self.query(x)
         k = self.key(x)
         v = self.value(x)
         scale = 1.0 / math.sqrt(self.head_dim)
 
+        penalty: Tensor | None = None
+        if mask is not None:
+            # Broadcast over the query axis: padded keys are excluded for
+            # every query; padded query rows are discarded downstream.
+            penalty = Tensor(np.where(mask, 0.0, NEG_INF)[..., None, :])
+
         heads: list[Tensor] = []
         for h in range(self.num_heads):
             lo, hi = h * self.head_dim, (h + 1) * self.head_dim
-            qh = q[:, lo:hi]
-            kh = k[:, lo:hi]
-            vh = v[:, lo:hi]
-            scores = (qh @ kh.T) * scale
+            qh = q[..., lo:hi]
+            kh = k[..., lo:hi]
+            vh = v[..., lo:hi]
+            scores = (qh @ kh.swapaxes(-1, -2)) * scale
+            if penalty is not None:
+                scores = scores + penalty
             attn = softmax(scores, axis=-1)
             heads.append(attn @ vh)
         combined = concat(heads, axis=-1)

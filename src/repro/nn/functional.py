@@ -20,6 +20,8 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     exp = np.exp(shifted)
     value = exp / exp.sum(axis=axis, keepdims=True)
     out = Tensor(value, parents=(x,))
+    if not out.requires_grad:
+        return out
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
@@ -37,6 +39,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     value = shifted - log_z
     out = Tensor(value, parents=(x,))
+    if not out.requires_grad:
+        return out
     soft = np.exp(value)
 
     def backward(grad: np.ndarray) -> None:
@@ -79,6 +83,8 @@ def dropout(x: Tensor, rate: float, *, training: bool, rng: np.random.Generator)
     keep = 1.0 - rate
     mask = (rng.random(x.shape) < keep) / keep
     out = Tensor(x.data * mask, parents=(x,))
+    if not out.requires_grad:
+        return out
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:

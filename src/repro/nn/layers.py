@@ -127,20 +127,18 @@ class LayerNorm(Module):
         inv_std = 1.0 / np.sqrt(var + self._eps)
         normalized = (x.data - mean) * inv_std
         out = Tensor(normalized, parents=(x,))
+        if out.requires_grad:
 
-        def backward(grad: np.ndarray) -> None:
-            if x.requires_grad:
-                n = x.data.shape[-1]
-                g = grad
-                dx = (
-                    g
-                    - g.mean(axis=-1, keepdims=True)
-                    - normalized * (g * normalized).mean(axis=-1, keepdims=True)
-                ) * inv_std
-                x._accumulate(dx)
-                _ = n
+            def backward(grad: np.ndarray) -> None:
+                if x.requires_grad:
+                    dx = (
+                        grad
+                        - grad.mean(axis=-1, keepdims=True)
+                        - normalized * (grad * normalized).mean(axis=-1, keepdims=True)
+                    ) * inv_std
+                    x._accumulate(dx)
 
-        out._backward = backward
+            out._backward = backward
         return out * self.gain + self.shift
 
 

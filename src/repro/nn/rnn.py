@@ -4,6 +4,11 @@ The decoder is an LSTM (paper Section III-B2), and multi-token schema
 items / value candidates are summarized by a bidirectional LSTM into a
 single vector (Section V-C: "bi-directional LSTM networks to summarize
 multi-token columns/tables/values").
+
+The cell operates on a single (d,) input or a batched (s, d) stack of
+inputs transparently (gates slice the last axis), which lets the batched
+encoder summarize every same-length span across a micro-batch with one
+fused matrix multiply per step instead of one vector multiply per span.
 """
 
 from __future__ import annotations
@@ -37,19 +42,17 @@ class LSTMCell(Module):
         combined = concat([x, h], axis=-1)
         gates = combined @ self.weight + self.bias
         d = self.hidden_dim
-        i = gates[0:d].sigmoid()
-        f = gates[d:2 * d].sigmoid()
-        g = gates[2 * d:3 * d].tanh()
-        o = gates[3 * d:4 * d].sigmoid()
+        i = gates[..., 0:d].sigmoid()
+        f = gates[..., d:2 * d].sigmoid()
+        g = gates[..., 2 * d:3 * d].tanh()
+        o = gates[..., 3 * d:4 * d].sigmoid()
         c_next = f * c + i * g
         h_next = o * c_next.tanh()
         return h_next, c_next
 
-    def initial_state(self) -> tuple[Tensor, Tensor]:
-        return (
-            Tensor(np.zeros(self.hidden_dim)),
-            Tensor(np.zeros(self.hidden_dim)),
-        )
+    def initial_state(self, batch: int | None = None) -> tuple[Tensor, Tensor]:
+        shape = (self.hidden_dim,) if batch is None else (batch, self.hidden_dim)
+        return (Tensor(np.zeros(shape)), Tensor(np.zeros(shape)))
 
 
 class LSTM(Module):
@@ -98,5 +101,39 @@ class BiLSTMSummarizer(Module):
         backward_state = self.backward_cell.initial_state()
         for t in range(n - 1, -1, -1):
             backward_state = self.backward_cell(span[t], backward_state)
+        combined = concat([forward_state[0], backward_state[0]], axis=-1)
+        return (combined @ self.projection).tanh()
+
+    def summarize_spans(
+        self, contextual: Tensor, spans: list[tuple[int, int, int]]
+    ) -> Tensor:
+        """Summarize many *equal-length* spans of a padded batch at once.
+
+        Args:
+            contextual: (batch, max_len, d_in) padded encoder output.
+            spans: ``(example_index, start, end)`` triples, all with the
+                same ``end - start``.
+
+        Returns:
+            (len(spans), output_dim) summaries, row-aligned with ``spans``.
+
+        Each step gathers one position of every span and runs both LSTM
+        cells on the (s, d_in) stack — identical math to calling the
+        summarizer per span, but one fused matmul per step.
+        """
+        length = spans[0][2] - spans[0][1]
+        if any(end - start != length for _, start, end in spans):
+            raise ValueError("summarize_spans requires equal-length spans")
+        rows = np.array([example for example, _, _ in spans], dtype=np.int64)
+        starts = np.array([start for _, start, _ in spans], dtype=np.int64)
+
+        forward_state = self.forward_cell.initial_state(batch=len(spans))
+        for t in range(length):
+            x = contextual[(rows, starts + t)]
+            forward_state = self.forward_cell(x, forward_state)
+        backward_state = self.backward_cell.initial_state(batch=len(spans))
+        for t in range(length - 1, -1, -1):
+            x = contextual[(rows, starts + t)]
+            backward_state = self.backward_cell(x, backward_state)
         combined = concat([forward_state[0], backward_state[0]], axis=-1)
         return (combined @ self.projection).tanh()

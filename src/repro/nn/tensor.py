@@ -14,13 +14,46 @@ Design notes:
   over broadcast axes (:func:`_unbroadcast`).
 * The graph is built dynamically per forward pass (define-by-run), which
   the sequential LSTM decoder requires.
+* Graph construction is skipped entirely when no input requires a
+  gradient, and :func:`inference_mode` turns it off wholesale (per
+  thread) for the serving fast path — a forward pass under it allocates
+  no backward closures and keeps no parent references.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Sequence
 
 import numpy as np
+
+_GRAD_STATE = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops record the autograd graph on the current thread."""
+    return getattr(_GRAD_STATE, "enabled", True)
+
+
+class inference_mode:
+    """Context manager that disables autograd graph construction.
+
+    Inside the context, op outputs never require gradients, record no
+    parents, and build no backward closures — the forward pass is pure
+    numpy work.  The flag is *per-thread*, so serving workers can run
+    inference while another thread trains.  Nesting is supported; the
+    previous state is restored on exit.
+    """
+
+    __slots__ = ("_previous",)
+
+    def __enter__(self) -> "inference_mode":
+        self._previous = is_grad_enabled()
+        _GRAD_STATE.enabled = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _GRAD_STATE.enabled = self._previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -53,9 +86,13 @@ class Tensor:
     ):
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
+        if parents and not is_grad_enabled():
+            # Op output under inference_mode: drop the graph entirely.
+            parents = ()
+            requires_grad = False
         self.requires_grad = requires_grad or any(p.requires_grad for p in parents)
         self._parents = parents if self.requires_grad else ()
-        self._backward = backward
+        self._backward = backward if self.requires_grad else None
         self.name = name
 
     # ----------------------------------------------------------- plumbing
@@ -140,11 +177,9 @@ class Tensor:
 
     def __add__(self, other: "Tensor | float") -> "Tensor":
         other = _as_tensor(other)
-        out = Tensor(
-            self.data + other.data,
-            parents=(self, other),
-            backward=None,
-        )
+        out = Tensor(self.data + other.data, parents=(self, other))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -159,6 +194,8 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         out = Tensor(-self.data, parents=(self,))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -176,6 +213,8 @@ class Tensor:
     def __mul__(self, other: "Tensor | float") -> "Tensor":
         other = _as_tensor(other)
         out = Tensor(self.data * other.data, parents=(self, other))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -191,6 +230,8 @@ class Tensor:
     def __truediv__(self, other: "Tensor | float") -> "Tensor":
         other = _as_tensor(other)
         out = Tensor(self.data / other.data, parents=(self, other))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -205,6 +246,8 @@ class Tensor:
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         out = Tensor(self.data @ other.data, parents=(self, other))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -216,7 +259,9 @@ class Tensor:
                     if self.data.ndim == 1:
                         self._accumulate(g @ other.data.T)
                     else:
-                        self._accumulate(g @ other.data.swapaxes(-1, -2))
+                        self._accumulate(
+                            _unbroadcast(g @ other.data.swapaxes(-1, -2), self.shape)
+                        )
             if other.requires_grad:
                 if self.data.ndim == 1:
                     if other.data.ndim == 2:
@@ -224,13 +269,21 @@ class Tensor:
                     else:
                         other._accumulate(grad * self.data)
                 else:
-                    other._accumulate(self.data.swapaxes(-1, -2) @ grad)
+                    # Batched (..., n, k) @ (k, m): sum the gradient over
+                    # the broadcast batch axes back to ``other``'s shape.
+                    other._accumulate(
+                        _unbroadcast(
+                            self.data.swapaxes(-1, -2) @ grad, other.shape
+                        )
+                    )
 
         out._backward = backward
         return out
 
     def __getitem__(self, key) -> "Tensor":
         out = Tensor(self.data[key], parents=(self,))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -246,6 +299,8 @@ class Tensor:
     def exp(self) -> "Tensor":
         value = np.exp(self.data)
         out = Tensor(value, parents=(self,))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -256,6 +311,8 @@ class Tensor:
 
     def log(self) -> "Tensor":
         out = Tensor(np.log(self.data), parents=(self,))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -267,6 +324,8 @@ class Tensor:
     def tanh(self) -> "Tensor":
         value = np.tanh(self.data)
         out = Tensor(value, parents=(self,))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -278,6 +337,8 @@ class Tensor:
     def sigmoid(self) -> "Tensor":
         value = 1.0 / (1.0 + np.exp(-self.data))
         out = Tensor(value, parents=(self,))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -289,6 +350,8 @@ class Tensor:
     def relu(self) -> "Tensor":
         mask = self.data > 0
         out = Tensor(self.data * mask, parents=(self,))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -300,6 +363,8 @@ class Tensor:
     def pow(self, exponent: float) -> "Tensor":
         value = self.data ** exponent
         out = Tensor(value, parents=(self,))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -312,6 +377,8 @@ class Tensor:
 
     def sum(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
         out = Tensor(self.data.sum(axis=axis, keepdims=keepdims), parents=(self,))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -332,6 +399,8 @@ class Tensor:
 
     def reshape(self, *shape: int) -> "Tensor":
         out = Tensor(self.data.reshape(shape), parents=(self,))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -342,10 +411,25 @@ class Tensor:
 
     def transpose(self) -> "Tensor":
         out = Tensor(self.data.T, parents=(self,))
+        if not out.requires_grad:
+            return out
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.T)
+
+        out._backward = backward
+        return out
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Swap two axes (needed for batched attention: ``k.swapaxes(-1, -2)``)."""
+        out = Tensor(self.data.swapaxes(axis1, axis2), parents=(self,))
+        if not out.requires_grad:
+            return out
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.swapaxes(axis1, axis2))
 
         out._backward = backward
         return out
@@ -369,6 +453,8 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` (differentiable)."""
     data = np.concatenate([t.data for t in tensors], axis=axis)
     out = Tensor(data, parents=tuple(tensors))
+    if not out.requires_grad:
+        return out
     sizes = [t.data.shape[axis] for t in tensors]
 
     def backward(grad: np.ndarray) -> None:
@@ -388,6 +474,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` (differentiable)."""
     data = np.stack([t.data for t in tensors], axis=axis)
     out = Tensor(data, parents=tuple(tensors))
+    if not out.requires_grad:
+        return out
 
     def backward(grad: np.ndarray) -> None:
         pieces = np.split(grad, len(tensors), axis=axis)

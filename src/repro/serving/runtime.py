@@ -95,6 +95,46 @@ class DatabaseRuntime:
             finally:
                 self.pipeline.beam_size = configured
 
+    def translate_batch(
+        self,
+        questions: list[str],
+        *,
+        execute: bool | list[bool] = False,
+        beam_size: int | None = None,
+        encode_observer=None,
+    ) -> list[TranslationResult]:
+        """Translate a micro-batch with one fused encoder pass.
+
+        Same contract as :meth:`translate` per question; ``execute`` may
+        be one flag per question since micro-batches group requests by
+        database and beam size only.  Pipelines without a
+        ``translate_batch`` method (e.g. test fakes) fall back to
+        sequential translate calls.
+        """
+        if self.pipeline is None:
+            raise RuntimeError(f"runtime {self.database_id!r} has no model")
+        with self._lock:
+            configured = self.pipeline.beam_size
+            if beam_size is not None:
+                self.pipeline.beam_size = beam_size
+            try:
+                batched = getattr(self.pipeline, "translate_batch", None)
+                if batched is not None:
+                    return batched(
+                        questions, execute=execute, encode_observer=encode_observer
+                    )
+                flags = (
+                    [bool(f) for f in execute]
+                    if isinstance(execute, (list, tuple))
+                    else [bool(execute)] * len(questions)
+                )
+                return [
+                    self.pipeline.translate(question, execute=flag)
+                    for question, flag in zip(questions, flags)
+                ]
+            finally:
+                self.pipeline.beam_size = configured
+
     def translate_fallback(
         self, question: str, *, execute: bool = False
     ) -> TranslationResult:

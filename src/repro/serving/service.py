@@ -4,9 +4,10 @@ Request lifecycle::
 
     submit() -> bounded queue -> worker pulls a request, drains compatible
     requests into a micro-batch (same database + beam size, bounded by
-    ``max_batch`` and ``batch_window_ms``) -> per request: cache lookup ->
-    neural pipeline -> on failure or deadline breach, heuristic fallback
-    tagged ``degraded`` -> response event set.
+    ``max_batch`` and ``batch_window_ms``) -> per request: cache lookup /
+    triage -> ONE batched neural pipeline call for the whole micro-batch
+    (fused encoder pass, per-request decode) -> on failure or deadline
+    breach, heuristic fallback tagged ``degraded`` -> response event set.
 
 Deadline policy: a request that is already past its deadline when a
 worker picks it up skips the model entirely and is answered by the
@@ -109,6 +110,16 @@ class ServeRequest:
         self.done.set()
 
 
+@dataclass
+class _BatchEntry:
+    """Worker-side bookkeeping for one non-cached request of a micro-batch."""
+
+    request: ServeRequest
+    response: ServeResponse
+    key: CacheKey
+    result: TranslationResult | None = None
+
+
 _SHUTDOWN = object()
 
 
@@ -191,6 +202,9 @@ class TranslationService:
         self._batch_hist = m.histogram(
             "serving_batch_size", "micro-batch sizes",
             buckets=tuple(float(n) for n in range(1, 17)))
+        self._encode_batch_hist = m.histogram(
+            "serving_encode_batch_seconds",
+            "wall time of one fused batched-encode pass")
         self._queue_wait = m.histogram(
             "serving_queue_wait_seconds", "time from submit to worker pickup")
         self._latency = m.histogram(
@@ -343,75 +357,125 @@ class TranslationService:
     def _process_batch(self, batch: list[ServeRequest]) -> None:
         self._batch_hist.observe(float(len(batch)))
         runtime = self.runtimes[batch[0].database_id]
-        for request in batch:
+        for _ in batch:
             self._inflight.inc()
-            try:
-                response = self._process_one(runtime, request, len(batch))
-            except Exception as exc:  # never let a worker die
+        try:
+            self._process_batch_inner(runtime, batch)
+        except Exception as exc:  # never let a worker die
+            for request in batch:
+                if request.done.is_set():
+                    continue
                 response = ServeResponse(
                     question=request.question,
                     database_id=request.database_id,
                     error=f"internal error: {exc}",
                     engine="none",
                 )
-            finally:
+                self._record(response)
+                request.resolve(response)
+        finally:
+            for _ in batch:
                 self._inflight.dec()
-            self._record(response)
-            request.resolve(response)
 
-    def _process_one(
-        self, runtime: DatabaseRuntime, request: ServeRequest, batch_size: int
-    ) -> ServeResponse:
+    def _process_batch_inner(
+        self, runtime: DatabaseRuntime, batch: list[ServeRequest]
+    ) -> None:
+        """Triage every request, run ONE batched model call, finalize.
+
+        Phase 1 answers cache hits immediately and classifies the rest:
+        injected failures and already-expired requests go straight to
+        the fallback; the remainder form the model micro-batch.  Phase 2
+        translates that micro-batch with a single fused encoder pass.
+        Phase 3 applies the per-request deadline/degradation/caching
+        semantics unchanged from the sequential implementation.
+        """
+        size = len(batch)
         picked_up = time.monotonic()
-        queue_wait = picked_up - request.enqueued_at
-        self._queue_wait.observe(queue_wait)
+        pending: list[_BatchEntry] = []
+        model_entries: list[_BatchEntry] = []
+        for request in batch:
+            queue_wait = picked_up - request.enqueued_at
+            self._queue_wait.observe(queue_wait)
+            response = ServeResponse(
+                question=request.question,
+                database_id=request.database_id,
+                queue_ms=1000.0 * queue_wait,
+                batch_size=size,
+            )
+            key = CacheKey.make(
+                request.database_id, request.question, request.beam_size
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._cache_hits.inc()
+                response.sql = cached["sql"]
+                response.timings = dict(cached["timings"])
+                response.engine = "cache"
+                response.cache_hit = True
+                response.service_ms = 1000.0 * (time.monotonic() - picked_up)
+                if request.execute:
+                    self._execute_rows(runtime, response)
+                self._record(response)
+                request.resolve(response)
+                continue
+            self._cache_misses.inc()
+            entry = _BatchEntry(request=request, response=response, key=key)
+            pending.append(entry)
+            if request.inject_failure:
+                response.degraded = True
+                response.degraded_reason = "injected"
+            elif picked_up >= request.deadline:
+                response.degraded = True
+                response.degraded_reason = "deadline"
+            elif runtime.has_model:
+                model_entries.append(entry)
 
-        response = ServeResponse(
-            question=request.question,
-            database_id=request.database_id,
-            queue_ms=1000.0 * queue_wait,
-            batch_size=batch_size,
-        )
-
-        key = CacheKey.make(request.database_id, request.question, request.beam_size)
-        cached = self.cache.get(key)
-        if cached is not None:
-            self._cache_hits.inc()
-            response.sql = cached["sql"]
-            response.timings = dict(cached["timings"])
-            response.engine = "cache"
-            response.cache_hit = True
-            response.service_ms = 1000.0 * (time.monotonic() - picked_up)
-            if request.execute:
-                self._execute_rows(runtime, response)
-            return response
-        self._cache_misses.inc()
-
-        result: TranslationResult | None = None
-        if request.inject_failure:
-            response.degraded = True
-            response.degraded_reason = "injected"
-        elif picked_up >= request.deadline:
-            response.degraded = True
-            response.degraded_reason = "deadline"
-        elif runtime.has_model:
+        if model_entries:
+            # One call for the whole micro-batch: the worker already
+            # grouped by database + beam size, so a single fused encode
+            # serves every entry.
             try:
-                result = runtime.translate(
-                    request.question,
-                    execute=request.execute,
-                    beam_size=request.beam_size,
+                results = runtime.translate_batch(
+                    [entry.request.question for entry in model_entries],
+                    execute=[entry.request.execute for entry in model_entries],
+                    beam_size=batch[0].beam_size,
+                    encode_observer=self._observe_encode,
                 )
             except Exception as exc:
-                response.degraded = True
-                response.degraded_reason = "model_error"
-                response.error = str(exc)
-                result = None
-            if result is not None and result.error is not None:
-                response.degraded = True
-                response.degraded_reason = "model_error"
-                response.error = result.error
-                result = None
+                for entry in model_entries:
+                    entry.response.degraded = True
+                    entry.response.degraded_reason = "model_error"
+                    entry.response.error = str(exc)
+            else:
+                for entry, result in zip(model_entries, results):
+                    if result.error is not None:
+                        entry.response.degraded = True
+                        entry.response.degraded_reason = "model_error"
+                        entry.response.error = result.error
+                    else:
+                        entry.result = result
 
+        for entry in pending:
+            try:
+                self._finalize(runtime, entry, picked_up)
+            except Exception as exc:
+                entry.response = ServeResponse(
+                    question=entry.request.question,
+                    database_id=entry.request.database_id,
+                    error=f"internal error: {exc}",
+                    engine="none",
+                )
+            self._record(entry.response)
+            entry.request.resolve(entry.response)
+
+    def _observe_encode(self, seconds: float, batch_size: int) -> None:
+        self._encode_batch_hist.observe(seconds)
+
+    def _finalize(
+        self, runtime: DatabaseRuntime, entry: "_BatchEntry", picked_up: float
+    ) -> None:
+        request, response = entry.request, entry.response
+        result = entry.result
         if result is None and not response.degraded and not runtime.has_model:
             # No model configured: the heuristic IS the primary engine.
             result = runtime.translate_fallback(
@@ -445,8 +509,9 @@ class TranslationService:
         response.service_ms = 1000.0 * (finished - picked_up)
 
         if response.ok and not response.degraded:
-            self.cache.put(key, {"sql": response.sql, "timings": response.timings})
-        return response
+            self.cache.put(
+                entry.key, {"sql": response.sql, "timings": response.timings}
+            )
 
     def _execute_rows(self, runtime: DatabaseRuntime, response: ServeResponse) -> None:
         try:
