@@ -1,0 +1,313 @@
+"""Value-search benchmark: blocking strategies and index persistence.
+
+Table II of the paper shows value lookup dominating translation time;
+this benchmark isolates the two wins of the sub-linear search layer:
+
+1. **Blocking** — Damerau-Levenshtein DP calls and wall clock for the
+   same query workload under three strategies over the synthetic Spider
+   corpus:
+
+   * *naive* — full DP against every (value, location) pair,
+   * *length-band* — the previous ``BlockedValuePool`` (first-char or
+     ±k length band, per-column pools, no cross-column dedup),
+   * *q-gram* — the current searcher (global dedup pool, trigram count
+     filter, banded kernel).  Acceptance: >= 5x fewer DP calls than the
+     length band.
+
+2. **Persistence** — cold registry start (column scans, q-gram posting
+   derivation, bundle save) versus warm start (fingerprint check + bundle
+   load) through ``IndexRegistry``, on scaled synthetic databases — the
+   corpus toys build in well under a millisecond, so fixed process
+   overheads would drown the comparison there.  Acceptance: warm >= 10x
+   faster than cold.
+
+Runs standalone (``PYTHONPATH=../src python bench_value_search.py``,
+add ``--smoke`` for the CI-sized corpus) or under pytest with the
+``slow`` marker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import tempfile
+import time
+from collections import defaultdict
+from pathlib import Path
+
+import pytest
+
+from _util import print_table
+from repro.db import Database
+from repro.index import IndexRegistry, InvertedIndex, SimilaritySearcher
+from repro.schema import Column, ColumnType, Schema, Table
+from repro.spider import CorpusConfig, generate_corpus
+from repro.text.distance import damerau_levenshtein
+
+pytestmark = pytest.mark.slow
+
+MAX_DISTANCE = 2
+
+
+# ----------------------------------------------------- strategy baselines
+
+
+class _LengthBandPool:
+    """The pre-q-gram ``BlockedValuePool``: first-char bucket union ±k
+    length band (kept here as the benchmark baseline)."""
+
+    def __init__(self, values):
+        self._values = list(values)
+        self._by_first = defaultdict(list)
+        self._by_length = defaultdict(list)
+        for i, value in enumerate(self._values):
+            lowered = value.lower()
+            if lowered:
+                self._by_first[lowered[0]].append(i)
+            self._by_length[len(lowered)].append(i)
+
+    def candidates(self, query, *, max_distance):
+        lowered = query.lower()
+        picked = set()
+        if lowered:
+            picked.update(self._by_first.get(lowered[0], ()))
+        for length in range(
+            max(0, len(lowered) - max_distance), len(lowered) + max_distance + 1
+        ):
+            picked.update(self._by_length.get(length, ()))
+        return [self._values[i] for i in sorted(picked)]
+
+
+def _naive_scan(pairs, queries):
+    """Full DP against every (value, location) pair."""
+    dp_calls = 0
+    start = time.perf_counter()
+    for query in queries:
+        for value, _location in pairs:
+            dp_calls += 1
+            damerau_levenshtein(query, value.lower(), max_distance=MAX_DISTANCE)
+    return dp_calls, time.perf_counter() - start
+
+
+def _length_band_scan(index, queries):
+    """The previous searcher: per-column pools, band blocking, full DP."""
+    pools = {
+        location: _LengthBandPool(index.values_in_column(location))
+        for location in index.text_locations()
+    }
+    dp_calls = 0
+    start = time.perf_counter()
+    for query in queries:
+        for pool in pools.values():
+            for value in pool.candidates(query, max_distance=MAX_DISTANCE):
+                dp_calls += 1
+                damerau_levenshtein(query, value.lower(), max_distance=MAX_DISTANCE)
+    return dp_calls, time.perf_counter() - start
+
+
+def _qgram_scan(searcher, queries):
+    """The current searcher (memo cleared of reuse: queries are unique)."""
+    before = searcher.stats.dp_calls
+    start = time.perf_counter()
+    for query in queries:
+        searcher.search(query, max_distance=MAX_DISTANCE, max_results=100)
+    return searcher.stats.dp_calls - before, time.perf_counter() - start
+
+
+def _query_workload(index, per_database):
+    """Deterministic near-miss queries derived from indexed values."""
+    values = sorted({value.lower() for value, _ in index.iter_text_values()})
+    sample = values[:: max(1, len(values) // per_database)]
+    queries = []
+    for v in sample:
+        if len(v) >= 3:
+            queries.append(v[1:] + v[0])
+            queries.append(v[:-1])
+            mid = len(v) // 2
+            queries.append(v[:mid] + "z" + v[mid + 1:])
+        queries.append(v)
+    return list(dict.fromkeys(queries))
+
+
+# ------------------------------------------------------------- benchmark
+
+
+def bench_blocking_strategies(corpus, *, queries_per_db=20):
+    rows = []
+    totals = {"naive": [0, 0.0], "band": [0, 0.0], "qgram": [0, 0.0]}
+    for domain in sorted(corpus.domains):
+        database = corpus.database(domain)
+        index = InvertedIndex.build(database)
+        searcher = SimilaritySearcher(index)
+        pairs = list(index.iter_text_values())
+        queries = _query_workload(index, queries_per_db)
+
+        naive_calls, naive_s = _naive_scan(pairs, queries)
+        band_calls, band_s = _length_band_scan(index, queries)
+        qgram_calls, qgram_s = _qgram_scan(searcher, queries)
+        for key, calls, seconds in (
+            ("naive", naive_calls, naive_s),
+            ("band", band_calls, band_s),
+            ("qgram", qgram_calls, qgram_s),
+        ):
+            totals[key][0] += calls
+            totals[key][1] += seconds
+        rows.append((
+            domain, len(pairs), len(queries),
+            naive_calls, band_calls, qgram_calls,
+            f"{band_calls / max(1, qgram_calls):.1f}x",
+        ))
+
+    print_table(
+        f"DP calls per blocking strategy (k={MAX_DISTANCE})",
+        rows,
+        ("database", "pairs", "queries", "naive", "length-band", "q-gram", "band/qgram"),
+    )
+    naive_calls, naive_s = totals["naive"]
+    band_calls, band_s = totals["band"]
+    qgram_calls, qgram_s = totals["qgram"]
+    reduction = band_calls / max(1, qgram_calls)
+    print_table(
+        "Totals",
+        [
+            ("naive full scan", naive_calls, f"{naive_s * 1e3:.1f} ms", "1.0x"),
+            ("length-band", band_calls, f"{band_s * 1e3:.1f} ms",
+             f"{naive_calls / max(1, band_calls):.1f}x"),
+            ("q-gram", qgram_calls, f"{qgram_s * 1e3:.1f} ms",
+             f"{naive_calls / max(1, qgram_calls):.1f}x"),
+        ],
+        ("strategy", "DP calls", "wall clock", "calls vs naive"),
+    )
+    print(f"\n  q-gram vs length-band DP-call reduction: {reduction:.1f}x "
+          f"(acceptance: >= 5x)")
+    return reduction
+
+
+_SYLLABLES = (
+    "an ber cor dan el fen gor hal in jor kel lum mar nor ol per qui ran "
+    "sel tor ul ver win xan yor zel"
+).split()
+
+
+def _scaled_database(n_rows, *, seed):
+    """A deterministic entity-style database with ``n_rows`` rows across
+    three text columns (names, titles, addresses) — the string-length and
+    pool-size regime the index actually serves, which the toy corpus
+    databases (tens of values) cannot exercise."""
+    rng = random.Random(seed)
+
+    def word():
+        return "".join(
+            rng.choice(_SYLLABLES) for _ in range(rng.randint(2, 4))
+        ).capitalize()
+
+    def phrase(low, high):
+        return " ".join(word() for _ in range(rng.randint(low, high)))
+
+    columns = [Column("id", "entity", ColumnType.NUMBER, is_primary_key=True)]
+    columns.append(Column("name", "entity", ColumnType.TEXT))
+    columns.append(Column("title", "entity", ColumnType.TEXT))
+    columns.append(Column("address", "entity", ColumnType.TEXT))
+    schema = Schema(f"scaled_{n_rows}", [Table("entity", tuple(columns))], [])
+    database = Database.create(schema)
+    database.insert_rows("entity", [
+        (i, phrase(1, 2), phrase(2, 4), phrase(3, 5) + f" {rng.randint(1, 999)}")
+        for i in range(n_rows)
+    ])
+    return database
+
+
+def bench_persistence(sizes):
+    """Cold registry start vs warm registry start per database size.
+
+    Cold pays fingerprint + column scans + q-gram derivation + bundle
+    save; warm pays fingerprint + bundle load.  Both go through
+    ``IndexRegistry.get`` — the exact code path ``repro serve`` runs on
+    (re)start.  The raw in-memory build is reported alongside for scale.
+    """
+    rows = []
+    cold_total = warm_total = 0.0
+    for n_rows in sizes:
+        database = _scaled_database(n_rows, seed=n_rows)
+
+        start = time.perf_counter()
+        index = InvertedIndex.build(database)
+        searcher = SimilaritySearcher(index)
+        build_s = time.perf_counter() - start
+        pool_size = len(searcher._pool)
+
+        with tempfile.TemporaryDirectory(prefix="repro-index-cache-") as cache_dir:
+            start = time.perf_counter()
+            entry = IndexRegistry(cache_dir=cache_dir).get(database)
+            cold_s = time.perf_counter() - start
+            assert entry.source == "built"
+
+            warm_s = float("inf")
+            for _ in range(3):  # best-of-3: the load is disk-I/O noisy
+                start = time.perf_counter()
+                entry = IndexRegistry(cache_dir=cache_dir).get(database)
+                warm_s = min(warm_s, time.perf_counter() - start)
+                assert entry.source == "disk", "warm start fell back to a build"
+
+        cold_total += cold_s
+        warm_total += warm_s
+        rows.append((
+            n_rows, pool_size, f"{build_s * 1e3:.1f} ms",
+            f"{cold_s * 1e3:.1f} ms", f"{warm_s * 1e3:.1f} ms",
+            f"{cold_s / max(warm_s, 1e-9):.1f}x",
+        ))
+    speedup = cold_total / max(warm_total, 1e-9)
+    rows.append(("TOTAL", "", "", f"{cold_total * 1e3:.1f} ms",
+                 f"{warm_total * 1e3:.1f} ms", f"{speedup:.1f}x"))
+    print_table(
+        "Cold vs warm registry start (scaled databases)",
+        rows,
+        ("rows", "pool", "raw build", "cold start", "warm start", "speedup"),
+    )
+    print(f"\n  warm-load speedup: {speedup:.1f}x (acceptance: >= 10x)")
+    return speedup
+
+
+def _corpus(smoke: bool):
+    if smoke:
+        return generate_corpus(CorpusConfig(train_per_domain=4, dev_per_domain=2))
+    return generate_corpus(CorpusConfig(train_per_domain=30, dev_per_domain=10))
+
+
+# Pools cap at max_values_per_column x 3 text columns; the largest size
+# shows cold cost still growing with table scans while warm stays flat.
+_SCALED_SIZES = (2_000, 10_000, 30_000)
+_SCALED_SIZES_SMOKE = (15_000,)
+
+
+def bench_value_search_smoke():
+    """Pytest entry point (slow marker): assert both acceptance bars."""
+    corpus = _corpus(smoke=True)
+    assert bench_blocking_strategies(corpus, queries_per_db=10) >= 5.0
+    assert bench_persistence(_SCALED_SIZES_SMOKE) >= 10.0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus (CI-sized run)")
+    parser.add_argument("--queries-per-db", type=int, default=20)
+    args = parser.parse_args(argv)
+
+    corpus = _corpus(args.smoke)
+    reduction = bench_blocking_strategies(
+        corpus, queries_per_db=args.queries_per_db
+    )
+    speedup = bench_persistence(
+        _SCALED_SIZES_SMOKE if args.smoke else _SCALED_SIZES
+    )
+    ok = reduction >= 5.0 and speedup >= 10.0
+    print(f"\n{'PASS' if ok else 'FAIL'}: DP-call reduction "
+          f"{reduction:.1f}x (>=5x), warm-load speedup {speedup:.1f}x (>=10x)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).parent))
+    sys.exit(main())

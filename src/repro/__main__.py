@@ -123,12 +123,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         model = ValueNetModel.load(args.model)
 
-    runtimes = []
+    if args.index_cache is not None:
+        from repro.index import IndexRegistry, set_default_registry
+
+        set_default_registry(IndexRegistry(cache_dir=args.index_cache))
+
+    databases: dict[str, Database] = {}
     for spec in args.databases:
         database_id, _, path = spec.rpartition("=")
         database_id = database_id or Path(path).stem
+        databases[database_id] = Database.open(path)
+
+    # Parallel cold builds (or warm disk loads) before taking traffic.
+    from repro.index import get_default_registry
+
+    registry = get_default_registry()
+    import time as _time
+    warm_start = _time.perf_counter()
+    # Keyed by schema name (how Preprocessor looks indexes up), not by
+    # the external routing id.
+    registry.warm(list(databases.values()))
+    stats = registry.stats()
+    print(f"indexes ready in {_time.perf_counter() - warm_start:.2f}s "
+          f"(built={stats['build_count']} loaded={stats['load_count']})")
+
+    runtimes = []
+    for database_id, database in databases.items():
         runtimes.append(DatabaseRuntime(
-            Database.open(path),
+            database,
             model,
             database_id=database_id,
             beam_size=args.beam,
@@ -218,6 +240,11 @@ def main(argv: list[str] | None = None) -> int:
         help="default per-request deadline",
     )
     serve.add_argument("--beam", type=int, default=1)
+    serve.add_argument(
+        "--index-cache", default=None, metavar="DIR",
+        help="persist value indexes under DIR; warm restarts skip the "
+             "per-database index build entirely",
+    )
     serve.add_argument(
         "--allow-injection", action="store_true",
         help="honor inject_failure request flags (load/chaos testing only)",

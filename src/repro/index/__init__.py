@@ -1,14 +1,32 @@
-"""Inverted index, blocking and similarity search over database content."""
+"""Inverted index, blocking, similarity search, and the shared registry
+over database content."""
 
 from repro.index.blocking import BlockedValuePool
 from repro.index.inverted import InvertedIndex, ValueLocation, normalize_value
-from repro.index.similarity import SimilaritySearcher, SimilarValue
+from repro.index.persistence import FORMAT_VERSION, load_bundle, save_bundle
+from repro.index.registry import (
+    IndexEntry,
+    IndexRegistry,
+    database_fingerprint,
+    get_default_registry,
+    set_default_registry,
+)
+from repro.index.similarity import SearchStats, SimilaritySearcher, SimilarValue
 
 __all__ = [
     "BlockedValuePool",
+    "FORMAT_VERSION",
+    "IndexEntry",
+    "IndexRegistry",
     "InvertedIndex",
+    "SearchStats",
     "SimilaritySearcher",
     "SimilarValue",
     "ValueLocation",
+    "database_fingerprint",
+    "get_default_registry",
+    "load_bundle",
     "normalize_value",
+    "save_bundle",
+    "set_default_registry",
 ]

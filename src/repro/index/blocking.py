@@ -3,30 +3,82 @@
 Paper Section IV-B2: "By using smart indexes and computationally cheap
 methods for blocking/indexing, this effort can be optimized."  A naive
 similarity search computes an edit distance between the query span and
-*every* value in the database; blocking first partitions values by cheap
-keys so only a small bucket needs the expensive distance.
+*every* value in the database; blocking first filters values by cheap
+necessary conditions so only a small bucket needs the expensive distance.
 
-We block on two keys, unioning the buckets:
+Three filters are combined:
 
-* first character (values sharing the query's first letter), and
-* length band (values whose length differs by at most the distance bound —
-  a necessary condition for the Damerau-Levenshtein distance to be within
-  the bound).
+* **length band** — values whose length differs from the query's by more
+  than the distance bound cannot match (each length unit costs one edit);
+* **q-gram count filter** — a character-trigram inverted index over the
+  pool.  Strings within Damerau-Levenshtein distance ``k`` must share at
+  least ``max(|s|, |t|) - 1 - q·k`` padded q-grams (one edit operation
+  destroys at most ``q`` grams, an adjacent transposition at most
+  ``q + 1``; the ``-1`` slack absorbs the transposition surplus for all
+  ``k <= q``).  Values failing the count filter are skipped without ever
+  running the distance DP;
+* **bag-of-characters filter** — for short strings the q-gram threshold
+  is vacuous (``max(|s|, |t|) <= 1 + q·k`` admits zero shared grams), so
+  short values fall back to the *bag distance* lower bound instead:
+  ``max(|s|, |t|) - |multiset intersection of characters|`` never exceeds
+  the Damerau-Levenshtein distance (a transposition leaves the bag
+  unchanged; every other edit shifts the intersection by at most one).
+  A unigram posting list over the short values applies the bound without
+  scanning the pool.
+
+Distance bounds above ``q`` (where the count threshold is no longer a
+safe necessary condition) drop the q-gram filter and use the length band
+plus the bag filter, so recall is guaranteed for every configuration.
+
+Posting lists are stored as flat interleaved ``array('I')`` pairs —
+``(value index, multiplicity)`` — which keeps memory compact and makes
+the on-disk snapshot (:meth:`BlockedValuePool.state_dict`) a C-speed
+copy instead of a per-element rebuild.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from array import array
+from collections import Counter, defaultdict
 from collections.abc import Iterable
+
+from repro.text.ngrams import padded_qgrams
+
+#: Trigrams: the classic blocking sweet spot for short-to-medium strings.
+DEFAULT_Q = 3
+
+
+def _pairs(posting: array) -> zip:
+    """Iterate an interleaved ``(index, count)`` posting array."""
+    it = iter(posting)
+    return zip(it, it)
 
 
 class BlockedValuePool:
-    """A pool of strings partitioned for cheap candidate pre-selection."""
+    """A pool of strings indexed for cheap candidate pre-selection.
 
-    def __init__(self, values: Iterable[str]):
+    The pool stores every value once, buckets it by length, and posts its
+    padded q-gram *counts* (plus, for short values, its character counts)
+    into inverted indexes.  :meth:`candidate_indices` intersects the
+    query's profiles with the posting lists (multiset semantics, so
+    repeated grams are counted correctly) and returns only the values
+    passing the filters — a superset of the true matches that is
+    typically orders of magnitude smaller than the length band.
+    """
+
+    def __init__(self, values: Iterable[str] = (), *, q: int = DEFAULT_Q):
+        if q <= 0:
+            raise ValueError(f"q must be positive, got {q}")
+        self._q = q
+        # Character postings cover every value short enough for the
+        # q-gram threshold to be vacuous at some valid bound (k <= q).
+        self._short_cap = 1 + q * q
         self._values: list[str] = []
-        self._by_first_char: dict[str, list[int]] = defaultdict(list)
-        self._by_length: dict[int, list[int]] = defaultdict(list)
+        self._lengths = array("I")
+        self._by_length: dict[int, array] = defaultdict(lambda: array("I"))
+        # gram -> interleaved (value index, multiplicity) pairs
+        self._postings: dict[str, array] = defaultdict(lambda: array("I"))
+        self._char_postings: dict[str, array] = defaultdict(lambda: array("I"))
         for value in values:
             self.add(value)
 
@@ -35,28 +87,139 @@ class BlockedValuePool:
         index = len(self._values)
         self._values.append(value)
         lowered = value.lower()
-        if lowered:
-            self._by_first_char[lowered[0]].append(index)
-        self._by_length[len(lowered)].append(index)
+        length = len(lowered)
+        self._lengths.append(length)
+        self._by_length[length].append(index)
+        for gram, count in Counter(padded_qgrams(lowered, self._q)).items():
+            self._postings[gram].extend((index, count))
+        if length <= self._short_cap:
+            for char, count in Counter(lowered).items():
+                self._char_postings[char].extend((index, count))
 
     def __len__(self) -> int:
         return len(self._values)
 
-    def candidates(self, query: str, *, max_distance: int) -> list[str]:
-        """Values plausibly within ``max_distance`` of ``query``.
+    @property
+    def q(self) -> int:
+        return self._q
 
-        The result is a superset-filter: every value whose distance is
-        within the bound *and* shares the first letter or is in the length
-        band is returned.  (A value differing in its first letter can still
-        be within distance 1, so the length band alone guarantees recall;
-        the first-letter bucket only accelerates the common case.)
+    def value(self, index: int) -> str:
+        return self._values[index]
+
+    # ----------------------------------------------------------- filtering
+
+    def candidate_indices(self, query: str, *, max_distance: int) -> list[int]:
+        """Pool indices of values plausibly within ``max_distance``.
+
+        The result is a superset-filter: every value whose (case-folded)
+        Damerau-Levenshtein distance to ``query`` is within the bound is
+        returned; values that provably cannot match are dropped without a
+        distance computation.
         """
         lowered = query.lower()
+        k = max_distance
+        q = self._q
+        qlen = len(lowered)
+        if k < 0:
+            return []
+        lo, hi = max(0, qlen - k), qlen + k
         picked: set[int] = set()
-        if lowered:
-            picked.update(self._by_first_char.get(lowered[0], ()))
-        for length in range(
-            max(0, len(lowered) - max_distance), len(lowered) + max_distance + 1
-        ):
-            picked.update(self._by_length.get(length, ()))
-        return [self._values[i] for i in sorted(picked)]
+
+        # Tiny strings: max(|s|,|t|) <= k can match while sharing nothing
+        # at all (not even a character), so they are admitted blindly.
+        if qlen <= k:
+            for length in range(0, k + 1):
+                picked.update(self._by_length.get(length, ()))
+
+        if k <= q:
+            # Short values (both lengths at or below the vacuous cap) can
+            # match with zero shared grams; the bag filter covers them.
+            vacuous_cap = 1 + q * k
+            bag_hi = min(hi, vacuous_cap) if qlen <= vacuous_cap else -1
+            gram_lo = vacuous_cap + 1 if qlen <= vacuous_cap else lo
+        else:
+            # The count threshold is not a safe necessary condition for
+            # k > q: bag-filter the char-indexed short values, admit the
+            # rest of the band blindly.
+            bag_hi = min(hi, self._short_cap)
+            gram_lo = -1
+            for length in range(max(lo, self._short_cap + 1), hi + 1):
+                picked.update(self._by_length.get(length, ()))
+
+        if bag_hi >= lo:
+            lengths = self._lengths
+            shared: dict[int, int] = defaultdict(int)
+            for char, qcount in Counter(lowered).items():
+                posting = self._char_postings.get(char)
+                if posting is None:
+                    continue
+                for index, vcount in _pairs(posting):
+                    shared[index] += min(qcount, vcount)
+            for index, count in shared.items():
+                tlen = lengths[index]
+                if lo <= tlen <= bag_hi and max(qlen, tlen) - count <= k:
+                    picked.add(index)
+
+        if 0 <= gram_lo <= hi:
+            lengths = self._lengths
+            threshold_base = 1 + q * k
+            shared = defaultdict(int)
+            for gram, qcount in Counter(padded_qgrams(lowered, q)).items():
+                posting = self._postings.get(gram)
+                if posting is None:
+                    continue
+                for index, vcount in _pairs(posting):
+                    shared[index] += min(qcount, vcount)
+            for index, count in shared.items():
+                tlen = lengths[index]
+                if (
+                    gram_lo <= tlen <= hi
+                    and count >= max(qlen, tlen) - threshold_base
+                ):
+                    picked.add(index)
+        return sorted(picked)
+
+    def candidates(self, query: str, *, max_distance: int) -> list[str]:
+        """Like :meth:`candidate_indices`, returning the values."""
+        return [
+            self._values[i]
+            for i in self.candidate_indices(query, max_distance=max_distance)
+        ]
+
+    # -------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Plain-structure snapshot for on-disk persistence.
+
+        Arrays are shared (not copied): snapshots are taken for immediate
+        serialization, and the pool itself is append-only.
+        """
+        return {
+            "q": self._q,
+            "values": self._values,
+            "lengths": self._lengths,
+            "by_length": dict(self._by_length),
+            "postings": dict(self._postings),
+            "char_postings": dict(self._char_postings),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BlockedValuePool":
+        """Rebuild a pool from :meth:`state_dict` without re-deriving
+        grams; posting arrays are adopted as-is (C-speed warm load)."""
+        pool = cls(q=int(state["q"]))
+        pool._values = list(state["values"])
+        pool._lengths = array("I", state["lengths"])
+        pool._by_length.update(
+            (int(length), array("I", ids))
+            for length, ids in state["by_length"].items()
+        )
+        pool._postings.update(
+            (gram, array("I", posting))
+            for gram, posting in state["postings"].items()
+        )
+        pool._char_postings.update(
+            (char, array("I", posting))
+            for char, posting in state["char_postings"].items()
+        )
+        return pool

@@ -49,10 +49,23 @@ class InvertedIndex:
 
     def __init__(self, *, max_values_per_column: int = 5000):
         self._max_values_per_column = max_values_per_column
+        # After a warm load, location sets may be shared between keys and
+        # original-form entries may be lists; mutators copy-on-write.
         self._locations: dict[str, set[ValueLocation]] = defaultdict(set)
-        self._originals: dict[str, set[str]] = defaultdict(set)
+        self._originals: dict[str, set[str] | list[str]] = defaultdict(set)
         self._column_values: dict[ValueLocation, list[str]] = {}
+        self._column_seen: dict[ValueLocation, set[str]] = {}
         self._numeric_columns: set[ValueLocation] = set()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (lets dependents detect staleness)."""
+        return self._version
+
+    @property
+    def max_values_per_column(self) -> int:
+        return self._max_values_per_column
 
     # ------------------------------------------------------------ building
 
@@ -89,13 +102,49 @@ class InvertedIndex:
                 seen.add(key)
                 distinct.append(original)
         self._column_values[location] = distinct
+        self._column_seen[location] = seen
+        self._version += 1
 
     def add_value(self, value: object, location: ValueLocation) -> None:
-        """Manually index one value (used in tests and incremental loads)."""
+        """Index one value incrementally (tests and incremental loads).
+
+        Mirrors :meth:`_index_column`: the exact-lookup maps always learn
+        the value, while the per-column similarity pool deduplicates on
+        the normalized key and stays bounded by ``max_values_per_column``.
+        """
         key = normalize_value(value)
-        self._locations[key].add(location)
-        self._originals[key].add(str(value))
-        self._column_values.setdefault(location, []).append(str(value))
+        if not key:
+            return
+        locations = self._locations.get(key)
+        if locations is None:
+            self._locations[key] = {location}
+        elif location not in locations:
+            # Copy on write: a warm load interns one set per distinct
+            # location combination, shared across keys.
+            self._locations[key] = {*locations, location}
+        original = str(value)
+        originals = self._originals.get(key)
+        if isinstance(originals, set):
+            originals.add(original)
+        else:  # missing, or an adopted warm-load list
+            self._originals[key] = {*(originals or ()), original}
+        column = self._column_values.setdefault(location, [])
+        seen = self._seen_for(location)
+        if key not in seen and len(column) < self._max_values_per_column:
+            seen.add(key)
+            column.append(original)
+        self._version += 1
+
+    def _seen_for(self, location: ValueLocation) -> set[str]:
+        """Normalized keys already in a column's similarity pool; derived
+        lazily after a warm load (only :meth:`add_value` needs it)."""
+        seen = self._column_seen.get(location)
+        if seen is None:
+            seen = {
+                normalize_value(v) for v in self._column_values.get(location, ())
+            }
+            self._column_seen[location] = seen
+        return seen
 
     # ------------------------------------------------------------- queries
 
@@ -133,3 +182,78 @@ class InvertedIndex:
         for location in self.text_locations():
             for value in self._column_values[location]:
                 yield value, location
+
+    # -------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Plain-structure snapshot for on-disk persistence.
+
+        Locations are flattened to a ``(table, column)`` id table (so the
+        payload survives refactors of :class:`ValueLocation` itself) and
+        the per-key location sets are interned by distinct combination —
+        values share a handful of combinations, and a warm load rebuilds
+        one shared set per combination instead of one set per key.
+        """
+        loc_ids: dict[ValueLocation, int] = {}
+        loc_table: list[tuple[str, str]] = []
+
+        def loc_id(location: ValueLocation) -> int:
+            lid = loc_ids.get(location)
+            if lid is None:
+                lid = len(loc_table)
+                loc_ids[location] = lid
+                loc_table.append((location.table, location.column))
+            return lid
+
+        locset_ids: dict[tuple[int, ...], int] = {}
+        locset_table: list[tuple[int, ...]] = []
+        locations: dict[str, int] = {}
+        for key, locs in self._locations.items():
+            combo = tuple(sorted(loc_id(loc) for loc in locs))
+            sid = locset_ids.get(combo)
+            if sid is None:
+                sid = len(locset_table)
+                locset_ids[combo] = sid
+                locset_table.append(combo)
+            locations[key] = sid
+        return {
+            "max_values_per_column": self._max_values_per_column,
+            "loc_table": loc_table,
+            "locset_table": locset_table,
+            "locations": locations,
+            "originals": {
+                key: sorted(originals) for key, originals in self._originals.items()
+            },
+            "column_values": [
+                (loc_id(loc), list(values))
+                for loc, values in self._column_values.items()
+            ],
+            "numeric_columns": sorted(
+                loc_id(loc) for loc in self._numeric_columns
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "InvertedIndex":
+        """Rebuild an index from :meth:`state_dict`.
+
+        Adopts the snapshot structures wholesale: location sets are
+        shared per combination and original forms stay lists until
+        mutated (see :meth:`add_value`), so loading stays proportional to
+        the pickle size, not to a per-value Python rebuild.
+        """
+        index = cls(max_values_per_column=int(state["max_values_per_column"]))
+        loc_objs = [ValueLocation(table, column) for table, column in state["loc_table"]]
+        locsets = [
+            {loc_objs[lid] for lid in combo} for combo in state["locset_table"]
+        ]
+        index._locations.update(
+            (key, locsets[sid]) for key, sid in state["locations"].items()
+        )
+        index._originals.update(state["originals"])
+        for lid, values in state["column_values"]:
+            index._column_values[loc_objs[lid]] = values
+        # _column_seen is derived lazily by _seen_for on first mutation.
+        index._numeric_columns = {loc_objs[lid] for lid in state["numeric_columns"]}
+        index._version = 1
+        return index

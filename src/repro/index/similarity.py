@@ -2,18 +2,42 @@
 
 Implements the paper's first candidate-generation method (Section IV-B2):
 scan the database for values whose Damerau-Levenshtein distance to a query
-span is below a threshold.  Blocking (:mod:`repro.index.blocking`) keeps
-the scan sub-linear in practice; the distance computation uses an
-early-exit bound so far-off values are rejected cheaply.
+span is below a threshold.  Table II shows this value lookup dominating
+translation time, so the scan is aggressively sub-linear:
+
+* one **global pool** of distinct (case-folded) strings — a value like
+  "USA" that appears in twenty columns is scored once per query, and the
+  result fans back out to every :class:`ValueLocation`;
+* **q-gram blocking** (:mod:`repro.index.blocking`) rejects nearly every
+  non-match without running the distance DP;
+* the surviving candidates run the **Ukkonen-banded** O(k·n) kernel
+  (:func:`repro.text.distance.damerau_levenshtein_banded`);
+* an **LRU memo** on the (query, distance-bound) pair absorbs the heavy
+  repetition produced by n-gram span expansion within and across
+  questions.
+
+The fan-out data (original spellings and locations per pooled string) is
+held in flat parallel arrays indexed by pool position — compact in
+memory, and a warm load (:meth:`SimilaritySearcher.from_state`) adopts
+the arrays without any per-value rebuild.
+
+The searcher tracks its own :class:`SearchStats` (DP calls, cache
+traffic, wall time) and notifies registered observers after every search
+so the serving layer can export the numbers without reaching into
+internals.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from array import array
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.index.blocking import BlockedValuePool
 from repro.index.inverted import InvertedIndex, ValueLocation
-from repro.text.distance import damerau_levenshtein
+from repro.text.distance import damerau_levenshtein_banded
 
 
 @dataclass(frozen=True)
@@ -31,20 +55,91 @@ class SimilarValue:
         return 1.0 - self.distance / max(longest, self.distance, 1)
 
 
+@dataclass
+class SearchStats:
+    """Counters for one searcher (guarded by the searcher's lock)."""
+
+    searches: int = 0
+    dp_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    pool_rebuilds: int = 0
+    search_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "searches": self.searches,
+            "dp_calls": self.dp_calls,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "pool_rebuilds": self.pool_rebuilds,
+            "search_seconds": self.search_seconds,
+        }
+
+
 class SimilaritySearcher:
     """Finds database values similar to a question span.
 
     One searcher is built per database (sharing the inverted index) and
-    reused across questions; construction builds the per-column blocked
-    pools once.
+    reused across questions and threads; construction builds the global
+    blocked pool once, and the searcher transparently rebuilds it when
+    the underlying index reports a newer :attr:`InvertedIndex.version`
+    (values added after construction are therefore never invisible).
     """
 
-    def __init__(self, index: InvertedIndex):
+    def __init__(self, index: InvertedIndex, *, cache_size: int = 2048):
         self._index = index
-        self._pools: dict[ValueLocation, BlockedValuePool] = {
-            location: BlockedValuePool(index.values_in_column(location))
-            for location in index.text_locations()
-        }
+        self._cache_size = cache_size
+        self._cache: OrderedDict[tuple[str, int], list[SimilarValue]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._observers: list = []
+        self.stats = SearchStats()
+        self._build_pool()
+
+    # ------------------------------------------------------- pool building
+
+    def _build_pool(self) -> None:
+        """(Re)derive the global dedup pool from the index; lock-free, so
+        callers must hold ``self._lock`` or be the constructor.
+
+        Fan-out state per pool index ``i``: the ``(original, location)``
+        pairs live at flat positions ``offsets[i]:offsets[i+1]`` of
+        ``_originals`` / ``_location_ids``.
+        """
+        pool = BlockedValuePool()
+        loc_table: list[ValueLocation] = []
+        loc_ids: dict[ValueLocation, int] = {}
+        position: dict[str, int] = {}
+        per_value: list[list] = []  # [[original, lid, original, lid, ...]]
+        for value, location in self._index.iter_text_values():
+            lowered = value.lower()
+            i = position.get(lowered)
+            if i is None:
+                i = len(per_value)
+                position[lowered] = i
+                per_value.append([])
+                pool.add(lowered)
+            lid = loc_ids.get(location)
+            if lid is None:
+                lid = len(loc_table)
+                loc_ids[location] = lid
+                loc_table.append(location)
+            per_value[i] += (value, lid)
+        offsets = array("I", [0])
+        originals: list[str] = []
+        location_ids = array("I")
+        for flat in per_value:
+            originals.extend(flat[0::2])
+            location_ids.extend(flat[1::2])
+            offsets.append(len(originals))
+        self._pool = pool
+        self._loc_table = loc_table
+        self._offsets = offsets
+        self._originals = originals
+        self._location_ids = location_ids
+        self._version = self._index.version
+
+    # ------------------------------------------------------------- queries
 
     def search(
         self,
@@ -59,19 +154,132 @@ class SimilaritySearcher:
         to ``max_results`` (the paper observes that too many candidates
         hurt model accuracy, Section IV-B3).
         """
+        start = time.perf_counter()
         lowered = query.lower()
-        matches: list[SimilarValue] = []
-        for location, pool in self._pools.items():
-            for value in pool.candidates(lowered, max_distance=max_distance):
-                distance = damerau_levenshtein(
-                    lowered, value.lower(), max_distance=max_distance
-                )
-                if distance <= max_distance:
-                    matches.append(SimilarValue(value, location, distance))
-        matches.sort(key=lambda m: (m.distance, m.value.lower(), str(m.location)))
+        key = (lowered, max_distance)
+        with self._lock:
+            if self._version != self._index.version:
+                self._build_pool()
+                self._cache.clear()
+                self.stats.pool_rebuilds += 1
+            matches = self._cache.get(key)
+            if matches is not None:
+                self._cache.move_to_end(key)
+                self.stats.cache_hits += 1
+                cache_hit = True
+            else:
+                cache_hit = False
+        if matches is None:
+            matches, dp_calls = self._scan(lowered, max_distance)
+            with self._lock:
+                self.stats.cache_misses += 1
+                self.stats.dp_calls += dp_calls
+                self._cache[key] = matches
+                self._cache.move_to_end(key)
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self.stats.searches += 1
+            self.stats.search_seconds += elapsed
+            observers = list(self._observers)
+        for observer in observers:
+            observer(elapsed, cache_hit)
         return matches[:max_results]
+
+    def _scan(
+        self, lowered: str, max_distance: int
+    ) -> tuple[list[SimilarValue], int]:
+        """Score each distinct pooled string once, fan out to locations.
+
+        Reads the pool structures without the lock: they are replaced
+        wholesale (never mutated) by :meth:`_build_pool`, so a concurrent
+        rebuild cannot corrupt an in-flight scan.
+        """
+        pool = self._pool
+        loc_table = self._loc_table
+        offsets, originals = self._offsets, self._originals
+        location_ids = self._location_ids
+        matches: list[SimilarValue] = []
+        dp_calls = 0
+        for i in pool.candidate_indices(lowered, max_distance=max_distance):
+            dp_calls += 1
+            distance = damerau_levenshtein_banded(
+                lowered, pool.value(i), max_distance=max_distance
+            )
+            if distance <= max_distance:
+                for j in range(offsets[i], offsets[i + 1]):
+                    matches.append(SimilarValue(
+                        originals[j], loc_table[location_ids[j]], distance
+                    ))
+        matches.sort(key=lambda m: (m.distance, m.value.lower(), str(m.location)))
+        return matches, dp_calls
 
     def best_match(self, query: str, *, max_distance: int = 2) -> SimilarValue | None:
         """The single closest value, or ``None`` when nothing is in range."""
         results = self.search(query, max_distance=max_distance, max_results=1)
         return results[0] if results else None
+
+    # ------------------------------------------------------ observability
+
+    def cache_info(self) -> dict:
+        """Hit/miss counts and current size of the span memo."""
+        with self._lock:
+            return {
+                "hits": self.stats.cache_hits,
+                "misses": self.stats.cache_misses,
+                "size": len(self._cache),
+                "max_size": self._cache_size,
+            }
+
+    def stats_snapshot(self) -> dict:
+        with self._lock:
+            return self.stats.as_dict()
+
+    def add_observer(self, observer) -> None:
+        """Register ``observer(seconds, cache_hit)`` called after each search."""
+        with self._lock:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        with self._lock:
+            if observer in self._observers:
+                self._observers.remove(observer)
+
+    # -------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Plain-structure snapshot (pool included, so a warm load skips
+        the expensive q-gram derivation entirely).  Locations are
+        flattened to ``(table, column)`` tuples so the payload survives
+        refactors of :class:`ValueLocation` itself."""
+        with self._lock:
+            return {
+                "loc_table": [(loc.table, loc.column) for loc in self._loc_table],
+                "offsets": self._offsets,
+                "originals": self._originals,
+                "location_ids": self._location_ids,
+                "pool": self._pool.state_dict(),
+            }
+
+    @classmethod
+    def from_state(
+        cls, index: InvertedIndex, state: dict, *, cache_size: int = 2048
+    ) -> "SimilaritySearcher":
+        """Rebuild a searcher over ``index`` from :meth:`state_dict`."""
+        searcher = cls.__new__(cls)
+        searcher._index = index
+        searcher._cache_size = cache_size
+        searcher._cache = OrderedDict()
+        searcher._lock = threading.Lock()
+        searcher._observers = []
+        searcher.stats = SearchStats()
+        searcher._loc_table = [
+            ValueLocation(table, column) for table, column in state["loc_table"]
+        ]
+        searcher._offsets = array("I", state["offsets"])
+        searcher._originals = list(state["originals"])
+        searcher._location_ids = array("I", state["location_ids"])
+        searcher._pool = BlockedValuePool.from_state(state["pool"])
+        searcher._version = index.version
+        return searcher

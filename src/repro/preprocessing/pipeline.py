@@ -22,6 +22,7 @@ from repro.candidates.types import ValueCandidate, dedupe_candidates
 from repro.candidates.validation import CandidateValidator, ValidationConfig
 from repro.db.database import Database
 from repro.index.inverted import InvertedIndex
+from repro.index.registry import IndexRegistry, get_default_registry
 from repro.index.similarity import SimilaritySearcher
 from repro.ner.extractor import ValueExtractor
 from repro.ner.types import ExtractedValue, SpanKind
@@ -54,9 +55,12 @@ class PreprocessedQuestion:
 class Preprocessor:
     """Pre-processing bound to one database.
 
-    Builds the inverted index and the similarity searcher once; each call
-    to :meth:`run` (ValueNet mode) or :meth:`run_light` (ValueNet light
-    mode) is then index-backed and fast.
+    The inverted index and similarity searcher come from the process-wide
+    :class:`~repro.index.registry.IndexRegistry` (so every preprocessor,
+    pipeline and serving runtime for the same database content shares one
+    index instead of each rebuilding); each call to :meth:`run` (ValueNet
+    mode) or :meth:`run_light` (ValueNet light mode) is then index-backed
+    and fast.  Passing an explicit ``index`` bypasses the registry.
     """
 
     def __init__(
@@ -67,14 +71,29 @@ class Preprocessor:
         generation_config: GenerationConfig | None = None,
         validation_config: ValidationConfig | None = None,
         index: InvertedIndex | None = None,
+        searcher: SimilaritySearcher | None = None,
+        registry: IndexRegistry | None = None,
     ):
         self.database = database
         self.schema: Schema = database.schema
-        self.index = index if index is not None else InvertedIndex.build(database)
-        self._searcher = SimilaritySearcher(self.index)
+        if index is not None:
+            self.index = index
+            self._searcher = (
+                searcher if searcher is not None else SimilaritySearcher(index)
+            )
+        else:
+            active = registry if registry is not None else get_default_registry()
+            entry = active.get(database)
+            self.index = entry.index
+            self._searcher = entry.searcher
         self._extractor = extractor or ValueExtractor()
         self._generator = CandidateGenerator(self._searcher, generation_config)
         self._validator = CandidateValidator(self.index, validation_config)
+
+    @property
+    def searcher(self) -> SimilaritySearcher:
+        """The shared similarity searcher (for metrics observers)."""
+        return self._searcher
 
     # ------------------------------------------------------ ValueNet mode
 

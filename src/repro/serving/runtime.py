@@ -40,6 +40,11 @@ class DatabaseRuntime:
         beam_size: beam width for the neural pipeline.
         pipeline: pre-built pipeline override (used by tests to inject
             fakes); mutually exclusive with ``model``.
+        preprocessor: pre-built preprocessor override; by default one is
+            created against the shared index registry, so the runtime,
+            the neural pipeline, and the heuristic fallback all use the
+            same :class:`~repro.index.inverted.InvertedIndex` (exactly
+            one per database process-wide).
     """
 
     def __init__(
@@ -50,13 +55,16 @@ class DatabaseRuntime:
         database_id: str | None = None,
         beam_size: int = 1,
         pipeline: ValueNetPipeline | None = None,
+        preprocessor: Preprocessor | None = None,
     ):
         if model is not None and pipeline is not None:
             raise ValueError("pass either model or pipeline, not both")
         self.database = database
         self.database_id = database_id or database.schema.name
         self.beam_size = beam_size
-        self.preprocessor = Preprocessor(database)
+        self.preprocessor = (
+            preprocessor if preprocessor is not None else Preprocessor(database)
+        )
         if pipeline is not None:
             self.pipeline = pipeline
         elif model is not None:
@@ -71,6 +79,11 @@ class DatabaseRuntime:
     @property
     def has_model(self) -> bool:
         return self.pipeline is not None
+
+    @property
+    def searcher(self):
+        """The shared similarity searcher (for serving metrics wiring)."""
+        return self.preprocessor.searcher
 
     def translate(
         self,

@@ -176,6 +176,7 @@ class TranslationService:
         self._stopping = False
         self.started_at = time.time()
         self._init_metrics()
+        self._attach_value_search_observers()
 
     # ------------------------------------------------------------- metrics
 
@@ -215,6 +216,42 @@ class TranslationService:
                 f"per-request {stage} stage latency (Table II split)")
             for stage in STAGES
         }
+        self._value_search_hist = m.histogram(
+            "preprocess_value_search_seconds",
+            "wall time of one similarity search over database values")
+        self._value_search_cache_hits = m.counter(
+            "value_search_cache_hits_total",
+            "similarity-search span-memo hits")
+        self._value_search_cache_misses = m.counter(
+            "value_search_cache_misses_total",
+            "similarity-search span-memo misses (full blocked scans)")
+
+    def _attach_value_search_observers(self) -> None:
+        """Subscribe to every runtime's shared searcher.
+
+        Runtimes of different databases have distinct searchers; runtimes
+        sharing one database (and therefore one registry-backed searcher)
+        must not double-count, so observers are dedup'd by searcher id.
+        """
+        self._observed_searchers = []
+        seen: set[int] = set()
+        for runtime in self.runtimes.values():
+            try:
+                searcher = runtime.searcher
+            except AttributeError:  # test fakes without a preprocessor
+                continue
+            if searcher is None or id(searcher) in seen:
+                continue
+            seen.add(id(searcher))
+            searcher.add_observer(self._on_value_search)
+            self._observed_searchers.append(searcher)
+
+    def _on_value_search(self, seconds: float, cache_hit: bool) -> None:
+        self._value_search_hist.observe(seconds)
+        if cache_hit:
+            self._value_search_cache_hits.inc()
+        else:
+            self._value_search_cache_misses.inc()
 
     # ----------------------------------------------------------- lifecycle
 
@@ -242,6 +279,11 @@ class TranslationService:
             thread.join(timeout=timeout)
         self._threads.clear()
         self._started = False
+        # Registry-backed searchers outlive the service; detach so a
+        # stopped service stops recording into its metrics.
+        for searcher in self._observed_searchers:
+            searcher.remove_observer(self._on_value_search)
+        self._observed_searchers.clear()
 
     def __enter__(self) -> "TranslationService":
         return self.start()

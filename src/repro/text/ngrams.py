@@ -48,3 +48,27 @@ def character_ngrams(text: str, n: int) -> list[str]:
     if n <= 0:
         raise ValueError(f"n must be positive, got {n}")
     return [text[i:i + n] for i in range(len(text) - n + 1)]
+
+
+#: Padding character for :func:`padded_qgrams`; chosen outside the
+#: printable range so database values essentially never contain it (and
+#: an accidental collision only ever *adds* shared grams, which keeps the
+#: q-gram count filter a safe superset).
+QGRAM_PAD = "\x00"
+
+
+def padded_qgrams(text: str, q: int) -> list[str]:
+    """Character ``q``-grams of ``text`` padded with ``q - 1`` sentinel
+    characters on both sides (the standard q-gram profile for edit-distance
+    filtering: a padded string of length ``n`` has exactly ``n + q - 1``
+    grams, and one edit operation changes at most ``q`` of them — ``q + 1``
+    for an adjacent transposition).
+
+    >>> padded_qgrams("ab", 3) == ["\\x00\\x00a", "\\x00ab", "ab\\x00", "b\\x00\\x00"]
+    True
+    """
+    if q <= 0:
+        raise ValueError(f"q must be positive, got {q}")
+    pad = QGRAM_PAD * (q - 1)
+    padded = pad + text + pad
+    return [padded[i:i + q] for i in range(len(padded) - q + 1)]

@@ -1,0 +1,491 @@
+"""Sub-linear value search: differential properties, persistence, registry.
+
+The q-gram count filter and the banded distance kernel are *filters* in
+front of the reference Damerau-Levenshtein scan — correctness means they
+never drop a true match.  Every test here checks against the full DP or
+the naive all-pairs scan, so a regression in the fast path cannot hide.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+from repro.index import (
+    BlockedValuePool,
+    IndexRegistry,
+    InvertedIndex,
+    SimilaritySearcher,
+    ValueLocation,
+    database_fingerprint,
+    get_default_registry,
+    load_bundle,
+    save_bundle,
+    set_default_registry,
+)
+from repro.index.persistence import FORMAT_VERSION
+from repro.preprocessing import Preprocessor
+from repro.serving import DatabaseRuntime, TranslationService
+from repro.spider import CorpusConfig, generate_corpus
+from repro.text.distance import damerau_levenshtein, damerau_levenshtein_banded
+
+
+def naive_search(index: InvertedIndex, query: str, max_distance: int):
+    """Reference: full DP against every indexed text value, no blocking."""
+    lowered = query.lower()
+    matches = []
+    for value, location in index.iter_text_values():
+        distance = damerau_levenshtein(lowered, value.lower())
+        if distance <= max_distance:
+            matches.append((value, location, distance))
+    matches.sort(key=lambda m: (m[2], m[0].lower(), str(m[1])))
+    return matches
+
+
+def typo_queries(values: list[str]) -> list[str]:
+    """Deterministic near-miss queries derived from real values."""
+    queries = []
+    for value in values:
+        v = value.lower()
+        if len(v) >= 2:
+            queries.append(v[1:] + v[0])          # rotate
+            queries.append(v[:-1])                # deletion
+            queries.append(v[0] + "x" + v[1:])    # insertion
+            mid = len(v) // 2
+            queries.append(v[:mid] + v[mid + 1:mid] + v[mid:])  # no-op guard
+            queries.append(v[:mid] + "z" + v[mid + 1:])         # substitution
+        queries.append(v)
+    return queries
+
+
+# --------------------------------------------------------------- kernels
+
+
+class TestBandedDistance:
+    @given(
+        st.text(alphabet="abcde", max_size=12),
+        st.text(alphabet="abcde", max_size=12),
+        st.integers(0, 4),
+    )
+    @settings(max_examples=300)
+    def test_matches_full_dp(self, a, b, k):
+        full = damerau_levenshtein(a, b)
+        expected = full if full <= k else k + 1
+        assert damerau_levenshtein_banded(a, b, max_distance=k) == expected
+
+    def test_transposition(self):
+        assert damerau_levenshtein_banded("jfk", "jkf", max_distance=2) == 1
+
+    def test_band_prunes_far_pairs(self):
+        assert damerau_levenshtein_banded("abcdefgh", "zyxwvuts", max_distance=2) == 3
+
+    def test_rejects_negative_bound(self):
+        with pytest.raises(ValueError):
+            damerau_levenshtein_banded("a", "b", max_distance=-1)
+
+
+class TestQGramPool:
+    @given(
+        st.lists(st.text(alphabet="abcdef", max_size=9), max_size=30),
+        st.text(alphabet="abcdef", max_size=9),
+        st.integers(0, 4),
+    )
+    @settings(max_examples=200)
+    def test_count_filter_never_drops_a_true_match(self, values, query, k):
+        pool = BlockedValuePool(values)
+        candidates = pool.candidates(query, max_distance=k)
+        for value in values:
+            if damerau_levenshtein(query.lower(), value.lower()) <= k:
+                assert value in candidates
+
+    def test_filter_actually_prunes(self):
+        # Same-length values far in content must be dropped by the count
+        # filter even though the length band admits all of them.
+        values = ["abcdefgh", "ijklmnop", "qrstuvwx", "abcdefgx"]
+        pool = BlockedValuePool(values)
+        candidates = pool.candidates("abcdefgh", max_distance=1)
+        assert "abcdefgh" in candidates and "abcdefgx" in candidates
+        assert "ijklmnop" not in candidates and "qrstuvwx" not in candidates
+
+    def test_short_strings_fall_back_to_length_band(self):
+        pool = BlockedValuePool(["ab", "xy", "a", "abcdefgh"])
+        candidates = pool.candidates("ab", max_distance=2)
+        # max(|s|,|t|) <= 1 + q*k: zero shared grams required
+        assert "xy" in candidates and "a" in candidates
+        assert "abcdefgh" not in candidates  # outside the length band
+
+    def test_large_bounds_drop_the_gram_filter(self):
+        # k > q: the count threshold is no longer a safe necessary
+        # condition.  True matches anywhere in the length band must come
+        # back; the bag-of-characters bound may still prune short values.
+        values = ["abcdefgh", "abcdefghijkl", "ijklmnop", "abcdefghijklmnop"]
+        pool = BlockedValuePool(values)
+        candidates = pool.candidates("abcdefgh", max_distance=4)
+        assert "abcdefgh" in candidates
+        assert "abcdefghijkl" in candidates  # distance 4: four insertions
+        # distance 8, zero shared characters: bag bound prunes it
+        assert "ijklmnop" not in candidates
+        # outside the length band entirely
+        assert "abcdefghijklmnop" not in candidates
+
+    def test_state_round_trip(self):
+        pool = BlockedValuePool(["France", "Francia", "Greece", "a"])
+        restored = BlockedValuePool.from_state(
+            pickle.loads(pickle.dumps(pool.state_dict()))
+        )
+        for k in (0, 1, 2):
+            assert restored.candidates("france", max_distance=k) == pool.candidates(
+                "france", max_distance=k
+            )
+
+
+# -------------------------------------------------- differential searcher
+
+
+@pytest.fixture(scope="module")
+def spider_corpus():
+    return generate_corpus(CorpusConfig(train_per_domain=4, dev_per_domain=3))
+
+
+def assert_search_matches_naive(database, *, max_distance):
+    index = InvertedIndex.build(database)
+    searcher = SimilaritySearcher(index)
+    values = [value for value, _ in index.iter_text_values()]
+    sample = values[:: max(1, len(values) // 25)]  # ~25 spread-out values
+    for query in typo_queries(sample):
+        expected = naive_search(index, query, max_distance)
+        got = searcher.search(
+            query, max_distance=max_distance, max_results=len(values) + len(expected) + 1
+        )
+        assert [(m.value, m.location, m.distance) for m in got] == expected, (
+            f"mismatch for query {query!r} at k={max_distance}"
+        )
+
+
+class TestDifferentialAgainstNaive:
+    def test_pets_database(self, pets_db):
+        for k in (0, 1, 2):
+            assert_search_matches_naive(pets_db, max_distance=k)
+
+    def test_one_spider_database(self, spider_corpus):
+        domain = sorted(spider_corpus.domains)[0]
+        assert_search_matches_naive(
+            spider_corpus.database(domain), max_distance=2
+        )
+
+    @pytest.mark.slow
+    def test_all_spider_databases_exhaustive(self, spider_corpus):
+        """Acceptance sweep: identical candidate sets on every synthetic
+        Spider database for every k <= 2."""
+        for domain in sorted(spider_corpus.domains):
+            database = spider_corpus.database(domain)
+            for k in (0, 1, 2):
+                assert_search_matches_naive(database, max_distance=k)
+
+    def test_cross_column_fanout(self):
+        """A string in many columns is returned once per location."""
+        index = InvertedIndex()
+        locations = [ValueLocation(f"t{i}", "c") for i in range(5)]
+        for location in locations:
+            index.add_value("Paris", location)
+        searcher = SimilaritySearcher(index)
+        matches = searcher.search("paris", max_distance=1, max_results=50)
+        assert sorted((m.location for m in matches), key=str) == sorted(
+            locations, key=str
+        )
+        assert all(m.distance == 0 for m in matches)
+
+
+# ----------------------------------------------------- searcher behavior
+
+
+class TestSearcherCacheAndStaleness:
+    def test_memo_hits_and_misses_counted(self, pets_db):
+        searcher = SimilaritySearcher(InvertedIndex.build(pets_db))
+        searcher.search("frnace")
+        searcher.search("frnace")
+        searcher.search("frnace", max_distance=1)  # different bound: miss
+        info = searcher.cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 2
+
+    def test_memoized_results_identical(self, pets_db):
+        searcher = SimilaritySearcher(InvertedIndex.build(pets_db))
+        first = searcher.search("frnace")
+        second = searcher.search("frnace")
+        assert first == second
+
+    def test_memo_respects_max_results(self, pets_db):
+        searcher = SimilaritySearcher(InvertedIndex.build(pets_db))
+        full = searcher.search("fran", max_distance=3, max_results=50)
+        assert len(searcher.search("fran", max_distance=3, max_results=1)) == 1
+        assert searcher.search("fran", max_distance=3, max_results=50) == full
+
+    def test_values_added_after_construction_are_found(self, pets_db):
+        """Regression: the searcher must see index mutations (it used to
+        snapshot per-column pools at construction and go stale)."""
+        index = InvertedIndex.build(pets_db)
+        searcher = SimilaritySearcher(index)
+        assert searcher.best_match("Xanadu", max_distance=1) is None
+        index.add_value("Xanadu", ValueLocation("student", "home_country"))
+        match = searcher.best_match("Xanadu", max_distance=1)
+        assert match is not None and match.value == "Xanadu"
+        assert searcher.stats.pool_rebuilds == 1
+
+    def test_mutation_invalidates_memo(self, pets_db):
+        index = InvertedIndex.build(pets_db)
+        searcher = SimilaritySearcher(index)
+        assert searcher.search("Xanadu", max_distance=0) == []
+        index.add_value("xanadu", ValueLocation("student", "home_country"))
+        assert searcher.search("Xanadu", max_distance=0) != []
+
+    def test_dp_call_accounting(self, pets_db):
+        searcher = SimilaritySearcher(InvertedIndex.build(pets_db))
+        searcher.search("frnace")
+        assert searcher.stats.dp_calls >= 1
+        calls = searcher.stats.dp_calls
+        searcher.search("frnace")  # memo hit: no new DP work
+        assert searcher.stats.dp_calls == calls
+
+    def test_observer_notified(self, pets_db):
+        searcher = SimilaritySearcher(InvertedIndex.build(pets_db))
+        events = []
+        searcher.add_observer(lambda seconds, hit: events.append((seconds, hit)))
+        searcher.search("frnace")
+        searcher.search("frnace")
+        assert [hit for _, hit in events] == [False, True]
+        searcher.remove_observer(searcher._observers[0])
+        searcher.search("italy")
+        assert len(events) == 2
+
+
+class TestAddValueFix:
+    def test_add_value_dedupes_column_pool(self):
+        index = InvertedIndex()
+        location = ValueLocation("t", "c")
+        index.add_value("Paris", location)
+        index.add_value("paris", location)  # same normalized key
+        index.add_value(" Paris ", location)
+        assert index.values_in_column(location) == ["Paris"]
+        assert index.lookup("PARIS") == {location}
+
+    def test_add_value_respects_cap(self):
+        index = InvertedIndex(max_values_per_column=3)
+        location = ValueLocation("t", "c")
+        for i in range(10):
+            index.add_value(f"value{i}", location)
+        assert len(index.values_in_column(location)) == 3
+        # exact lookup still knows every value (validation path)
+        assert index.lookup("value9") == {location}
+
+    def test_add_value_ignores_empty(self):
+        index = InvertedIndex()
+        index.add_value("   ", ValueLocation("t", "c"))
+        assert index.num_distinct_values == 0
+
+    def test_build_then_add_consistent_with_index_column(self, pets_db):
+        index = InvertedIndex.build(pets_db)
+        location = ValueLocation("pet", "pet_type")
+        before = index.values_in_column(location)
+        index.add_value("Dog", location)  # duplicate of an indexed value
+        assert index.values_in_column(location) == before
+
+
+# ------------------------------------------------------------ persistence
+
+
+class TestPersistence:
+    def test_round_trip_equality(self, pets_db, tmp_path):
+        index = InvertedIndex.build(pets_db)
+        searcher = SimilaritySearcher(index)
+        path = tmp_path / "pets.index"
+        save_bundle(path, fingerprint="fp", index=index, searcher=searcher)
+        loaded = load_bundle(path, fingerprint="fp")
+        assert loaded is not None
+        loaded_index, loaded_searcher = loaded
+        assert loaded_index.lookup("France") == index.lookup("France")
+        assert loaded_index.num_distinct_values == index.num_distinct_values
+        assert sorted(map(str, loaded_index.text_locations())) == sorted(
+            map(str, index.text_locations())
+        )
+        for query in ("frnace", "dog", "itly", "ann miller"):
+            assert loaded_searcher.search(query) == searcher.search(query)
+
+    def test_fingerprint_mismatch_returns_none(self, pets_db, tmp_path):
+        index = InvertedIndex.build(pets_db)
+        path = tmp_path / "pets.index"
+        save_bundle(
+            path, fingerprint="fp", index=index, searcher=SimilaritySearcher(index)
+        )
+        assert load_bundle(path, fingerprint="other") is None
+
+    def test_format_version_mismatch_returns_none(self, pets_db, tmp_path):
+        index = InvertedIndex.build(pets_db)
+        path = tmp_path / "pets.index"
+        save_bundle(
+            path, fingerprint="fp", index=index, searcher=SimilaritySearcher(index)
+        )
+        payload = pickle.loads(path.read_bytes())
+        assert payload["format_version"] == FORMAT_VERSION
+        payload["format_version"] = FORMAT_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        assert load_bundle(path, fingerprint="fp") is None
+
+    def test_corrupt_file_returns_none(self, tmp_path):
+        path = tmp_path / "junk.index"
+        path.write_bytes(b"not a pickle")
+        assert load_bundle(path, fingerprint="fp") is None
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert load_bundle(tmp_path / "absent.index", fingerprint="fp") is None
+
+    def test_loaded_searcher_tracks_new_mutations(self, pets_db, tmp_path):
+        index = InvertedIndex.build(pets_db)
+        path = tmp_path / "pets.index"
+        save_bundle(
+            path, fingerprint="fp", index=index, searcher=SimilaritySearcher(index)
+        )
+        loaded_index, loaded_searcher = load_bundle(path, fingerprint="fp")
+        loaded_index.add_value("Xanadu", ValueLocation("student", "home_country"))
+        assert loaded_searcher.best_match("Xanadu") is not None
+
+
+# --------------------------------------------------------------- registry
+
+
+@pytest.fixture
+def fresh_registry():
+    registry = IndexRegistry()
+    previous = set_default_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_default_registry(previous)
+
+
+class TestRegistry:
+    def test_preprocessors_share_one_index(self, pets_db, fresh_registry):
+        first = Preprocessor(pets_db)
+        second = Preprocessor(pets_db)
+        assert first.index is second.index
+        assert first.searcher is second.searcher
+        assert fresh_registry.build_count == 1
+        assert fresh_registry.hit_count >= 1
+
+    def test_fingerprint_change_triggers_rebuild(self, pets_db, fresh_registry):
+        first = Preprocessor(pets_db)
+        pets_db.insert_rows("student", [(99, "Zed Quirk", 30, "Xanadu", "M")])
+        second = Preprocessor(pets_db)
+        assert second.index is not first.index
+        assert fresh_registry.build_count == 2
+        assert second.index.contains("Xanadu")
+
+    def test_fingerprint_is_content_sensitive(self, pets_db):
+        before = database_fingerprint(pets_db)
+        pets_db.insert_rows("student", [(98, "New Person", 20, "France", "M")])
+        assert database_fingerprint(pets_db) != before
+
+    def test_serving_builds_exactly_one_index_per_database(
+        self, pets_db, fresh_registry
+    ):
+        """Acceptance: the runtime, its pipeline, and its fallback share
+        one InvertedIndex; a second runtime over the same content shares
+        it too."""
+        runtime = DatabaseRuntime(pets_db, database_id="pets")
+        assert fresh_registry.build_count == 1
+        assert runtime.fallback.preprocessor is runtime.preprocessor
+        service = TranslationService([runtime], workers=1)
+        with service:
+            response = service.translate("How many students are from France?")
+        assert response.sql is not None
+        assert fresh_registry.build_count == 1
+
+        second = DatabaseRuntime(pets_db, database_id="pets_replica")
+        assert second.preprocessor.index is runtime.preprocessor.index
+        assert fresh_registry.build_count == 1
+
+    def test_registry_disk_cache_roundtrip(self, pets_db, tmp_path):
+        cold = IndexRegistry(cache_dir=tmp_path)
+        entry = cold.get(pets_db)
+        assert entry.source == "built"
+        assert cold.build_count == 1
+
+        warm = IndexRegistry(cache_dir=tmp_path)
+        warm_entry = warm.get(pets_db)
+        assert warm_entry.source == "disk"
+        assert warm.build_count == 0 and warm.load_count == 1
+        assert warm_entry.index.lookup("France") == entry.index.lookup("France")
+        assert warm_entry.searcher.search("frnace") == entry.searcher.search("frnace")
+
+    def test_stale_disk_cache_rebuilds(self, pets_db, tmp_path):
+        cold = IndexRegistry(cache_dir=tmp_path)
+        cold.get(pets_db)
+        pets_db.insert_rows("student", [(97, "Ada Byron", 36, "England", "F")])
+        warm = IndexRegistry(cache_dir=tmp_path)
+        entry = warm.get(pets_db)
+        assert entry.source == "built"  # fingerprint mismatch on disk
+        assert entry.index.contains("England")
+
+    def test_invalidate_forces_rebuild(self, pets_db, fresh_registry):
+        Preprocessor(pets_db)
+        fresh_registry.invalidate("pets")
+        Preprocessor(pets_db)
+        assert fresh_registry.build_count == 2
+
+    def test_warm_parallel_builds(self, spider_corpus):
+        registry = IndexRegistry()
+        databases = {
+            domain: spider_corpus.database(domain)
+            for domain in sorted(spider_corpus.domains)[:4]
+        }
+        entries = registry.warm(databases, max_workers=4)
+        assert len(entries) == 4
+        assert registry.build_count == 4
+        # warm again: every entry is shared, nothing rebuilds
+        registry.warm(databases, max_workers=4)
+        assert registry.build_count == 4
+
+    def test_default_registry_swap_restores(self):
+        original = get_default_registry()
+        replacement = IndexRegistry()
+        assert set_default_registry(replacement) is original
+        assert get_default_registry() is replacement
+        set_default_registry(original)
+        assert get_default_registry() is original
+
+
+# ------------------------------------------------------- serving metrics
+
+
+class TestServingValueSearchMetrics:
+    def test_histogram_and_cache_counters_recorded(self, pets_db, fresh_registry):
+        runtime = DatabaseRuntime(pets_db, database_id="pets")
+        service = TranslationService([runtime], workers=1)
+        with service:
+            service.translate("How many students are from France?")
+            service.translate("students from Frnace")
+        snapshot = service.metrics.snapshot()
+        assert snapshot["preprocess_value_search_seconds"]["count"] > 0
+        traffic = (
+            snapshot["value_search_cache_hits_total"]
+            + snapshot["value_search_cache_misses_total"]
+        )
+        assert traffic == snapshot["preprocess_value_search_seconds"]["count"]
+
+    def test_observers_detached_on_stop(self, pets_db, fresh_registry):
+        runtime = DatabaseRuntime(pets_db, database_id="pets")
+        service = TranslationService([runtime], workers=1)
+        with service:
+            service.translate("students from France")
+        count_after_stop = service.metrics.snapshot()[
+            "preprocess_value_search_seconds"
+        ]["count"]
+        runtime.searcher.search("direct search after stop")
+        assert (
+            service.metrics.snapshot()["preprocess_value_search_seconds"]["count"]
+            == count_after_stop
+        )
