@@ -1,24 +1,40 @@
 #!/usr/bin/env python
-"""Closed-loop load generator for ``repro serve``.
+"""Closed-loop load generator for ``repro serve`` (single or cluster).
 
 Spawns N client threads; each sends its share of requests back-to-back
 (closed loop: a client waits for each response before sending the next),
-then reports throughput, latency percentiles (p50/p95/p99), and the
-serving-contract counters: cache hits, degraded fallbacks, and errors.
+then reports throughput, latency percentiles (p50/p95/p99), and an
+error-type breakdown that matches the serving contract:
+
+* ``timeout``    — the client-side socket timeout expired (the server
+  may still be working; the answer is lost to this client).
+* ``rejection``  — HTTP 503 with ``"retriable": true``: deliberate load
+  shedding (queue full, warming up, draining, no live worker).  These
+  are part of the contract, not drops.
+* ``failure``    — anything else: non-503 5xx, connection resets, or a
+  200 whose body carries an ``error``.
+
+``--seed`` makes the question order (and the failure-injection pattern)
+deterministic across runs, so two configurations see identical
+workloads.  Against a cluster front-end (``repro serve --workers N``)
+use ``--database-id`` per shard or repeat ``--database-id`` to spread
+load across shards round-robin.
 
 Example::
 
-    PYTHONPATH=src python -m repro serve --database demo.sqlite &
-    python scripts/load_test.py --clients 8 --requests 25
+    PYTHONPATH=src python -m repro serve --database demo.sqlite --workers 2 &
+    python scripts/load_test.py --clients 8 --requests 25 --seed 7
 
-Exit code is non-zero when any request was dropped (connection error or
-5xx other than deliberate 503 shedding), so CI can gate on it.
+Exit code is non-zero when any request *failed* (timeouts and retriable
+rejections are reported but do not fail the run unless
+``--fail-on-rejection`` is given), so CI can gate on it.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import random
 import threading
 import time
 import urllib.error
@@ -39,9 +55,12 @@ class ClientStats:
     ok: int = 0
     degraded: int = 0
     cache_hits: int = 0
-    http_errors: int = 0
-    dropped: int = 0
+    timeouts: int = 0
+    rejections: int = 0
+    failures: int = 0
+    attempted: int = 0
     engines: dict[str, int] = field(default_factory=dict)
+    client_errors: list[str] = field(default_factory=list)
 
 
 def percentile(sorted_values: list[float], p: float) -> float:
@@ -58,15 +77,20 @@ def run_client(
     count: int,
     stats: ClientStats,
 ) -> None:
+    # Per-client RNG derived from the base seed: deterministic workload,
+    # no cross-thread lock contention on one shared Random.
+    rng = random.Random(f"{args.seed}:{client_index}")
     for i in range(count):
-        question = args.questions[(client_index + i) % len(args.questions)]
+        stats.attempted += 1
+        question = rng.choice(args.questions)
         body = {"question": question, "execute": args.execute}
-        if args.database_id:
-            body["database_id"] = args.database_id
+        if args.database_ids:
+            body["database_id"] = args.database_ids[
+                (client_index + i) % len(args.database_ids)
+            ]
         if args.timeout_ms is not None:
             body["timeout_ms"] = args.timeout_ms
-        # Deterministic injection pattern so runs are reproducible.
-        if args.failure_rate > 0 and (i % max(1, round(1 / args.failure_rate))) == 0:
+        if args.failure_rate > 0 and rng.random() < args.failure_rate:
             body["inject_failure"] = True
         request = urllib.request.Request(
             args.url.rstrip("/") + "/translate",
@@ -80,16 +104,32 @@ def run_client(
                 payload = json.loads(resp.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
             stats.latencies_s.append(time.perf_counter() - start)
-            stats.http_errors += 1
-            if exc.code >= 500 and exc.code != 503:
-                stats.dropped += 1
+            if exc.code == 503:
+                stats.rejections += 1
+            else:
+                stats.failures += 1
             continue
-        except (urllib.error.URLError, TimeoutError, OSError):
-            stats.dropped += 1
+        except TimeoutError:
+            stats.timeouts += 1
+            continue
+        except urllib.error.URLError as exc:
+            if isinstance(exc.reason, TimeoutError):
+                stats.timeouts += 1
+            else:
+                stats.failures += 1
+            continue
+        except OSError:
+            stats.failures += 1
+            continue
+        except Exception as exc:  # client bug: count it, don't lose requests
+            stats.failures += 1
+            stats.client_errors.append(f"{type(exc).__name__}: {exc}")
             continue
         stats.latencies_s.append(time.perf_counter() - start)
         if payload.get("sql") and not payload.get("error"):
             stats.ok += 1
+        elif payload.get("error"):
+            stats.failures += 1
         if payload.get("degraded"):
             stats.degraded += 1
         if payload.get("cache_hit"):
@@ -104,10 +144,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--clients", type=int, default=8)
     parser.add_argument(
         "--requests", type=int, default=25, help="requests per client")
-    parser.add_argument("--database-id", default=None)
+    parser.add_argument(
+        "--database-id", action="append", dest="database_ids", default=None,
+        help="database to target (repeatable; clients round-robin across "
+             "them, which spreads load across cluster shards)")
     parser.add_argument(
         "--question", action="append", dest="questions", default=None,
         help="question to cycle through (repeatable)")
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload RNG seed (question choice + injection pattern)")
     parser.add_argument("--timeout-ms", type=float, default=None)
     parser.add_argument("--client-timeout", type=float, default=60.0)
     parser.add_argument(
@@ -115,6 +161,9 @@ def main(argv: list[str] | None = None) -> int:
         help="fraction of requests sent with inject_failure "
              "(server must run with --allow-injection)")
     parser.add_argument("--execute", action="store_true")
+    parser.add_argument(
+        "--fail-on-rejection", action="store_true",
+        help="also exit non-zero when any request was shed with a 503")
     args = parser.parse_args(argv)
     if not args.questions:
         args.questions = DEFAULT_QUESTIONS
@@ -139,30 +188,43 @@ def main(argv: list[str] | None = None) -> int:
     ok = sum(s.ok for s in per_client)
     degraded = sum(s.degraded for s in per_client)
     cache_hits = sum(s.cache_hits for s in per_client)
-    http_errors = sum(s.http_errors for s in per_client)
-    dropped = sum(s.dropped for s in per_client)
+    timeouts = sum(s.timeouts for s in per_client)
+    rejections = sum(s.rejections for s in per_client)
+    failures = sum(s.failures for s in per_client)
     engines: dict[str, int] = {}
     for s in per_client:
         for engine, n in s.engines.items():
             engines[engine] = engines.get(engine, 0) + n
 
     print(f"clients={args.clients} requests/client={args.requests} "
-          f"total={total_sent}")
+          f"total={total_sent} seed={args.seed}")
     print(f"wall time        {elapsed:.2f} s")
     print(f"throughput       {completed / elapsed:.1f} req/s")
     print(f"completed        {completed}  (ok={ok} degraded={degraded} "
           f"cache_hits={cache_hits})")
     print(f"engines          {engines}")
-    print(f"http errors      {http_errors}  dropped={dropped}")
+    print(f"errors           timeout={timeouts} rejection={rejections} "
+          f"failure={failures}")
     if latencies:
         print(f"latency p50      {1000 * percentile(latencies, 50):.1f} ms")
         print(f"latency p95      {1000 * percentile(latencies, 95):.1f} ms")
         print(f"latency p99      {1000 * percentile(latencies, 99):.1f} ms")
         print(f"latency max      {1000 * latencies[-1]:.1f} ms")
-    if dropped:
-        print(f"FAIL: {dropped} requests dropped")
+    attempted = sum(s.attempted for s in per_client)
+    for s in per_client:
+        for error in s.client_errors[:3]:
+            print("  client error:", error)
+    if attempted != total_sent:
+        print(f"FAIL: {total_sent - attempted} requests never attempted "
+              "(client thread crashed?)")
         return 1
-    print("OK: zero dropped requests")
+    if failures:
+        print(f"FAIL: {failures} requests failed")
+        return 1
+    if args.fail_on_rejection and rejections:
+        print(f"FAIL: {rejections} requests rejected (--fail-on-rejection)")
+        return 1
+    print("OK: zero failed requests")
     return 0
 
 

@@ -106,16 +106,77 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _parse_database_specs(specs: list[str]) -> list[tuple[str, str]]:
+    """``[ID=]PATH`` specs -> unique ``(db_id, path)`` pairs."""
     from pathlib import Path
 
+    pairs: list[tuple[str, str]] = []
+    seen: set[str] = set()
+    for spec in specs:
+        database_id, _, path = spec.rpartition("=")
+        database_id = database_id or Path(path).stem
+        if database_id in seen:
+            raise SystemExit(f"duplicate database id {database_id!r}")
+        seen.add(database_id)
+        pairs.append((database_id, path))
+    return pairs
+
+
+def _serve_until_signalled(server, shutdown) -> None:
+    """Run the HTTP loop until SIGTERM/SIGINT flips the shutdown event.
+
+    The server loop runs on a helper thread so the main thread can wait
+    on the signal event (signal handlers only fire on the main thread).
+    """
+    import threading
+
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        shutdown.wait()
+    except KeyboardInterrupt:
+        pass
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+
+
+def _install_signal_handlers(shutdown) -> None:
+    import signal
+
+    def _request_shutdown(signum, frame):
+        print(f"\nreceived signal {signum}; draining ...", flush=True)
+        shutdown.set()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.serving import ServingServer
+
+    pairs = _parse_database_specs(args.databases)
+    shutdown = threading.Event()
+    _install_signal_handlers(shutdown)
+
+    # Bind the port before the (possibly long) warm-up: /livez answers
+    # immediately, /readyz answers 503 until the service is attached.
+    server = ServingServer((args.host, args.port), None)
+    engine = "model" if args.model is not None else "heuristic-only"
+    print(f"listening on {server.url} [{engine}] — warming up ...")
+
+    if args.workers > 0:
+        return _serve_cluster(args, pairs, server, shutdown)
+    return _serve_single(args, pairs, server, shutdown)
+
+
+def _serve_single(args, pairs, server, shutdown) -> int:
+    import time as _time
+
     from repro.db import Database
-    from repro.serving import (
-        DatabaseRuntime,
-        ServingServer,
-        TranslationCache,
-        TranslationService,
-    )
+    from repro.serving import DatabaseRuntime, TranslationCache, TranslationService
 
     model = None
     if args.model is not None:
@@ -128,17 +189,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         set_default_registry(IndexRegistry(cache_dir=args.index_cache))
 
-    databases: dict[str, Database] = {}
-    for spec in args.databases:
-        database_id, _, path = spec.rpartition("=")
-        database_id = database_id or Path(path).stem
-        databases[database_id] = Database.open(path)
+    databases = {db_id: Database.open(path) for db_id, path in pairs}
 
     # Parallel cold builds (or warm disk loads) before taking traffic.
     from repro.index import get_default_registry
 
     registry = get_default_registry()
-    import time as _time
     warm_start = _time.perf_counter()
     # Keyed by schema name (how Preprocessor looks indexes up), not by
     # the external routing id.
@@ -147,41 +203,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"indexes ready in {_time.perf_counter() - warm_start:.2f}s "
           f"(built={stats['build_count']} loaded={stats['load_count']})")
 
-    runtimes = []
-    for database_id, database in databases.items():
-        runtimes.append(DatabaseRuntime(
-            database,
-            model,
-            database_id=database_id,
-            beam_size=args.beam,
-        ))
-
+    runtimes = [
+        DatabaseRuntime(database, model, database_id=database_id,
+                        beam_size=args.beam)
+        for database_id, database in databases.items()
+    ]
     service = TranslationService(
         runtimes,
-        workers=args.workers,
+        workers=args.threads,
         queue_size=args.queue_size,
         max_batch=args.max_batch,
         batch_window_ms=args.batch_window_ms,
         cache=TranslationCache(capacity=args.cache_size, ttl_s=args.cache_ttl),
         default_timeout_ms=args.timeout_ms,
         allow_failure_injection=args.allow_injection,
+        ready=False,
     )
     service.start()
-    server = ServingServer((args.host, args.port), service)
-    engine = "model" if model is not None else "heuristic-only"
-    print(f"serving {len(runtimes)} database(s) [{engine}] on {server.url}")
-    print(f"  databases: {', '.join(sorted(service.runtimes))}")
-    print("  endpoints: POST /translate  GET /healthz  GET /metrics")
+    server.attach(service)
+    service.mark_ready()
+    print(f"serving {len(runtimes)} database(s): "
+          f"{', '.join(sorted(service.runtimes))}")
+    print("  endpoints: POST /translate  GET /healthz /livez /readyz /metrics")
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down ...")
+        _serve_until_signalled(server, shutdown)
     finally:
-        server.shutdown()
-        server.server_close()
-        service.stop()
+        clean = service.drain(timeout=args.drain_s)
+        print("drained cleanly" if clean else "drain timed out; stopped anyway")
         for runtime in runtimes:
             runtime.database.close()
+    return 0
+
+
+def _serve_cluster(args, pairs, server, shutdown) -> int:
+    from repro.cluster import ClusterConfig, ClusterService
+
+    cluster = ClusterService(
+        pairs,
+        model_path=args.model,
+        config=ClusterConfig(
+            workers=args.workers,
+            default_timeout_ms=args.timeout_ms,
+        ),
+        verbose=True,
+        beam_size=args.beam,
+        threads=args.threads,
+        queue_size=args.queue_size,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+        cache_size=args.cache_size,
+        cache_ttl_s=args.cache_ttl,
+        index_cache=args.index_cache,
+        allow_failure_injection=args.allow_injection,
+    )
+    cluster.start()
+    server.attach(cluster)
+    if not cluster.wait_ready(timeout=300.0):
+        print("warning: cluster not fully ready yet; serving anyway", flush=True)
+    print(f"cluster of {args.workers} worker(s) serving "
+          f"{len(pairs)} database(s): "
+          f"{', '.join(sorted(db_id for db_id, _ in pairs))}")
+    for worker_id, state in sorted(cluster.worker_states().items()):
+        print(f"  worker {worker_id} (pid={state['pid']}): "
+              f"shard={state['shard']}")
+    print("  endpoints: POST /translate  GET /healthz /livez /readyz /metrics")
+    try:
+        _serve_until_signalled(server, shutdown)
+    finally:
+        clean = cluster.stop(timeout=args.drain_s)
+        print("drained cleanly" if clean else "drain timed out; stopped anyway")
     return 0
 
 
@@ -229,7 +319,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765)
-    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker PROCESSES for cluster serving (sharded by database, "
+             "supervised, auto-restarted); 0 = single in-process service",
+    )
+    serve.add_argument(
+        "--threads", type=int, default=4,
+        help="translation threads per service (per worker in cluster mode)",
+    )
+    serve.add_argument(
+        "--drain-s", type=float, default=10.0,
+        help="graceful-shutdown budget: seconds to finish accepted "
+             "requests after SIGTERM/SIGINT before stopping hard",
+    )
     serve.add_argument("--queue-size", type=int, default=64)
     serve.add_argument("--max-batch", type=int, default=8)
     serve.add_argument("--batch-window-ms", type=float, default=2.0)

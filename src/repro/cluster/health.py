@@ -1,0 +1,106 @@
+"""Supervision primitives: worker states, restart backoff, circuit breaker.
+
+Kept free of process/socket concerns so the policies are unit-testable
+with a fake clock; the supervisor composes them.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import deque
+from collections.abc import Callable
+
+
+class WorkerStatus(enum.Enum):
+    """Lifecycle of one worker slot as the supervisor sees it."""
+
+    STARTING = "starting"      # process forked, warm-up in progress
+    READY = "ready"            # sent `ready`, heartbeats healthy
+    UNHEALTHY = "unhealthy"    # missed heartbeats; about to be killed
+    RESTARTING = "restarting"  # dead; restart scheduled (backoff)
+    BROKEN = "broken"          # circuit breaker tripped; no more restarts
+    STOPPED = "stopped"        # deliberately shut down
+
+
+class ExponentialBackoff:
+    """Restart delay schedule: ``initial * factor**n`` capped at ``max_delay``."""
+
+    def __init__(
+        self,
+        *,
+        initial: float = 0.25,
+        factor: float = 2.0,
+        max_delay: float = 10.0,
+    ):
+        if initial <= 0 or factor < 1.0 or max_delay < initial:
+            raise ValueError("need initial > 0, factor >= 1, max_delay >= initial")
+        self.initial = initial
+        self.factor = factor
+        self.max_delay = max_delay
+        self._attempts = 0
+
+    def next_delay(self) -> float:
+        delay = min(self.max_delay, self.initial * (self.factor ** self._attempts))
+        self._attempts += 1
+        return delay
+
+    def reset(self) -> None:
+        self._attempts = 0
+
+    @property
+    def attempts(self) -> int:
+        return self._attempts
+
+
+class CircuitBreaker:
+    """Trips after ``max_failures`` failures inside a sliding window.
+
+    A worker that crashes occasionally is restarted (with backoff); one
+    that crash-loops — e.g. a corrupt index bundle that kills it during
+    warm-up every time — would otherwise burn CPU forever.  After the
+    breaker trips the slot is marked :data:`WorkerStatus.BROKEN` and the
+    router stops sending it traffic until an operator intervenes.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_failures: int = 5,
+        window_s: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_failures < 1 or window_s <= 0:
+            raise ValueError("need max_failures >= 1 and window_s > 0")
+        self.max_failures = max_failures
+        self.window_s = window_s
+        self._clock = clock
+        self._failures: deque[float] = deque()
+        self._tripped = False
+
+    def _prune(self, now: float) -> None:
+        while self._failures and now - self._failures[0] > self.window_s:
+            self._failures.popleft()
+
+    def record_failure(self) -> bool:
+        """Record one failure; returns True when the breaker is (now) open."""
+        now = self._clock()
+        self._failures.append(now)
+        self._prune(now)
+        if len(self._failures) >= self.max_failures:
+            self._tripped = True
+        return self._tripped
+
+    def record_success(self) -> None:
+        """A full healthy interval closes the breaker and clears history."""
+        self._failures.clear()
+        self._tripped = False
+
+    @property
+    def open(self) -> bool:
+        return self._tripped
+
+    @property
+    def recent_failures(self) -> int:
+        self._prune(self._clock())
+        return len(self._failures)

@@ -1,0 +1,164 @@
+"""Length-prefixed JSON IPC between the cluster supervisor and workers.
+
+Every frame on the wire is ``4-byte big-endian length || UTF-8 JSON
+object``.  The object always carries a ``"type"`` field; request/response
+frames additionally carry an ``"id"`` so many requests can be in flight
+on one connection and answers may arrive out of order.
+
+Deadlines cross the process boundary as a *remaining budget* in seconds
+(``budget_s``), not as an absolute timestamp: each side re-anchors the
+budget against its own monotonic clock on receipt, so the protocol is
+immune to wall-clock skew between supervisor and worker (they share a
+host today, but the framing should not bake that in).
+
+Frame types (supervisor -> worker):
+
+* ``request``  — one translate call; fields mirror ``/translate``.
+* ``ping``     — heartbeat probe; the worker answers with ``pong``
+  carrying its health and metrics snapshots.
+* ``shutdown`` — drain and exit (graceful; SIGKILL is the rude path).
+
+Frame types (worker -> supervisor):
+
+* ``ready``    — sent once after the worker warmed its shard.
+* ``response`` — answer to a ``request`` (``payload`` is the serialized
+  :class:`~repro.serving.service.ServeResponse`).
+* ``reject``   — the worker could not accept the request (queue full,
+  unknown database, stopping); always retriable at the cluster level.
+* ``pong``     — heartbeat answer with ``health`` and ``metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import time
+
+from repro.errors import ReproError
+
+_LENGTH = struct.Struct("!I")
+
+# Frames are small control/response objects; anything near this bound is
+# a protocol bug (e.g. unbounded result rows), not a legitimate message.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """Malformed or oversized frame, or a closed peer mid-frame."""
+
+
+class PeerClosedError(ProtocolError):
+    """The other end closed the connection at a frame boundary."""
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Serialize ``message`` and write one length-prefixed frame."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"refusing to send {len(body)} byte frame (max {MAX_FRAME_BYTES})"
+        )
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise on EOF."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks and remaining == count:
+                raise PeerClosedError("peer closed the connection")
+            raise ProtocolError(
+                f"peer closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Read one frame; raises :class:`PeerClosedError` on clean EOF."""
+    header = _recv_exact(sock, _LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"{length} byte frame exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length) if length else b""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid frame payload: {exc}") from exc
+    if not isinstance(message, dict) or not isinstance(message.get("type"), str):
+        raise ProtocolError("frame must be a JSON object with a string 'type'")
+    return message
+
+
+# --------------------------------------------------------- deadline budget
+
+
+def remaining_budget_s(deadline: float, *, now: float | None = None) -> float:
+    """Seconds left until a monotonic ``deadline`` (clamped at 0)."""
+    now = time.monotonic() if now is None else now
+    return max(0.0, deadline - now)
+
+
+def budget_to_deadline(budget_s: float, *, now: float | None = None) -> float:
+    """Re-anchor a received budget against the local monotonic clock."""
+    now = time.monotonic() if now is None else now
+    return now + max(0.0, float(budget_s))
+
+
+# ------------------------------------------------------ frame constructors
+
+
+def request_frame(
+    request_id: int,
+    question: str,
+    database_id: str,
+    *,
+    beam_size: int | None,
+    execute: bool,
+    budget_s: float,
+    inject_failure: bool = False,
+) -> dict:
+    return {
+        "type": "request",
+        "id": request_id,
+        "question": question,
+        "database_id": database_id,
+        "beam_size": beam_size,
+        "execute": execute,
+        "budget_s": budget_s,
+        "inject_failure": inject_failure,
+    }
+
+
+def response_frame(request_id: int, payload: dict) -> dict:
+    return {"type": "response", "id": request_id, "payload": payload}
+
+
+def reject_frame(request_id: int, reason: str) -> dict:
+    return {"type": "reject", "id": request_id, "reason": reason}
+
+
+def ping_frame(ping_id: int) -> dict:
+    return {"type": "ping", "id": ping_id}
+
+
+def pong_frame(ping_id: int, health: dict, metrics: dict) -> dict:
+    return {"type": "pong", "id": ping_id, "health": health, "metrics": metrics}
+
+
+def ready_frame(worker_id: int, warm_s: float, databases: list[str]) -> dict:
+    return {
+        "type": "ready",
+        "worker_id": worker_id,
+        "warm_s": warm_s,
+        "databases": databases,
+    }
+
+
+def shutdown_frame() -> dict:
+    return {"type": "shutdown"}

@@ -1,0 +1,80 @@
+"""Consistent-hash routing of databases onto cluster workers.
+
+Requests are routed by ``db_id`` so each worker keeps serving the same
+shard of databases: its schema-feature cache, value indexes, and result
+cache stay hot, and no two workers pay the memory for the same index.
+
+The ring is the classic construction: every worker owns ``replicas``
+virtual points on a 64-bit circle; a database maps to the first worker
+point at or after its own hash.  Consistency is the property that makes
+it right for supervision: when a worker dies, only the databases that
+hashed to *its* points move (to the next point on the ring) — the other
+workers' shards, and therefore their warm caches, are untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from collections.abc import Iterable, Sequence
+
+
+def _hash64(key: str) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring over integer worker ids."""
+
+    def __init__(self, worker_ids: Sequence[int], *, replicas: int = 64):
+        if not worker_ids:
+            raise ValueError("need at least one worker id")
+        if len(set(worker_ids)) != len(worker_ids):
+            raise ValueError("worker ids must be unique")
+        self.worker_ids = tuple(worker_ids)
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for worker_id in worker_ids:
+            for replica in range(replicas):
+                points.append((_hash64(f"w{worker_id}#{replica}"), worker_id))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [w for _, w in points]
+
+    def route(self, db_id: str) -> int:
+        """The worker owning ``db_id`` with every worker alive."""
+        return self.preference(db_id)[0]
+
+    def preference(self, db_id: str, alive: Iterable[int] | None = None) -> list[int]:
+        """Distinct workers in ring order starting at ``db_id``'s point.
+
+        The first entry is the primary owner; the rest is the failover
+        order.  With ``alive`` given, workers not in it are skipped —
+        an empty result means no live worker exists.
+        """
+        allowed = set(self.worker_ids if alive is None else alive)
+        start = bisect_right(self._points, _hash64(db_id)) % len(self._owners)
+        order: list[int] = []
+        seen: set[int] = set()
+        for offset in range(len(self._owners)):
+            worker = self._owners[(start + offset) % len(self._owners)]
+            if worker in seen or worker not in allowed:
+                continue
+            seen.add(worker)
+            order.append(worker)
+            if len(seen) == len(self.worker_ids):
+                break
+        return order
+
+    def shard(self, worker_id: int, db_ids: Iterable[str]) -> list[str]:
+        """The databases whose primary owner is ``worker_id``."""
+        return [db_id for db_id in db_ids if self.route(db_id) == worker_id]
+
+    def shards(self, db_ids: Iterable[str]) -> dict[int, list[str]]:
+        """Primary-owner partition of ``db_ids`` across all workers."""
+        partition: dict[int, list[str]] = {w: [] for w in self.worker_ids}
+        for db_id in db_ids:
+            partition[self.route(db_id)].append(db_id)
+        return partition

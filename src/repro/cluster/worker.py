@@ -1,0 +1,250 @@
+"""The cluster worker process: one TranslationService behind an IPC socket.
+
+A worker is a full single-process serving stack — per-shard warmed
+:class:`~repro.index.registry.IndexRegistry`, per-database runtimes, a
+:class:`~repro.serving.service.TranslationService` with its own thread
+pool, micro-batching, cache, and metrics — minus the HTTP layer: the
+supervisor owns the listening socket and feeds the worker requests over
+one :mod:`repro.cluster.protocol` connection.
+
+Shard semantics: the worker *hosts* every database the cluster serves
+(it knows all the paths) but eagerly opens and warms only the databases
+in its ``shard``.  When the supervisor fails traffic over from a dead
+sibling, the worker adopts the foreign database lazily on first request
+— slower for that first request, but no worker pays memory or startup
+time for indexes it is not routed.
+
+Concurrency: a reader thread receives frames; requests are handed to a
+bounded executor (the supervisor's in-flight window keeps it from ever
+being the backlog), and every handler thread serializes its writes with
+one send lock.  Heartbeat pings are answered inline by the reader thread
+so they measure event-loop liveness, not translation throughput; a
+worker wedged hard enough to stop reading frames stops ponging and gets
+killed and restarted by the supervisor.
+"""
+
+from __future__ import annotations
+
+import signal
+import socket
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.cluster import protocol
+from repro.db.database import Database
+from repro.index.registry import IndexRegistry, set_default_registry
+from repro.serving.cache import TranslationCache
+from repro.serving.runtime import DatabaseRuntime
+from repro.serving.service import (
+    QueueFullError,
+    ServiceStoppedError,
+    TranslationService,
+    UnknownDatabaseError,
+)
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to build its serving stack (picklable)."""
+
+    worker_id: int
+    databases: tuple[tuple[str, str], ...]  # (db_id, sqlite path)
+    shard: tuple[str, ...]                  # db ids this worker owns
+    model_path: str | None = None
+    beam_size: int = 1
+    threads: int = 4
+    queue_size: int = 64
+    max_batch: int = 8
+    batch_window_ms: float = 2.0
+    cache_size: int = 256
+    cache_ttl_s: float = 300.0
+    default_timeout_ms: float = 10_000.0
+    index_cache: str | None = None
+    allow_failure_injection: bool = False
+    execution_timeout_s: float | None = 5.0
+    execution_max_rows: int | None = 10_000
+    max_inflight: int = 16
+
+
+class WorkerProcess:
+    """Runtime state of one worker process (constructed *inside* it)."""
+
+    def __init__(self, spec: WorkerSpec, sock: socket.socket):
+        self.spec = spec
+        self.sock = sock
+        self._send_lock = threading.Lock()
+        self._adopt_lock = threading.Lock()
+        self._paths = dict(spec.databases)
+        self._databases: dict[str, Database] = {}
+        self.registry = IndexRegistry(cache_dir=spec.index_cache)
+        set_default_registry(self.registry)
+        self.model = None
+        if spec.model_path is not None:
+            from repro.model import ValueNetModel
+
+            self.model = ValueNetModel.load(spec.model_path)
+        self.service: TranslationService | None = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, spec.max_inflight),
+            thread_name_prefix=f"cluster-worker-{spec.worker_id}",
+        )
+
+    # ----------------------------------------------------------- lifecycle
+
+    def warm_and_start(self) -> float:
+        """Open + warm the shard, start the service; returns warm seconds."""
+        start = time.perf_counter()
+        shard = {
+            db_id: self._open(db_id)
+            for db_id in self.spec.shard
+            if db_id in self._paths
+        }
+        self.registry.warm(shard)
+        runtimes = [self._make_runtime(db_id, db) for db_id, db in shard.items()]
+        self.service = TranslationService(
+            runtimes,
+            workers=self.spec.threads,
+            queue_size=self.spec.queue_size,
+            max_batch=self.spec.max_batch,
+            batch_window_ms=self.spec.batch_window_ms,
+            cache=TranslationCache(
+                capacity=self.spec.cache_size, ttl_s=self.spec.cache_ttl_s
+            ),
+            default_timeout_ms=self.spec.default_timeout_ms,
+            allow_failure_injection=self.spec.allow_failure_injection,
+            ready=False,
+            allow_empty=True,  # an empty shard adopts databases on failover
+        )
+        self.service.start()
+        self.service.mark_ready()
+        return time.perf_counter() - start
+
+    def _open(self, db_id: str) -> Database:
+        database = self._databases.get(db_id)
+        if database is None:
+            database = Database.open(self._paths[db_id])
+            self._databases[db_id] = database
+        return database
+
+    def _make_runtime(self, db_id: str, database: Database) -> DatabaseRuntime:
+        return DatabaseRuntime(
+            database,
+            self.model,
+            database_id=db_id,
+            beam_size=self.spec.beam_size,
+            execution_timeout_s=self.spec.execution_timeout_s,
+            execution_max_rows=self.spec.execution_max_rows,
+        )
+
+    def _adopt(self, db_id: str) -> bool:
+        """Lazily host a database outside this worker's shard (failover)."""
+        if db_id not in self._paths:
+            return False
+        with self._adopt_lock:
+            if db_id in self.service.runtimes:
+                return True
+            runtime = self._make_runtime(db_id, self._open(db_id))
+            self.service.add_runtime(runtime)
+        return True
+
+    # -------------------------------------------------------------- frames
+
+    def send(self, frame: dict) -> None:
+        with self._send_lock:
+            protocol.send_frame(self.sock, frame)
+
+    def _handle_request(self, frame: dict) -> None:
+        request_id = frame["id"]
+        db_id = frame.get("database_id") or ""
+        try:
+            if db_id not in self.service.runtimes and not self._adopt(db_id):
+                raise UnknownDatabaseError(f"unknown database {db_id!r}")
+            budget_s = max(0.0, float(frame.get("budget_s", 0.0)))
+            response = self.service.translate(
+                frame["question"],
+                db_id,
+                beam_size=frame.get("beam_size"),
+                execute=bool(frame.get("execute", False)),
+                timeout_ms=budget_s * 1000.0,
+                inject_failure=bool(frame.get("inject_failure", False)),
+            )
+            self.send(protocol.response_frame(request_id, response.as_dict()))
+        except (QueueFullError, ServiceStoppedError, UnknownDatabaseError) as exc:
+            self.send(protocol.reject_frame(request_id, str(exc)))
+        except OSError:  # supervisor went away; the loop will exit on EOF
+            pass
+        except Exception as exc:  # never lose a request silently
+            try:
+                self.send(protocol.reject_frame(request_id, f"worker error: {exc}"))
+            except OSError:
+                pass
+
+    def _health(self) -> dict:
+        health = self.service.health() if self.service is not None else {}
+        health["worker_id"] = self.spec.worker_id
+        health["shard"] = sorted(self.spec.shard)
+        health["registry"] = self.registry.stats()
+        return health
+
+    def _metrics_snapshot(self) -> dict:
+        if self.service is None:
+            return {}
+        return self.service.metrics.snapshot()
+
+    # ---------------------------------------------------------------- loop
+
+    def run(self) -> int:
+        warm_s = self.warm_and_start()
+        self.send(
+            protocol.ready_frame(
+                self.spec.worker_id, warm_s, sorted(self.service.runtimes)
+            )
+        )
+        try:
+            while True:
+                try:
+                    frame = protocol.recv_frame(self.sock)
+                except (protocol.ProtocolError, OSError):
+                    break  # supervisor died or closed; exit with it
+                kind = frame.get("type")
+                if kind == "request":
+                    self._pool.submit(self._handle_request, frame)
+                elif kind == "ping":
+                    # Answered inline: measures frame-loop liveness.
+                    try:
+                        self.send(protocol.pong_frame(
+                            frame.get("id", 0),
+                            self._health(),
+                            self._metrics_snapshot(),
+                        ))
+                    except OSError:
+                        break
+                elif kind == "shutdown":
+                    break
+        finally:
+            self._pool.shutdown(wait=True)
+            if self.service is not None:
+                self.service.drain(timeout=5.0)
+            for database in self._databases.values():
+                database.close()
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+        return 0
+
+
+def worker_entry(spec: WorkerSpec, sock: socket.socket) -> None:
+    """Process entry point (target of ``multiprocessing.Process``)."""
+    # Ctrl+C hits the whole process group; the supervisor coordinates
+    # shutdown (shutdown frame, then SIGKILL) — workers must not race it.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        code = WorkerProcess(spec, sock).run()
+    except Exception as exc:  # startup crash: make the exit loud
+        sys.stderr.write(f"[cluster-worker-{spec.worker_id}] fatal: {exc}\n")
+        code = 1
+    raise SystemExit(code)

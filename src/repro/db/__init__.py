@@ -3,7 +3,9 @@
 from repro.db.database import Database
 from repro.db.executor import (
     ExecutionResult,
+    QueryTimeoutError,
     execute_and_compare,
+    execute_with_budget,
     gold_orders_rows,
     normalize_rows,
     rows_equal,
@@ -13,7 +15,9 @@ from repro.db.introspect import introspect_schema
 __all__ = [
     "Database",
     "ExecutionResult",
+    "QueryTimeoutError",
     "execute_and_compare",
+    "execute_with_budget",
     "gold_orders_rows",
     "introspect_schema",
     "normalize_rows",

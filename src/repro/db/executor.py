@@ -9,11 +9,66 @@ matters (this mirrors the official Spider evaluation script's behaviour).
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass
 
 from repro.db.database import Database
 from repro.errors import ExecutionError
+
+
+class QueryTimeoutError(ExecutionError):
+    """A query exceeded its wall-clock budget and was interrupted."""
+
+
+def execute_with_budget(
+    database: Database,
+    sql: str,
+    *,
+    timeout_s: float | None = None,
+    max_rows: int | None = 10_000,
+) -> list[tuple]:
+    """Execute ``sql`` under a wall-clock budget and a result-row cap.
+
+    Serving runs *generated* SQL: a pathological query (an accidental
+    cross join, a filter that SQLite cannot use an index for) can
+    otherwise occupy a worker slot for minutes.  A timer thread calls
+    :meth:`sqlite3.Connection.interrupt` on the current thread's
+    connection when the budget expires — SQLite aborts the running
+    statement with "interrupted", surfaced here as
+    :class:`QueryTimeoutError` — and ``max_rows`` bounds the result set
+    (the cap raises :class:`ExecutionError`, mirroring
+    :meth:`Database.execute`).
+
+    ``timeout_s=None`` (or <= 0) disables the timer and degenerates to a
+    plain capped execute.
+    """
+    if timeout_s is None or timeout_s <= 0:
+        return database.execute(sql, max_rows=max_rows)
+    connection = database.connection  # per-thread; interrupt targets it only
+    interrupted = threading.Event()
+
+    def _interrupt() -> None:
+        interrupted.set()
+        try:
+            connection.interrupt()
+        except Exception:  # pragma: no cover - connection already closed
+            pass
+
+    timer = threading.Timer(timeout_s, _interrupt)
+    timer.daemon = True
+    timer.start()
+    try:
+        return database.execute(sql, max_rows=max_rows)
+    except ExecutionError as exc:
+        if interrupted.is_set():
+            raise QueryTimeoutError(
+                f"query exceeded its {timeout_s:.3f}s budget and was "
+                f"interrupted: {sql!r}"
+            ) from exc
+        raise
+    finally:
+        timer.cancel()
 
 
 def _normalize_cell(cell: object) -> object:

@@ -145,16 +145,24 @@ class IndexRegistry:
         databases: dict[str, Database] | list[Database],
         *,
         max_workers: int | None = None,
+        only: set[str] | None = None,
     ) -> list[IndexEntry]:
         """Build (or load) entries for many databases on a thread pool.
 
         Index building releases the GIL inside SQLite scans, so parallel
         cold builds overlap I/O even on CPython.
+
+        ``only`` restricts warming to that subset of database ids — a
+        cluster worker hosting every database but *owning* one shard
+        warms only its shard eagerly and builds the rest lazily if it
+        ever receives failover traffic for them.
         """
         if isinstance(databases, dict):
             items = list(databases.items())
         else:
             items = [(db.schema.name, db) for db in databases]
+        if only is not None:
+            items = [(db_id, db) for db_id, db in items if db_id in only]
         if not items:
             return []
         workers = max_workers if max_workers is not None else min(8, len(items))

@@ -60,12 +60,18 @@ class _BasePipeline:
         preprocessor: Preprocessor | None = None,
         *,
         beam_size: int = 1,
+        execution_timeout_s: float | None = None,
+        execution_max_rows: int | None = 100_000,
     ):
         self.model = model
         self.database = database
         self.preprocessor = preprocessor or Preprocessor(database, extractor)
         self.builder = SqlBuilder(database.schema)
         self.beam_size = beam_size
+        # Wall-clock budget + row cap for executing *generated* SQL
+        # (None timeout disables the interrupt timer).
+        self.execution_timeout_s = execution_timeout_s
+        self.execution_max_rows = execution_max_rows
 
     def _preprocess(self, question: str, timings: StageTimings, **kwargs):
         raise NotImplementedError
@@ -201,9 +207,16 @@ class _BasePipeline:
         timings.postprocessing = time.perf_counter() - start
 
         if execute:
+            from repro.db.executor import execute_with_budget
+
             start = time.perf_counter()
             try:
-                result.rows = self.database.execute(result.sql)
+                result.rows = execute_with_budget(
+                    self.database,
+                    result.sql,
+                    timeout_s=self.execution_timeout_s,
+                    max_rows=self.execution_max_rows,
+                )
             except ExecutionError as exc:
                 result.error = f"execution failed: {exc}"
             timings.execution = time.perf_counter() - start

@@ -17,6 +17,9 @@ from repro.serving.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_snapshots,
+    quantile_from_snapshot,
+    render_snapshot_text,
 )
 from repro.serving.runtime import DatabaseRuntime
 from repro.serving.service import (
@@ -47,5 +50,8 @@ __all__ = [
     "TranslationCache",
     "TranslationService",
     "UnknownDatabaseError",
+    "merge_snapshots",
     "normalize_question",
+    "quantile_from_snapshot",
+    "render_snapshot_text",
 ]

@@ -2,7 +2,14 @@
 
 Endpoints (all JSON unless noted):
 
-* ``GET  /healthz``  — liveness + queue/cache snapshot.
+* ``GET  /healthz``  — combined health snapshot (always 200 once a
+  service is attached; the detail lives in the body).
+* ``GET  /livez``    — liveness only: 200 whenever the process can
+  answer HTTP at all.  Restart the instance when this fails.
+* ``GET  /readyz``   — readiness: 503 until the backing service exists
+  *and* reports ready (index warm-up finished, not draining).  Load
+  balancers should route on this, not on ``/healthz``, so cold or
+  draining instances receive no traffic.
 * ``GET  /metrics``  — Prometheus text exposition; ``?format=json`` for a
   JSON snapshot with p50/p95/p99 per histogram.
 * ``POST /translate`` — body ``{"question": ..., "database_id": ...,
@@ -12,9 +19,18 @@ Endpoints (all JSON unless noted):
 
 Status codes: 200 on success (including degraded responses — the
 degradation contract lives in the body, not the status), 400 on malformed
-requests, 404 on unknown paths or databases, 503 when the queue is full.
-Served by :class:`http.server.ThreadingHTTPServer` — one thread per
-connection, all funneling into the service's bounded queue.
+requests, 404 on unknown paths or databases, 503 when load is shed
+(queue full, service stopping/warming, or — in cluster mode — no live
+worker for the shard).  Every 503 body carries ``"retriable": true``:
+the request was *not* processed and may safely be retried elsewhere.
+
+The server may be constructed before its service exists
+(``service=None``) and bound to one later via :meth:`ServingServer.attach`;
+until then it is live but not ready and sheds all translate traffic.
+This lets deployments open the port (and pass liveness probes) while
+index warm-up is still running.  Served by
+:class:`http.server.ThreadingHTTPServer` — one thread per connection, all
+funneling into the service's bounded queue.
 """
 
 from __future__ import annotations
@@ -38,7 +54,7 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     @property
-    def service(self) -> TranslationService:
+    def service(self) -> TranslationService | None:
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
@@ -63,20 +79,45 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _service_ready(self) -> tuple[bool, str]:
+        service = self.service
+        if service is None:
+            return False, "service not attached (warming up)"
+        is_ready = getattr(service, "is_ready", None)
+        if is_ready is not None and not is_ready():
+            return False, "service is not ready"
+        return True, "ok"
+
     # ------------------------------------------------------------ handlers
 
     def do_GET(self) -> None:  # noqa: N802
         parsed = urlparse(self.path)
-        if parsed.path == "/healthz":
-            self._send_json(200, self.service.health())
+        service = self.service
+        if parsed.path == "/livez":
+            self._send_json(200, {"live": True})
+        elif parsed.path == "/readyz":
+            ready, reason = self._service_ready()
+            if ready:
+                self._send_json(200, {"ready": True})
+            else:
+                self._send_json(503, {"ready": False, "reason": reason,
+                                      "retriable": True})
+        elif parsed.path == "/healthz":
+            if service is None:
+                self._send_json(200, {"status": "starting", "ready": False})
+            else:
+                self._send_json(200, service.health())
         elif parsed.path == "/metrics":
+            if service is None:
+                self._send_text(200, "", "text/plain; version=0.0.4; charset=utf-8")
+                return
             params = parse_qs(parsed.query)
             if params.get("format", [""])[0] == "json":
-                self._send_json(200, self.service.metrics.snapshot())
+                self._send_json(200, service.metrics.snapshot())
             else:
                 self._send_text(
                     200,
-                    self.service.metrics.render_text(),
+                    service.metrics.render_text(),
                     "text/plain; version=0.0.4; charset=utf-8",
                 )
         else:
@@ -86,6 +127,12 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         if parsed.path != "/translate":
             self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+            return
+        service = self.service
+        if service is None:
+            self._send_json(
+                503, {"error": "service is warming up", "retriable": True}
+            )
             return
         try:
             length = int(self.headers.get("Content-Length", "0"))
@@ -106,7 +153,7 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": 'body must include a string "question"'})
             return
         try:
-            response = self.service.translate(
+            response = service.translate(
                 payload["question"],
                 payload.get("database_id"),
                 beam_size=payload.get("beam_size"),
@@ -117,11 +164,8 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         except UnknownDatabaseError as exc:
             self._send_json(404, {"error": str(exc)})
             return
-        except QueueFullError as exc:
-            self._send_json(503, {"error": str(exc)})
-            return
-        except ServiceStoppedError as exc:
-            self._send_json(503, {"error": str(exc)})
+        except (QueueFullError, ServiceStoppedError) as exc:
+            self._send_json(503, {"error": str(exc), "retriable": True})
             return
         except (TypeError, ValueError) as exc:
             self._send_json(400, {"error": f"bad request parameters: {exc}"})
@@ -130,20 +174,31 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
 
 
 class ServingServer(ThreadingHTTPServer):
-    """Threading HTTP server bound to one :class:`TranslationService`."""
+    """Threading HTTP server bound to one :class:`TranslationService`.
+
+    ``service`` may also be any object with the same duck-typed surface
+    (``translate``, ``health``, ``metrics``, ``is_ready``) — the cluster
+    front-end reuses this server unchanged — or ``None`` to open the
+    port before the service exists (attach one later with
+    :meth:`attach`).
+    """
 
     daemon_threads = True
 
     def __init__(
         self,
         address: tuple[str, int],
-        service: TranslationService,
+        service: TranslationService | None,
         *,
         verbose: bool = False,
     ):
         super().__init__(address, ServingRequestHandler)
         self.service = service
         self.verbose = verbose
+
+    def attach(self, service) -> None:
+        """Bind a (possibly late-built) service; flips readiness wiring."""
+        self.service = service
 
     @property
     def url(self) -> str:

@@ -155,6 +155,120 @@ class Histogram:
             }
 
 
+# ------------------------------------------------- snapshot-level helpers
+#
+# The cluster supervisor aggregates metrics across worker *processes*, so
+# it works on JSON snapshots (what crosses the IPC boundary), not on live
+# metric objects.  Snapshots use the shapes produced by
+# :meth:`MetricsRegistry.snapshot`: plain numbers for counters/gauges and
+# ``{"count", "sum", "max", "buckets": [{"le", "count"}, ...]}`` dicts for
+# histograms (bucket counts are cumulative, Prometheus ``le`` semantics).
+
+
+def quantile_from_snapshot(data: dict, q: float) -> float:
+    """Quantile estimate from a histogram *snapshot* (mirrors
+    :meth:`Histogram.quantile`, including the linear interpolation)."""
+    if not 0.0 < q <= 1.0:
+        raise ValueError("quantile must be in (0, 1]")
+    count = data.get("count", 0)
+    if not count:
+        return 0.0
+    target = q * count
+    previous = 0
+    for index, bucket in enumerate(data.get("buckets", ())):
+        cumulative = bucket["count"]
+        if cumulative >= target:
+            in_bucket = cumulative - previous
+            lower = data["buckets"][index - 1]["le"] if index > 0 else 0.0
+            upper = bucket["le"]
+            if in_bucket == 0:  # pragma: no cover - defensive
+                return upper
+            fraction = (target - previous) / in_bucket
+            return min(lower + fraction * (upper - lower), data.get("max", upper))
+        previous = cumulative
+    return data.get("max", 0.0)  # target rank lives in the +Inf bucket
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Merge several registry snapshots into one fleet-wide snapshot.
+
+    Counters and gauges sum (queue depths and in-flight gauges add up
+    across workers; that is the fleet-wide reading).  Histograms merge
+    exactly: cumulative bucket counts, total count, and sum all add,
+    ``max`` takes the max, and p50/p95/p99 are re-estimated from the
+    merged buckets.  Metrics occurring with mismatched shapes (number in
+    one worker, histogram in another) raise — that is a bug, not noise.
+    """
+    merged: dict[str, object] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            if name not in merged:
+                if isinstance(value, dict):
+                    merged[name] = {
+                        "count": value.get("count", 0),
+                        "sum": value.get("sum", 0.0),
+                        "max": value.get("max", 0.0),
+                        "buckets": [dict(b) for b in value.get("buckets", ())],
+                    }
+                else:
+                    merged[name] = float(value)
+                continue
+            existing = merged[name]
+            if isinstance(existing, dict) != isinstance(value, dict):
+                raise TypeError(f"metric {name!r} has mismatched kinds across workers")
+            if isinstance(existing, dict):
+                existing["count"] += value.get("count", 0)
+                existing["sum"] += value.get("sum", 0.0)
+                existing["max"] = max(existing["max"], value.get("max", 0.0))
+                theirs = {b["le"]: b["count"] for b in value.get("buckets", ())}
+                for bucket in existing["buckets"]:
+                    bucket["count"] += theirs.pop(bucket["le"], 0)
+                for le in sorted(theirs):  # bounds only one side knows about
+                    existing["buckets"].append({"le": le, "count": theirs[le]})
+                    existing["buckets"].sort(key=lambda b: b["le"])
+            else:
+                merged[name] = existing + float(value)
+    for value in merged.values():
+        if isinstance(value, dict):
+            value["p50"] = quantile_from_snapshot(value, 0.50)
+            value["p95"] = quantile_from_snapshot(value, 0.95)
+            value["p99"] = quantile_from_snapshot(value, 0.99)
+    return merged
+
+
+def render_snapshot_text(
+    snapshot: dict,
+    *,
+    help_texts: dict[str, str] | None = None,
+) -> str:
+    """Prometheus text exposition of a (possibly merged) snapshot.
+
+    Metric kind is recovered from shape and naming: dict values are
+    histograms, scalar names ending in ``_total`` are counters (the
+    convention every counter in this codebase follows), anything else is
+    a gauge.
+    """
+    help_texts = help_texts or {}
+    lines: list[str] = []
+    for name, value in sorted(snapshot.items()):
+        if name in help_texts:
+            lines.append(f"# HELP {name} {help_texts[name]}")
+        if isinstance(value, dict):
+            lines.append(f"# TYPE {name} histogram")
+            for bucket in value.get("buckets", ()):
+                lines.append(
+                    f'{name}_bucket{{le="{bucket["le"]:g}"}} {bucket["count"]}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {value.get("count", 0)}')
+            lines.append(f"{name}_sum {value.get('sum', 0.0):g}")
+            lines.append(f"{name}_count {value.get('count', 0)}")
+        else:
+            kind = "counter" if name.endswith("_total") else "gauge"
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {float(value):g}")
+    return "\n".join(lines) + "\n"
+
+
 class MetricsRegistry:
     """Named metric store with get-or-create semantics and exporters."""
 

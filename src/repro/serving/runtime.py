@@ -22,6 +22,7 @@ import time
 
 from repro.baselines.heuristic import HeuristicBaseline
 from repro.db.database import Database
+from repro.db.executor import execute_with_budget
 from repro.model.valuenet import ValueNetModel
 from repro.pipeline.valuenet import TranslationResult, ValueNetPipeline
 from repro.preprocessing.pipeline import Preprocessor
@@ -45,6 +46,11 @@ class DatabaseRuntime:
             the neural pipeline, and the heuristic fallback all use the
             same :class:`~repro.index.inverted.InvertedIndex` (exactly
             one per database process-wide).
+        execution_timeout_s: wall-clock budget for executing one
+            *generated* query (``None`` disables the budget); enforced
+            via ``sqlite3.Connection.interrupt`` so a pathological query
+            cannot wedge a worker.
+        execution_max_rows: result-row cap for executed queries.
     """
 
     def __init__(
@@ -56,6 +62,8 @@ class DatabaseRuntime:
         beam_size: int = 1,
         pipeline: ValueNetPipeline | None = None,
         preprocessor: Preprocessor | None = None,
+        execution_timeout_s: float | None = 5.0,
+        execution_max_rows: int | None = 10_000,
     ):
         if model is not None and pipeline is not None:
             raise ValueError("pass either model or pipeline, not both")
@@ -69,11 +77,18 @@ class DatabaseRuntime:
             self.pipeline = pipeline
         elif model is not None:
             self.pipeline = ValueNetPipeline(
-                model, database, preprocessor=self.preprocessor, beam_size=beam_size
+                model,
+                database,
+                preprocessor=self.preprocessor,
+                beam_size=beam_size,
+                execution_timeout_s=execution_timeout_s,
+                execution_max_rows=execution_max_rows,
             )
         else:
             self.pipeline = None
         self.fallback = HeuristicBaseline(database, preprocessor=self.preprocessor)
+        self.execution_timeout_s = execution_timeout_s
+        self.execution_max_rows = execution_max_rows
         self._lock = threading.Lock()
 
     @property
@@ -148,6 +163,15 @@ class DatabaseRuntime:
             finally:
                 self.pipeline.beam_size = configured
 
+    def execute_sql(self, sql: str) -> list[tuple]:
+        """Execute generated SQL under the runtime's budget and row cap."""
+        return execute_with_budget(
+            self.database,
+            sql,
+            timeout_s=self.execution_timeout_s,
+            max_rows=self.execution_max_rows,
+        )
+
     def translate_fallback(
         self, question: str, *, execute: bool = False
     ) -> TranslationResult:
@@ -157,7 +181,7 @@ class DatabaseRuntime:
         if execute and result.sql is not None and result.error is None:
             start = time.perf_counter()
             try:
-                result.rows = self.database.execute(result.sql)
+                result.rows = self.execute_sql(result.sql)
             except Exception as exc:  # ExecutionError, kept broad on purpose
                 result.error = f"execution failed: {exc}"
             result.timings.execution = time.perf_counter() - start

@@ -90,6 +90,32 @@ class ServeResponse:
             "batch_size": self.batch_size,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServeResponse":
+        """Inverse of :meth:`as_dict` (used across the cluster IPC boundary)."""
+        return cls(
+            question=payload.get("question", ""),
+            database_id=payload.get("database_id", ""),
+            sql=payload.get("sql"),
+            rows=(
+                [tuple(row) for row in payload["rows"]]
+                if payload.get("rows") is not None
+                else None
+            ),
+            error=payload.get("error"),
+            engine=payload.get("engine", "model"),
+            degraded=bool(payload.get("degraded", False)),
+            degraded_reason=payload.get("degraded_reason"),
+            cache_hit=bool(payload.get("cache_hit", False)),
+            timings={
+                k: ms / 1000.0
+                for k, ms in (payload.get("timings_ms") or {}).items()
+            },
+            queue_ms=float(payload.get("queue_ms", 0.0)),
+            service_ms=float(payload.get("service_ms", 0.0)),
+            batch_size=int(payload.get("batch_size", 1)),
+        )
+
 
 @dataclass
 class ServeRequest:
@@ -141,6 +167,14 @@ class TranslationService:
         metrics: registry to record into (created when omitted).
         allow_failure_injection: honor per-request ``inject_failure``
             flags (keep off outside load tests).
+        ready: initial readiness.  Pass ``False`` when index warm-up
+            happens after construction and call :meth:`mark_ready` once
+            it completes; ``/readyz`` answers 503 until then so load
+            balancers do not route traffic to a cold instance.
+        allow_empty: permit constructing with zero runtimes.  Cluster
+            workers whose consistent-hash shard is empty start this way
+            and adopt databases via :meth:`add_runtime` only when the
+            supervisor fails traffic over to them.
     """
 
     def __init__(
@@ -155,8 +189,10 @@ class TranslationService:
         default_timeout_ms: float = 10_000.0,
         metrics: MetricsRegistry | None = None,
         allow_failure_injection: bool = False,
+        ready: bool = True,
+        allow_empty: bool = False,
     ):
-        if not runtimes:
+        if not runtimes and not allow_empty:
             raise ValueError("need at least one DatabaseRuntime")
         self.runtimes: dict[str, DatabaseRuntime] = {}
         for runtime in runtimes:
@@ -174,6 +210,10 @@ class TranslationService:
         self._threads: list[threading.Thread] = []
         self._started = False
         self._stopping = False
+        self._ready = threading.Event()
+        if ready:
+            self._ready.set()
+        self._runtime_lock = threading.Lock()
         self.started_at = time.time()
         self._init_metrics()
         self._attach_value_search_observers()
@@ -284,6 +324,55 @@ class TranslationService:
         for searcher in self._observed_searchers:
             searcher.remove_observer(self._on_value_search)
         self._observed_searchers.clear()
+
+    def drain(self, *, timeout: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, flush the queue, then stop.
+
+        New :meth:`submit` calls raise :class:`ServiceStoppedError`
+        immediately; requests already accepted keep being processed until
+        the queue is empty and no worker has a request in flight, or the
+        ``timeout`` budget runs out.  Returns True when the drain was
+        clean (nothing was abandoned in the queue).
+        """
+        self._stopping = True
+        deadline = time.monotonic() + max(0.0, timeout)
+        clean = False
+        while time.monotonic() < deadline:
+            if self._queue.empty() and self._inflight.value <= 0:
+                clean = True
+                break
+            time.sleep(0.02)
+        self.stop(timeout=max(0.5, deadline - time.monotonic()))
+        return clean
+
+    # ---------------------------------------------------------- readiness
+
+    def mark_ready(self) -> None:
+        """Flip readiness on (idempotent); ``/readyz`` starts answering 200."""
+        self._ready.set()
+
+    def is_ready(self) -> bool:
+        return self._ready.is_set() and not self._stopping
+
+    # ------------------------------------------------------- runtime admin
+
+    def add_runtime(self, runtime: DatabaseRuntime) -> None:
+        """Register another database after construction.
+
+        Used by cluster workers for shard failover: a worker starts with
+        only its shard warmed and lazily adopts a database when the
+        supervisor routes it traffic for a dead sibling's shard.
+        """
+        with self._runtime_lock:
+            if runtime.database_id in self.runtimes:
+                raise ValueError(f"duplicate database id {runtime.database_id!r}")
+            self.runtimes[runtime.database_id] = runtime
+        searcher = getattr(runtime, "searcher", None)
+        if searcher is not None and all(
+            searcher is not observed for observed in self._observed_searchers
+        ):
+            searcher.add_observer(self._on_value_search)
+            self._observed_searchers.append(searcher)
 
     def __enter__(self) -> "TranslationService":
         return self.start()
@@ -557,7 +646,11 @@ class TranslationService:
 
     def _execute_rows(self, runtime: DatabaseRuntime, response: ServeResponse) -> None:
         try:
-            response.rows = runtime.database.execute(response.sql)
+            execute = getattr(runtime, "execute_sql", None)  # test fakes lack it
+            if execute is not None:
+                response.rows = execute(response.sql)
+            else:
+                response.rows = runtime.database.execute(response.sql)
         except Exception as exc:
             response.error = f"execution failed: {exc}"
 
@@ -584,6 +677,7 @@ class TranslationService:
         return {
             "status": "stopping" if self._stopping else (
                 "ok" if self._started else "idle"),
+            "ready": self.is_ready(),
             "uptime_s": time.time() - self.started_at,
             "databases": sorted(self.runtimes),
             "workers": self.workers,

@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
 from repro.db import (
     Database,
+    QueryTimeoutError,
     execute_and_compare,
+    execute_with_budget,
     gold_orders_rows,
     introspect_schema,
     normalize_rows,
@@ -243,3 +246,50 @@ class TestResultComparison:
     def test_gold_orders_rows_bracket_identifier(self):
         assert not gold_orders_rows("SELECT [order by] FROM t")
         assert gold_orders_rows("SELECT [weird col] FROM t ORDER BY 1")
+
+
+class TestExecutionBudget:
+    """Per-query wall-clock budget + row cap (repro.db.execute_with_budget)."""
+
+    def test_fast_query_unaffected_by_budget(self, pets_db):
+        rows = execute_with_budget(
+            pets_db, "SELECT COUNT(*) FROM student", timeout_s=5.0
+        )
+        assert rows == [(4,)]
+
+    def test_none_timeout_disables_the_timer(self, pets_db):
+        rows = execute_with_budget(
+            pets_db, "SELECT COUNT(*) FROM student", timeout_s=None
+        )
+        assert rows == [(4,)]
+
+    def test_runaway_query_interrupted(self, pets_db):
+        # An unbounded recursive CTE runs forever without the interrupt.
+        runaway = (
+            "WITH RECURSIVE r(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM r) "
+            "SELECT COUNT(*) FROM r"
+        )
+        started = time.perf_counter()
+        with pytest.raises(QueryTimeoutError):
+            execute_with_budget(pets_db, runaway, timeout_s=0.2)
+        assert time.perf_counter() - started < 5.0
+
+    def test_row_cap_enforced(self, pets_db):
+        with pytest.raises(ExecutionError):
+            execute_with_budget(
+                pets_db, "SELECT * FROM student", timeout_s=5.0, max_rows=2
+            )
+
+    def test_plain_sql_error_not_reported_as_timeout(self, pets_db):
+        with pytest.raises(ExecutionError) as excinfo:
+            execute_with_budget(pets_db, "SELECT broken FROM student", timeout_s=5.0)
+        assert not isinstance(excinfo.value, QueryTimeoutError)
+
+    def test_connection_usable_after_interrupt(self, pets_db):
+        runaway = (
+            "WITH RECURSIVE r(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM r) "
+            "SELECT COUNT(*) FROM r"
+        )
+        with pytest.raises(QueryTimeoutError):
+            execute_with_budget(pets_db, runaway, timeout_s=0.2)
+        assert pets_db.execute("SELECT COUNT(*) FROM pet") == [(3,)]

@@ -128,3 +128,81 @@ class TestTranslate:
         assert not errors
         assert all(status == 200 for status, _ in results)
         assert all(payload["sql"] for _, payload in results)
+
+
+class TestReadinessSplit:
+    """Liveness vs readiness: /livez is process-up, /readyz gates traffic."""
+
+    def test_livez_always_200(self, server):
+        status, body = get(server.url + "/livez")
+        assert status == 200
+        assert json.loads(body) == {"live": True}
+
+    def test_readyz_200_when_ready(self, server):
+        status, body = get(server.url + "/readyz")
+        assert status == 200
+        assert json.loads(body) == {"ready": True}
+
+    def test_healthz_reports_ready_flag(self, server):
+        _, body = get(server.url + "/healthz")
+        assert json.loads(body)["ready"] is True
+
+
+class TestWarmupServer:
+    """A server bound before its service exists: live, not ready, shedding."""
+
+    @pytest.fixture
+    def cold_server(self, pets_db):
+        server = ServingServer(("127.0.0.1", 0), None)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        service = TranslationService(
+            [DatabaseRuntime(pets_db, database_id="pets")], workers=2,
+            ready=False,
+        ).start()
+        yield server, service
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+    def test_unattached_server_is_live_but_not_ready(self, cold_server):
+        server, _ = cold_server
+        status, _ = get(server.url + "/livez")
+        assert status == 200
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server.url + "/readyz")
+        assert excinfo.value.code == 503
+        assert json.loads(excinfo.value.read())["retriable"] is True
+        # /healthz stays 200 (detail in the body) so dashboards can poll it.
+        status, body = get(server.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "starting"
+
+    def test_unattached_server_sheds_translate(self, cold_server):
+        server, _ = cold_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(server.url + "/translate", {"question": "hi"})
+        assert excinfo.value.code == 503
+        assert json.loads(excinfo.value.read())["retriable"] is True
+
+    def test_attached_but_warming_service_not_ready(self, cold_server):
+        server, service = cold_server
+        server.attach(service)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server.url + "/readyz")
+        assert excinfo.value.code == 503
+        assert json.loads(excinfo.value.read())["reason"] == "service is not ready"
+
+    def test_mark_ready_flips_readyz(self, cold_server):
+        server, service = cold_server
+        server.attach(service)
+        service.mark_ready()
+        status, body = get(server.url + "/readyz")
+        assert status == 200
+        assert json.loads(body) == {"ready": True}
+        # And translate traffic flows normally once attached + ready.
+        status, payload = post_json(server.url + "/translate", {
+            "question": "How many students are there?", "execute": True,
+        })
+        assert status == 200
+        assert payload["rows"] == [[4]]
