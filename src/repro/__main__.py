@@ -18,6 +18,7 @@ import argparse
 import sys
 
 from repro.config import ModelConfig, TrainingConfig
+from repro.logs import configure_cli_logging
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
@@ -355,6 +356,9 @@ def main(argv: list[str] | None = None) -> int:
     serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
+    # Library modules report progress through logging (training epochs,
+    # cluster supervisor events); surface them on the CLI.
+    configure_cli_logging()
     return args.func(args)
 
 

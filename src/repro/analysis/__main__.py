@@ -1,0 +1,115 @@
+"""CLI for the lint engine: ``python -m repro.analysis``.
+
+Exit codes: 0 clean, 1 findings (new violations, stale or unjustified
+baseline entries, parse errors), 2 usage error.  All terminal output in
+the analysis package lives here — the engine and rules return data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, build_baseline, diff_against_baseline
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import rule_catalog
+
+_PACKAGE_ROOT = Path(__file__).resolve().parents[1]  # src/repro
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+_DEFAULT_BASELINE = _REPO_ROOT / "analysis-baseline.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-invariant lint engine (see docs/analysis-rules.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files or directories to lint (default: {_PACKAGE_ROOT})",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=_DEFAULT_BASELINE,
+        help="baseline file of justified legacy findings",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="CI mode: additionally fail on baseline entries lacking a justification",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, description in rule_catalog():
+            print(f"{name:12s} {description}")
+        return 0
+
+    paths = args.paths or [_PACKAGE_ROOT]
+    result = analyze_paths(paths)
+    for err in result.parse_errors:
+        print(f"parse error: {err}", file=sys.stderr)
+
+    baseline = Baseline.load(args.baseline)
+
+    if args.write_baseline:
+        keep = {e.fingerprint: e.justification for e in baseline.entries}
+        fresh = build_baseline(result.violations, justifications=keep)
+        fresh.save(args.baseline)
+        print(
+            f"wrote {len(fresh.entries)} entries to {args.baseline} "
+            f"({sum(1 for e in fresh.unjustified())} need a justification)"
+        )
+        return 0
+
+    diff = diff_against_baseline(result.violations, baseline)
+    failed = False
+
+    if diff.new:
+        failed = True
+        print(f"{len(diff.new)} violation(s):")
+        for violation, _ in diff.new:
+            print(f"  {violation.render()}")
+            if violation.source_line:
+                print(f"      {violation.source_line}")
+
+    if diff.stale:
+        failed = True
+        print(f"{len(diff.stale)} stale baseline entr(y/ies) — remove them:")
+        for entry in diff.stale:
+            print(f"  {entry.rule} {entry.path}:{entry.line} [{entry.fingerprint}]")
+
+    if args.check_baseline:
+        unjustified = baseline.unjustified()
+        if unjustified:
+            failed = True
+            print(f"{len(unjustified)} baseline entr(y/ies) lack a justification:")
+            for entry in unjustified:
+                print(f"  {entry.rule} {entry.path}:{entry.line} [{entry.fingerprint}]")
+
+    if result.parse_errors:
+        failed = True
+
+    if not failed:
+        suppressed = len(diff.matched)
+        print(
+            f"clean: {result.files_checked} files, "
+            f"{len(rule_catalog())} rules, {suppressed} baselined finding(s)"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

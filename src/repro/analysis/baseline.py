@@ -1,0 +1,139 @@
+"""Baseline file: the short list of justified legacy findings.
+
+Each entry pins one violation by a content fingerprint —
+``sha1(rule | logical path | stripped source line | occurrence index)``
+— so entries survive line-number drift but go stale the moment the
+offending line changes or disappears.  ``--check-baseline`` fails on
+stale entries (so the baseline can only shrink by honest edits) and on
+entries missing a justification (so it never becomes a dumping ground).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.core import Violation
+
+_VERSION = 1
+
+
+def fingerprint_violations(violations: list[Violation]) -> list[tuple[Violation, str]]:
+    """Pair each violation with its content fingerprint.
+
+    The occurrence index disambiguates identical lines within one file
+    (e.g. two ``time.time()`` calls on textually equal lines).
+    """
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list[tuple[Violation, str]] = []
+    for v in violations:
+        key = (v.rule, v.path, v.source_line)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        raw = f"{v.rule}|{v.path}|{v.source_line}|{index}"
+        out.append((v, hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]))
+    return out
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    line: int
+    source: str
+    justification: str
+
+
+class Baseline:
+    def __init__(self, entries: list[BaselineEntry] | None = None):
+        self.entries = list(entries or [])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                fingerprint=e["fingerprint"],
+                rule=e["rule"],
+                path=e["path"],
+                line=int(e.get("line", 0)),
+                source=e.get("source", ""),
+                justification=e.get("justification", ""),
+            )
+            for e in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        data = {
+            "version": _VERSION,
+            "entries": [
+                {
+                    "fingerprint": e.fingerprint,
+                    "rule": e.rule,
+                    "path": e.path,
+                    "line": e.line,
+                    "source": e.source,
+                    "justification": e.justification,
+                }
+                for e in sorted(self.entries, key=lambda e: (e.path, e.line, e.rule))
+            ],
+        }
+        path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+    def fingerprints(self) -> set[str]:
+        return {e.fingerprint for e in self.entries}
+
+    def unjustified(self) -> list[BaselineEntry]:
+        return [e for e in self.entries if not e.justification.strip()]
+
+
+@dataclass
+class BaselineDiff:
+    """Current violations split against a baseline."""
+
+    new: list[tuple[Violation, str]]      # not in the baseline — must be fixed
+    matched: list[tuple[Violation, str]]  # pinned by a baseline entry
+    stale: list[BaselineEntry]            # baseline entries no longer firing
+
+
+def diff_against_baseline(
+    violations: list[Violation], baseline: Baseline
+) -> BaselineDiff:
+    pairs = fingerprint_violations(violations)
+    known = baseline.fingerprints()
+    new = [(v, fp) for v, fp in pairs if fp not in known]
+    matched = [(v, fp) for v, fp in pairs if fp in known]
+    current = {fp for _, fp in pairs}
+    stale = [e for e in baseline.entries if e.fingerprint not in current]
+    return BaselineDiff(new=new, matched=matched, stale=stale)
+
+
+def build_baseline(
+    violations: list[Violation], justifications: dict[str, str] | None = None
+) -> Baseline:
+    """Snapshot the given violations as a fresh baseline.
+
+    ``justifications`` maps fingerprints to reasons; entries without one
+    are saved with an empty justification and will fail
+    ``--check-baseline`` until a human fills them in — writing a
+    baseline is deliberately not enough to make the build green.
+    """
+    justifications = justifications or {}
+    entries = [
+        BaselineEntry(
+            fingerprint=fp,
+            rule=v.rule,
+            path=v.path,
+            line=v.line,
+            source=v.source_line,
+            justification=justifications.get(fp, ""),
+        )
+        for v, fp in fingerprint_violations(violations)
+    ]
+    return Baseline(entries)

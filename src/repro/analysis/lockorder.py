@@ -1,0 +1,267 @@
+"""Dynamic lock-order sanitizer: deadlock potential as a hard failure.
+
+Under ``REPRO_SANITIZE=1`` the factories in :mod:`repro.concurrency`
+return :class:`SanitizedLock` instead of raw ``threading`` locks.  Each
+acquisition records directed *held → acquired* edges into one global
+order graph; the moment an acquisition would close a cycle (thread 1
+takes A then B, thread 2 takes B then A), the acquire raises
+:class:`LockOrderError` — **before** the cyclic edge is recorded, and
+with the acquisition stacks of both sides of the inversion — rather
+than waiting for the interleaving that actually deadlocks.
+
+Properties that keep it honest:
+
+* cycle detection looks at lock *order*, not timing: the AB/BA pattern
+  is caught even when exercised by a single thread, long before the
+  2-thread race window ever hits;
+* reentrant locks may be re-acquired while held without creating a
+  self-edge (that is what an RLock is for);
+* dead locks leave the graph via ``weakref.finalize``, so short-lived
+  per-key locks don't accrete stale edges;
+* the offending inner lock is released before raising, so a test can
+  catch :class:`LockOrderError` and keep running.
+
+The graph is process-global: edges learned on one thread flag an
+inverted acquisition on any other.  ``reset()`` clears it between
+tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+import weakref
+
+
+class LockOrderError(RuntimeError):
+    """An acquisition closed a cycle in the lock-order graph."""
+
+
+class _Edge:
+    """One observed *src held while dst acquired* ordering, with proof."""
+
+    __slots__ = ("src_name", "dst_name", "stack")
+
+    def __init__(self, src_name: str, dst_name: str, stack: str):
+        self.src_name = src_name
+        self.dst_name = dst_name
+        self.stack = stack
+
+
+class _OrderGraph:
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._edges: dict[tuple[int, int], _Edge] = {}
+        self._adj: dict[int, set[int]] = {}
+        self._names: dict[int, str] = {}
+        # Lock ids whose finalizer ran; appended lock-free (GIL-atomic)
+        # and drained by the next mutex holder.
+        self._dead: list[int] = []
+        self._tls = threading.local()
+
+    # ------------------------------------------------------------ held set
+
+    def _held(self) -> list[tuple[int, str]]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = []
+            self._tls.held = held
+        return held
+
+    # ------------------------------------------------------- registration
+
+    def register(self, lock_id: int, name: str) -> None:
+        with self._mutex:
+            self._drain_dead_locked()
+            self._names[lock_id] = name
+
+    def unregister(self, lock_id: int) -> None:
+        # Runs from weakref.finalize, which GC may fire mid-allocation on
+        # a thread that already holds _mutex — taking the mutex here would
+        # self-deadlock.  Queue the id; mutex holders prune it.
+        self._dead.append(lock_id)
+
+    def _drain_dead_locked(self) -> None:
+        """Prune finalized locks from the graph; caller holds ``_mutex``."""
+        while self._dead:
+            lock_id = self._dead.pop()
+            self._names.pop(lock_id, None)
+            self._adj.pop(lock_id, None)
+            for src, dst in [k for k in self._edges if lock_id in k]:
+                del self._edges[(src, dst)]
+                if src in self._adj:
+                    self._adj[src].discard(dst)
+
+    # ------------------------------------------------------------- record
+
+    def note_acquired(self, lock_id: int, name: str, reentrant: bool) -> None:
+        """Record edges for a successful inner acquire; raise on a cycle.
+
+        Raises *before* recording the cyclic edge, so the graph keeps
+        only consistent orderings and later acquisitions still report
+        against the original (correct) direction.
+        """
+        held = self._held()
+        if reentrant and any(h_id == lock_id for h_id, _ in held):
+            held.append((lock_id, name))  # re-entry: no new ordering
+            return
+        others = [(h, n) for h, n in dict(held).items() if h != lock_id]
+        # Stack capture allocates heavily; do it before taking the mutex
+        # (and never inside it — GC there can fire lock finalizers).
+        stack = "".join(traceback.format_stack(limit=12)) if others else ""
+        conflict: tuple[_Edge, str] | None = None
+        with self._mutex:
+            self._drain_dead_locked()
+            for h_id, h_name in others:
+                if self._path_exists(lock_id, h_id):
+                    witness = self._edges.get((lock_id, h_id)) or self._first_edge_from(
+                        lock_id
+                    )
+                    conflict = (witness, h_name)
+                    break
+            if conflict is None:
+                for h_id, h_name in others:
+                    key = (h_id, lock_id)
+                    if key not in self._edges:
+                        self._edges[key] = _Edge(h_name, name, stack)
+                        self._adj.setdefault(h_id, set()).add(lock_id)
+        if conflict is not None:
+            witness, held_name = conflict
+            raise LockOrderError(self._cycle_message(name, held_name, witness))
+        held.append((lock_id, name))
+
+    def note_released(self, lock_id: int) -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i][0] == lock_id:
+                del held[i]
+                return
+
+    # -------------------------------------------------------------- query
+
+    def _path_exists(self, start: int, goal: int) -> bool:
+        """DFS over recorded orderings; caller holds ``_mutex``."""
+        stack, seen = [start], {start}
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            for nxt in self._adj.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def _first_edge_from(self, src: int) -> _Edge | None:
+        for (e_src, _), edge in self._edges.items():
+            if e_src == src:
+                return edge
+        return None
+
+    def _cycle_message(
+        self, acquiring: str, held: str, witness: _Edge | None
+    ) -> str:
+        lines = [
+            f"lock-order inversion: acquiring {acquiring!r} while holding "
+            f"{held!r}, but the opposite order is already established",
+            "",
+            "current acquisition:",
+            "".join(traceback.format_stack(limit=12)),
+        ]
+        if witness is not None:
+            lines += [
+                f"previously recorded order "
+                f"{witness.src_name!r} -> {witness.dst_name!r} at:",
+                witness.stack,
+            ]
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._drain_dead_locked()
+            self._edges.clear()
+            self._adj.clear()
+        self._tls = threading.local()
+
+
+_graph = _OrderGraph()
+
+
+def reset() -> None:
+    """Clear all recorded orderings (test isolation)."""
+    _graph.reset()
+
+
+class SanitizedLock:
+    """Drop-in Lock/RLock that reports acquisitions to the order graph."""
+
+    def __init__(self, name: str, *, reentrant: bool = False):
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+        self._name = name
+        self._reentrant = reentrant
+        self._id = id(self)
+        _graph.register(self._id, name)
+        weakref.finalize(self, _graph.unregister, self._id)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._inner.acquire(blocking, timeout)
+        if not ok:
+            return False
+        try:
+            _graph.note_acquired(self._id, self._name, self._reentrant)
+        except LockOrderError:
+            self._inner.release()
+            raise
+        return True
+
+    def release(self) -> None:
+        _graph.note_released(self._id)
+        self._inner.release()
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        inner_locked = getattr(self._inner, "locked", None)
+        return bool(inner_locked()) if inner_locked is not None else False
+
+    # threading.Condition support: delegate its private protocol so a
+    # Condition built over a sanitized lock waits/notifies correctly.
+
+    def _release_save(self):
+        _graph.note_released(self._id)
+        saver = getattr(self._inner, "_release_save", None)
+        if saver is not None:
+            return saver()
+        self._inner.release()
+        return None
+
+    def _acquire_restore(self, state) -> None:
+        restorer = getattr(self._inner, "_acquire_restore", None)
+        if restorer is not None:
+            restorer(state)
+        else:
+            self._inner.acquire()
+        # Re-acquisition after wait(): same lock, no new ordering edges.
+        _graph._held().append((self._id, self._name))
+
+    def _is_owned(self) -> bool:
+        owned = getattr(self._inner, "_is_owned", None)
+        if owned is not None:
+            return owned()
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        kind = "RLock" if self._reentrant else "Lock"
+        return f"<SanitizedLock {self._name!r} ({kind})>"

@@ -1,0 +1,33 @@
+"""Rule registry: one module per named invariant.
+
+``all_rules()`` returns fresh instances for one engine run (rules hold
+cross-file state, e.g. METRICS-REG's name table).  Adding a rule means
+adding a module here and listing its class in ``_RULE_CLASSES``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.exc_swallow import ExcSwallowRule
+from repro.analysis.rules.grad_safe import GradSafeRule
+from repro.analysis.rules.lock_guard import LockGuardRule
+from repro.analysis.rules.metrics_reg import MetricsRegRule
+from repro.analysis.rules.no_print import NoPrintRule
+from repro.analysis.rules.wallclock import WallclockRule
+
+_RULE_CLASSES: list[type[Rule]] = [
+    LockGuardRule,
+    WallclockRule,
+    ExcSwallowRule,
+    NoPrintRule,
+    GradSafeRule,
+    MetricsRegRule,
+]
+
+
+def all_rules() -> list[Rule]:
+    return [cls() for cls in _RULE_CLASSES]
+
+
+def rule_catalog() -> list[tuple[str, str]]:
+    return [(cls.name, cls.description) for cls in _RULE_CLASSES]

@@ -1,0 +1,87 @@
+"""EXC-SWALLOW: a broad `except` must re-raise, count, or justify.
+
+A bare ``except:``, ``except Exception:`` or ``except BaseException:``
+that quietly eats the error is how a worker thread dies with a request
+still unresolved, or how a corrupt index loads as "empty".  The handler
+is compliant if it does at least one of:
+
+* re-raise (any ``raise`` inside the handler body);
+* record the failure — increment an error counter (``.inc(...)``),
+  observe a histogram, or log at warning level or above
+  (``.exception(...)``, ``.error(...)``, ``.warning(...)``,
+  ``.critical(...)``);
+* carry ``# justified: <reason>`` on the ``except`` line, for handlers
+  whose swallowing is the designed behavior (e.g. best-effort cleanup).
+
+Narrow excepts (``except OSError:``) are out of scope — catching a
+specific exception is a statement of intent.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileContext, Rule, Violation
+
+_RECORDING_ATTRS = {"inc", "observe", "exception", "error", "warning", "critical"}
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    exprs = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for expr in exprs:
+        if isinstance(expr, ast.Name) and expr.id in _BROAD_NAMES:
+            return True
+        if isinstance(expr, ast.Attribute) and expr.attr in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _handles_it(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RECORDING_ATTRS
+            ):
+                return True
+    return False
+
+
+class ExcSwallowRule(Rule):
+    name = "EXC-SWALLOW"
+    description = (
+        "every broad `except` must re-raise, record an error "
+        "metric/log, or carry `# justified: <reason>`"
+    )
+
+    def check_file(self, ctx: FileContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler) or not _is_broad(node):
+                continue
+            if _handles_it(node):
+                continue
+            if ctx.justification_on(node.lineno) is not None:
+                continue
+            violations.append(
+                Violation(
+                    rule=self.name,
+                    path=ctx.logical_path,
+                    line=node.lineno,
+                    message=(
+                        "broad `except` swallows the error — re-raise, "
+                        "record an error metric/log, or add "
+                        "`# justified: <reason>`"
+                    ),
+                    source_line=ctx.source_line(node.lineno),
+                )
+            )
+        return violations

@@ -1,0 +1,125 @@
+"""LOCK-GUARD: annotated fields may only be touched under their lock.
+
+Annotation syntax — a comment on the line where the field is first
+assigned::
+
+    self._entries: dict[str, Entry] = {}  # guarded by: _lock
+    _default_registry = None  # guarded by: _default_lock
+
+Every later access to that attribute (``<recv>._entries``) anywhere in
+the same file must then sit inside ``with <recv>._lock:`` — the guard
+is matched against the *same receiver expression* as the access, so
+``handle.pending`` requires ``with handle.pending_lock:`` while
+``self.pending`` requires ``with self.pending_lock:``.  Module-level
+names annotated the same way must be accessed under ``with <lock>:``.
+
+Exemptions, because they are how the codebase already expresses
+"caller holds the lock":
+
+* statements inside ``__init__`` (construction precedes sharing);
+* functions whose name ends in ``_locked`` (the convention that the
+  caller acquires);
+* the annotation line itself.
+
+The ``with`` lookup stops at the enclosing function boundary: a nested
+function does not inherit its parent's critical section, because it may
+run on another thread (that is exactly the bug class this rule exists
+to catch).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import FileContext, Rule, Violation
+
+_GUARD_RE = re.compile(r"guarded by:\s*(?P<lock>\w+)")
+
+
+def _with_guards(ctx: FileContext, node: ast.AST) -> set[str]:
+    """Unparsed context expressions of all ``with`` blocks around ``node``
+    inside the enclosing function (or module, if at top level)."""
+    guards: set[str] = set()
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, (ast.With, ast.AsyncWith)):
+            for item in anc.items:
+                guards.add(ast.unparse(item.context_expr))
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            break
+    return guards
+
+
+class LockGuardRule(Rule):
+    name = "LOCK-GUARD"
+    description = (
+        "fields annotated `# guarded by: <lock>` may only be accessed "
+        "inside a matching `with` block"
+    )
+
+    def check_file(self, ctx: FileContext) -> list[Violation]:
+        attr_guards: dict[str, str] = {}  # attribute name -> lock name
+        name_guards: dict[str, str] = {}  # module-level name -> lock name
+        annotation_lines: set[int] = set()
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            match = _GUARD_RE.search(ctx.comment_on(node.lineno))
+            if match is None:
+                continue
+            lock = match.group("lock")
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    attr_guards[target.attr] = lock
+                elif isinstance(target, ast.Name):
+                    name_guards[target.id] = lock
+            annotation_lines.add(node.lineno)
+
+        if not attr_guards and not name_guards:
+            return []
+
+        violations: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr in attr_guards:
+                if node.lineno in annotation_lines:
+                    continue
+                if self._exempt(ctx, node):
+                    continue
+                receiver = ast.unparse(node.value)
+                expected = f"{receiver}.{attr_guards[node.attr]}"
+                if expected not in _with_guards(ctx, node):
+                    violations.append(self._violation(ctx, node, node.attr, expected))
+            elif isinstance(node, ast.Name) and node.id in name_guards:
+                if node.lineno in annotation_lines:
+                    continue
+                if self._exempt(ctx, node):
+                    continue
+                expected = name_guards[node.id]
+                if expected not in _with_guards(ctx, node):
+                    violations.append(self._violation(ctx, node, node.id, expected))
+        return violations
+
+    @staticmethod
+    def _exempt(ctx: FileContext, node: ast.AST) -> bool:
+        func = ctx.enclosing_function(node)
+        if func is None:
+            return False
+        return func.name == "__init__" or func.name.endswith("_locked")
+
+    def _violation(
+        self, ctx: FileContext, node: ast.AST, field: str, expected: str
+    ) -> Violation:
+        return Violation(
+            rule=self.name,
+            path=ctx.logical_path,
+            line=node.lineno,
+            message=(
+                f"`{field}` is lock-guarded but accessed outside "
+                f"`with {expected}:`"
+            ),
+            source_line=ctx.source_line(node.lineno),
+        )

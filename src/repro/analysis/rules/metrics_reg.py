@@ -1,0 +1,109 @@
+"""METRICS-REG: one name, one kind, and the naming convention holds.
+
+The metrics registry recovers a counter's kind from its ``_total``
+suffix when rendering the Prometheus exposition
+(``render_snapshot_text``), and cluster supervisors merge worker
+snapshots by name.  Both break silently if the same metric name is ever
+registered as two different kinds, or if a counter is named without the
+``_total`` suffix (it would render as a gauge).  This rule catches both
+at lint time:
+
+* **kind collision** (cross-file): ``counter("x")`` in one module and
+  ``histogram("x")`` in another;
+* **naming**: counters must end in ``_total``; gauges and histograms
+  must not.
+
+Only literal-string registrations are checked — a dynamic name can't be
+analyzed statically and is better avoided anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileContext, Rule, Violation
+
+_KINDS = {"counter", "gauge", "histogram"}
+
+
+class MetricsRegRule(Rule):
+    name = "METRICS-REG"
+    description = (
+        "metric names register once with a stable kind; counters end in "
+        "`_total`, gauges/histograms do not"
+    )
+
+    def __init__(self) -> None:
+        # name -> list of (kind, logical_path, line, source_line)
+        self._sites: dict[str, list[tuple[str, str, int, str]]] = {}
+
+    def check_file(self, ctx: FileContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _KINDS
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                continue
+            kind = node.func.attr
+            metric = node.args[0].value
+            src = ctx.source_line(node.lineno)
+            self._sites.setdefault(metric, []).append(
+                (kind, ctx.logical_path, node.lineno, src)
+            )
+            ends_total = metric.endswith("_total")
+            if kind == "counter" and not ends_total:
+                violations.append(
+                    Violation(
+                        rule=self.name,
+                        path=ctx.logical_path,
+                        line=node.lineno,
+                        message=(
+                            f"counter {metric!r} must end in `_total` — the "
+                            "exposition renderer recovers kind from the suffix"
+                        ),
+                        source_line=src,
+                    )
+                )
+            elif kind != "counter" and ends_total:
+                violations.append(
+                    Violation(
+                        rule=self.name,
+                        path=ctx.logical_path,
+                        line=node.lineno,
+                        message=(
+                            f"{kind} {metric!r} must not end in `_total` — it "
+                            "would render as a counter"
+                        ),
+                        source_line=src,
+                    )
+                )
+        return violations
+
+    def finalize(self) -> list[Violation]:
+        violations: list[Violation] = []
+        for metric, sites in sorted(self._sites.items()):
+            kinds = {kind for kind, _, _, _ in sites}
+            if len(kinds) <= 1:
+                continue
+            detail = ", ".join(
+                f"{kind} at {path}:{line}" for kind, path, line, _ in sites
+            )
+            for kind, path, line, src in sites:
+                violations.append(
+                    Violation(
+                        rule=self.name,
+                        path=path,
+                        line=line,
+                        message=(
+                            f"metric {metric!r} registered with conflicting "
+                            f"kinds ({detail})"
+                        ),
+                        source_line=src,
+                    )
+                )
+        return violations

@@ -1,0 +1,55 @@
+"""NO-PRINT: library code never prints; output goes through logging.
+
+``print()`` in a library module writes to whatever stdout happens to be
+— invisible in a supervised worker process, interleaved garbage under
+concurrency, and unconditionally on even when the caller asked for
+quiet.  Library code routes through :mod:`repro.logs`; only entry
+points own the terminal.
+
+Exempt: any file named ``__main__.py`` and anything under a
+``scripts/`` or ``benchmarks/`` directory — those *are* the terminal.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileContext, Rule, Violation
+
+_EXEMPT_BASENAMES = {"__main__.py"}
+_EXEMPT_DIRS = {"scripts", "benchmarks"}
+
+
+class NoPrintRule(Rule):
+    name = "NO-PRINT"
+    description = (
+        "no `print()` outside `__main__`/scripts — library code logs "
+        "via repro.logs"
+    )
+
+    def check_file(self, ctx: FileContext) -> list[Violation]:
+        parts = ctx.logical_path.split("/")
+        if parts[-1] in _EXEMPT_BASENAMES:
+            return []
+        if any(part in _EXEMPT_DIRS for part in ctx.path.parts):
+            return []
+        violations: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                violations.append(
+                    Violation(
+                        rule=self.name,
+                        path=ctx.logical_path,
+                        line=node.lineno,
+                        message=(
+                            "`print()` in library code — use "
+                            "`repro.logs.get_logger(__name__)`"
+                        ),
+                        source_line=ctx.source_line(node.lineno),
+                    )
+                )
+        return violations

@@ -70,7 +70,7 @@ class HeuristicBaseline:
         start = time.perf_counter()
         try:
             result.sql = self._renderer.render(query)
-        except Exception as exc:  # pragma: no cover - defensive
+        except Exception as exc:  # justified: result.error carries the failure to the caller
             result.error = str(exc)
         result.timings.postprocessing = time.perf_counter() - start
         return result

@@ -44,6 +44,8 @@ from dataclasses import dataclass, field
 
 from repro.cluster import protocol
 from repro.cluster.health import CircuitBreaker, ExponentialBackoff, WorkerStatus
+from repro.concurrency import make_lock, make_rlock
+from repro.logs import get_logger
 from repro.cluster.router import HashRing
 from repro.cluster.worker import WorkerSpec, worker_entry
 from repro.serving.metrics import (
@@ -56,6 +58,8 @@ from repro.serving.service import (
     ServeResponse,
     UnknownDatabaseError,
 )
+
+_LOG = get_logger(__name__)
 
 
 @dataclass
@@ -119,9 +123,9 @@ class _WorkerHandle:
         self.incarnation = 0
         self.window = threading.Semaphore(config.max_inflight)
         self.dispatch: queue.Queue = queue.Queue(maxsize=config.dispatch_queue_size)
-        self.pending: dict[int, _Pending] = {}
-        self.pending_lock = threading.Lock()
-        self.send_lock = threading.Lock()
+        self.pending: dict[int, _Pending] = {}  # guarded by: pending_lock
+        self.pending_lock = make_lock(f"_WorkerHandle[{spec.worker_id}].pending_lock")
+        self.send_lock = make_lock(f"_WorkerHandle[{spec.worker_id}].send_lock")
         self.ready_event = threading.Event()
         self.backoff = ExponentialBackoff(
             initial=config.restart_backoff_initial_s,
@@ -143,6 +147,11 @@ class _WorkerHandle:
     @property
     def pid(self) -> int | None:
         return self.proc.pid if self.proc is not None else None
+
+    def pending_count(self) -> int:
+        """In-flight requests on this worker (consistent read)."""
+        with self.pending_lock:
+            return len(self.pending)
 
 
 class _ClusterMetrics:
@@ -234,11 +243,14 @@ class ClusterService:
         self.metrics = _ClusterMetrics(self)
         self._ids = itertools.count(1)
         self._ping_ids = itertools.count(1)
-        self._lock = threading.RLock()
+        self._lock = make_rlock("ClusterService._lock")
         self._threads: list[threading.Thread] = []
         self._started = False
         self._stopping = False
+        # Epoch stamp is for human display only; uptime math uses the
+        # monotonic twin below (see WALLCLOCK in docs/analysis-rules.md).
         self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         m = self.registry
         self._requests_total = m.counter(
             "cluster_requests_total", "requests accepted by the front-end")
@@ -260,7 +272,7 @@ class ClusterService:
 
     def _log(self, message: str) -> None:
         if self.verbose:
-            print(f"[cluster] {message}", flush=True)
+            _LOG.info("[cluster] %s", message)
 
     # ----------------------------------------------------------- lifecycle
 
@@ -344,7 +356,7 @@ class ClusterService:
     def _drain(self, deadline: float) -> bool:
         while time.monotonic() < deadline:
             busy = any(
-                not handle.dispatch.empty() or handle.pending
+                not handle.dispatch.empty() or handle.pending_count() > 0
                 for handle in self.handles
             )
             if not busy:
@@ -755,7 +767,7 @@ class ClusterService:
                 "last_pong_age_s": (
                     round(now - handle.last_pong, 3) if handle.last_pong else None
                 ),
-                "inflight": len(handle.pending),
+                "inflight": handle.pending_count(),
                 "dispatch_depth": handle.dispatch.qsize(),
             }
         return states
@@ -766,7 +778,7 @@ class ClusterService:
                 "ok" if self._started else "idle"),
             "mode": "cluster",
             "ready": self.is_ready(),
-            "uptime_s": time.time() - self.started_at,
+            "uptime_s": time.monotonic() - self._started_monotonic,
             "databases": sorted(self.database_ids),
             "workers": self.worker_states(),
             "shards": {

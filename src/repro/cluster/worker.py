@@ -28,12 +28,12 @@ from __future__ import annotations
 import signal
 import socket
 import sys
-import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.cluster import protocol
+from repro.concurrency import make_lock
 from repro.db.database import Database
 from repro.index.registry import IndexRegistry, set_default_registry
 from repro.serving.cache import TranslationCache
@@ -75,10 +75,10 @@ class WorkerProcess:
     def __init__(self, spec: WorkerSpec, sock: socket.socket):
         self.spec = spec
         self.sock = sock
-        self._send_lock = threading.Lock()
-        self._adopt_lock = threading.Lock()
+        self._send_lock = make_lock(f"WorkerProcess[{spec.worker_id}]._send_lock")
+        self._adopt_lock = make_lock(f"WorkerProcess[{spec.worker_id}]._adopt_lock")
         self._paths = dict(spec.databases)
-        self._databases: dict[str, Database] = {}
+        self._databases: dict[str, Database] = {}  # guarded by: _adopt_lock
         self.registry = IndexRegistry(cache_dir=spec.index_cache)
         set_default_registry(self.registry)
         self.model = None
@@ -97,11 +97,12 @@ class WorkerProcess:
     def warm_and_start(self) -> float:
         """Open + warm the shard, start the service; returns warm seconds."""
         start = time.perf_counter()
-        shard = {
-            db_id: self._open(db_id)
-            for db_id in self.spec.shard
-            if db_id in self._paths
-        }
+        with self._adopt_lock:
+            shard = {
+                db_id: self._open_locked(db_id)
+                for db_id in self.spec.shard
+                if db_id in self._paths
+            }
         self.registry.warm(shard)
         runtimes = [self._make_runtime(db_id, db) for db_id, db in shard.items()]
         self.service = TranslationService(
@@ -122,7 +123,8 @@ class WorkerProcess:
         self.service.mark_ready()
         return time.perf_counter() - start
 
-    def _open(self, db_id: str) -> Database:
+    def _open_locked(self, db_id: str) -> Database:
+        """Open (or reuse) a hosted database; caller holds ``_adopt_lock``."""
         database = self._databases.get(db_id)
         if database is None:
             database = Database.open(self._paths[db_id])
@@ -146,7 +148,7 @@ class WorkerProcess:
         with self._adopt_lock:
             if db_id in self.service.runtimes:
                 return True
-            runtime = self._make_runtime(db_id, self._open(db_id))
+            runtime = self._make_runtime(db_id, self._open_locked(db_id))
             self.service.add_runtime(runtime)
         return True
 
@@ -176,7 +178,7 @@ class WorkerProcess:
             self.send(protocol.reject_frame(request_id, str(exc)))
         except OSError:  # supervisor went away; the loop will exit on EOF
             pass
-        except Exception as exc:  # never lose a request silently
+        except Exception as exc:  # justified: reject frame reports the failure upstream
             try:
                 self.send(protocol.reject_frame(request_id, f"worker error: {exc}"))
             except OSError:
@@ -228,7 +230,9 @@ class WorkerProcess:
             self._pool.shutdown(wait=True)
             if self.service is not None:
                 self.service.drain(timeout=5.0)
-            for database in self._databases.values():
+            with self._adopt_lock:
+                databases = list(self._databases.values())
+            for database in databases:
                 database.close()
             try:
                 self.sock.close()
@@ -244,7 +248,7 @@ def worker_entry(spec: WorkerSpec, sock: socket.socket) -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     try:
         code = WorkerProcess(spec, sock).run()
-    except Exception as exc:  # startup crash: make the exit loud
+    except Exception as exc:  # justified: fatal startup error goes to stderr, exit code 1
         sys.stderr.write(f"[cluster-worker-{spec.worker_id}] fatal: {exc}\n")
         code = 1
     raise SystemExit(code)

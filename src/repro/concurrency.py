@@ -1,0 +1,44 @@
+"""Lock factories: one place where every repro lock is constructed.
+
+Library modules build their locks through :func:`make_lock` /
+:func:`make_rlock` instead of calling ``threading.Lock()`` directly.
+In normal runs these return the raw ``threading`` primitives — zero
+overhead, zero extra imports.  With ``REPRO_SANITIZE=1`` in the
+environment they return the instrumented
+:class:`~repro.analysis.lockorder.SanitizedLock`, which records
+per-thread held→acquired orderings and raises
+:class:`~repro.analysis.lockorder.LockOrderError` on any acquisition
+that closes a cycle (a potential deadlock), with both acquisition
+stacks in the report.
+
+The ``name`` argument ("Class._lock") exists purely for those reports;
+pick names a reader can map back to the field.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+
+def sanitize_enabled() -> bool:
+    """True when the lock-order sanitizer is switched on via env."""
+    return os.environ.get("REPRO_SANITIZE", "") == "1"
+
+
+def make_lock(name: str):
+    """A mutex; instrumented when ``REPRO_SANITIZE=1``."""
+    if sanitize_enabled():
+        from repro.analysis.lockorder import SanitizedLock
+
+        return SanitizedLock(name)
+    return threading.Lock()
+
+
+def make_rlock(name: str):
+    """A reentrant mutex; instrumented when ``REPRO_SANITIZE=1``."""
+    if sanitize_enabled():
+        from repro.analysis.lockorder import SanitizedLock
+
+        return SanitizedLock(name, reentrant=True)
+    return threading.RLock()

@@ -21,6 +21,7 @@ import threading
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
+from repro.concurrency import make_lock
 from repro.errors import ExecutionError, SchemaError
 from repro.schema.model import Column, ColumnType, Schema
 
@@ -53,8 +54,8 @@ class Database:
         self._connection = connection
         self._owner_thread = threading.get_ident()
         self._thread_local = threading.local()
-        self._clone_lock = threading.Lock()
-        self._clones: list[sqlite3.Connection] = []
+        self._clone_lock = make_lock("Database._clone_lock")
+        self._clones: list[sqlite3.Connection] = []  # guarded by: _clone_lock
         self._closed = False
         self._connection.execute("PRAGMA foreign_keys = ON")
 

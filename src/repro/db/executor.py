@@ -52,7 +52,7 @@ def execute_with_budget(
         interrupted.set()
         try:
             connection.interrupt()
-        except Exception:  # pragma: no cover - connection already closed
+        except Exception:  # pragma: no cover - justified: best-effort interrupt; connection may already be closed
             pass
 
     timer = threading.Timer(timeout_s, _interrupt)

@@ -27,11 +27,11 @@ swap it with ``set_default_registry`` to observe accounting in isolation.
 from __future__ import annotations
 
 import hashlib
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.concurrency import make_lock
 from repro.db.database import Database
 from repro.index.inverted import InvertedIndex
 from repro.index.persistence import load_bundle, save_bundle
@@ -57,7 +57,7 @@ def database_fingerprint(database: Database) -> str:
         try:
             rows = database.execute(f'SELECT COUNT(*) FROM "{table.name}"')
             count = int(rows[0][0]) if rows else 0
-        except Exception:  # table missing on disk: still fingerprintable
+        except Exception:  # justified: table missing on disk is fingerprinted as -1
             count = -1
         digest.update(b"\x02" + str(count).encode())
     return digest.hexdigest()
@@ -79,12 +79,12 @@ class IndexRegistry:
 
     def __init__(self, *, cache_dir: str | Path | None = None):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        self._entries: dict[str, IndexEntry] = {}
-        self._key_locks: dict[str, threading.Lock] = {}
-        self._lock = threading.Lock()
-        self.build_count = 0
-        self.load_count = 0
-        self.hit_count = 0
+        self._entries: dict[str, IndexEntry] = {}  # guarded by: _lock
+        self._key_locks: dict[str, object] = {}  # guarded by: _lock
+        self._lock = make_lock("IndexRegistry._lock")
+        self.build_count = 0  # guarded by: _lock
+        self.load_count = 0  # guarded by: _lock
+        self.hit_count = 0  # guarded by: _lock
 
     # --------------------------------------------------------------- core
 
@@ -97,7 +97,9 @@ class IndexRegistry:
             if entry is not None and entry.fingerprint == fingerprint:
                 self.hit_count += 1
                 return entry
-            key_lock = self._key_locks.setdefault(db_id, threading.Lock())
+            key_lock = self._key_locks.setdefault(
+                db_id, make_lock(f"IndexRegistry.key[{db_id}]")
+            )
         with key_lock:
             with self._lock:
                 entry = self._entries.get(db_id)
@@ -195,14 +197,15 @@ class IndexRegistry:
             return len(self._entries)
 
 
-_default_registry = IndexRegistry()
-_default_lock = threading.Lock()
+_default_registry = IndexRegistry()  # guarded by: _default_lock
+_default_lock = make_lock("index.registry._default_lock")
 
 
 def get_default_registry() -> IndexRegistry:
     """The process-wide registry shared by all default-constructed
     preprocessors, pipelines, and serving runtimes."""
-    return _default_registry
+    with _default_lock:
+        return _default_registry
 
 
 def set_default_registry(registry: IndexRegistry) -> IndexRegistry:

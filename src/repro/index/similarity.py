@@ -29,12 +29,12 @@ internals.
 
 from __future__ import annotations
 
-import threading
 import time
 from array import array
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.concurrency import make_lock
 from repro.index.blocking import BlockedValuePool
 from repro.index.inverted import InvertedIndex, ValueLocation
 from repro.text.distance import damerau_levenshtein_banded
@@ -90,10 +90,10 @@ class SimilaritySearcher:
     def __init__(self, index: InvertedIndex, *, cache_size: int = 2048):
         self._index = index
         self._cache_size = cache_size
-        self._cache: OrderedDict[tuple[str, int], list[SimilarValue]] = OrderedDict()
-        self._lock = threading.Lock()
-        self._observers: list = []
-        self.stats = SearchStats()
+        self._cache: OrderedDict[tuple[str, int], list[SimilarValue]] = OrderedDict()  # guarded by: _lock
+        self._lock = make_lock("SimilaritySearcher._lock")
+        self._observers: list = []  # guarded by: _lock
+        self.stats = SearchStats()  # guarded by: _lock
         self._build_pool()
 
     # ------------------------------------------------------- pool building
@@ -263,7 +263,7 @@ class SimilaritySearcher:
             }
 
     @classmethod
-    def from_state(
+    def from_state(  # lint: disable=LOCK-GUARD (fresh instance; not shared until returned)
         cls, index: InvertedIndex, state: dict, *, cache_size: int = 2048
     ) -> "SimilaritySearcher":
         """Rebuild a searcher over ``index`` from :meth:`state_dict`."""
@@ -271,7 +271,7 @@ class SimilaritySearcher:
         searcher._index = index
         searcher._cache_size = cache_size
         searcher._cache = OrderedDict()
-        searcher._lock = threading.Lock()
+        searcher._lock = make_lock("SimilaritySearcher._lock")
         searcher._observers = []
         searcher.stats = SearchStats()
         searcher._loc_table = [

@@ -1,0 +1,28 @@
+"""Logging for library code (the NO-PRINT rule routes through here).
+
+Library modules call :func:`get_logger` and log; they never configure
+handlers, so embedding applications keep full control.  The CLI entry
+points call :func:`configure_cli_logging` once to get the plain
+to-the-terminal format the old ``print()`` sites produced.
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The module logger; prefer ``get_logger(__name__)``."""
+    return logging.getLogger(name)
+
+
+def configure_cli_logging(verbose: bool = True) -> None:
+    """Route INFO-and-up to stderr in bare ``message`` format.
+
+    Safe to call more than once (``basicConfig`` is a no-op when the
+    root logger already has handlers).
+    """
+    logging.basicConfig(
+        level=logging.INFO if verbose else logging.WARNING,
+        format="%(message)s",
+    )

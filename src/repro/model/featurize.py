@@ -17,10 +17,10 @@ question token / column / table / candidate.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 
 from repro.candidates.types import ValueCandidate
+from repro.concurrency import make_lock
 from repro.preprocessing.hints import QuestionHint, SchemaHint
 from repro.preprocessing.pipeline import PreprocessedQuestion
 from repro.schema.model import ColumnType, Schema
@@ -144,8 +144,8 @@ class SchemaFeatureCache:
     """Thread-safe per-(schema, vocab) cache of :class:`SchemaFeatures`."""
 
     def __init__(self) -> None:
-        self._entries: dict[tuple[int, int], SchemaFeatures] = {}
-        self._lock = threading.Lock()
+        self._entries: dict[tuple[int, int], SchemaFeatures] = {}  # guarded by: _lock
+        self._lock = make_lock("SchemaFeatureCache._lock")
 
     def get(self, schema: Schema, vocab: WordPieceVocab) -> SchemaFeatures:
         key = (id(schema), id(vocab))

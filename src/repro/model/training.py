@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.config import TrainingConfig
+from repro.logs import get_logger
 from repro.model.decoder import DecoderStep
 from repro.model.supervision import tree_to_steps
 from repro.model.valuenet import ValueNetModel
@@ -21,6 +22,8 @@ from repro.ner.extractor import ValueExtractor
 from repro.preprocessing.pipeline import PreprocessedQuestion, Preprocessor
 from repro.schema.model import Schema
 from repro.spider.corpus import Example, SpiderCorpus
+
+_LOG = get_logger(__name__)
 
 
 @dataclass
@@ -155,9 +158,12 @@ class Trainer:
                     self.config.log_every
                     and count % self.config.log_every == 0
                 ):
-                    print(
-                        f"epoch {epoch + 1} [{count}/{len(order)}] "
-                        f"loss {total_loss / count:.3f}"
+                    _LOG.info(
+                        "epoch %d [%d/%d] loss %.3f",
+                        epoch + 1,
+                        count,
+                        len(order),
+                        total_loss / count,
                     )
             history.epochs.append(
                 EpochStats(

@@ -10,11 +10,12 @@ hit/miss/expiration accounting for the metrics registry.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass
+
+from repro.concurrency import make_lock
 
 
 def normalize_question(question: str) -> str:
@@ -56,12 +57,12 @@ class TranslationCache:
         self.capacity = capacity
         self.ttl_s = ttl_s
         self._clock = clock
-        self._entries: OrderedDict[CacheKey, tuple[object, float]] = OrderedDict()
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.expirations = 0
-        self.evictions = 0
+        self._entries: OrderedDict[CacheKey, tuple[object, float]] = OrderedDict()  # guarded by: _lock
+        self._lock = make_lock("TranslationCache._lock")
+        self.hits = 0  # guarded by: _lock
+        self.misses = 0  # guarded by: _lock
+        self.expirations = 0  # guarded by: _lock
+        self.evictions = 0  # guarded by: _lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -102,18 +103,22 @@ class TranslationCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> dict[str, float]:
+        # One critical section: size and the counters come from the same
+        # instant, and hit_rate is derived inline (calling the property
+        # here would re-take the non-reentrant lock).
         with self._lock:
-            size = len(self._entries)
-        return {
-            "size": size,
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "expirations": self.expirations,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+            total = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "expirations": self.expirations,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

@@ -9,8 +9,9 @@ the registry both as a Prometheus text exposition and as JSON.
 
 from __future__ import annotations
 
-import threading
 from bisect import bisect_left
+
+from repro.concurrency import make_lock
 
 # Upper bucket bounds in seconds, tuned for interactive NL-to-SQL latency
 # (paper Table II reports per-stage times between ~1 ms and ~2 s).
@@ -26,8 +27,8 @@ class Counter:
     def __init__(self, name: str, help_text: str = ""):
         self.name = name
         self.help_text = help_text
-        self._value = 0.0
-        self._lock = threading.Lock()
+        self._value = 0.0  # guarded by: _lock
+        self._lock = make_lock(f"Counter[{name}]")
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -47,8 +48,8 @@ class Gauge:
     def __init__(self, name: str, help_text: str = ""):
         self.name = name
         self.help_text = help_text
-        self._value = 0.0
-        self._lock = threading.Lock()
+        self._value = 0.0  # guarded by: _lock
+        self._lock = make_lock(f"Gauge[{name}]")
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -89,11 +90,11 @@ class Histogram:
         self.name = name
         self.help_text = help_text
         self.bounds = tuple(float(b) for b in buckets)
-        self._counts = [0] * (len(self.bounds) + 1)  # last slot is +Inf
-        self._sum = 0.0
-        self._count = 0
-        self._max = 0.0
-        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.bounds) + 1)  # +Inf last; guarded by: _lock
+        self._sum = 0.0  # guarded by: _lock
+        self._count = 0  # guarded by: _lock
+        self._max = 0.0  # guarded by: _lock
+        self._lock = make_lock(f"Histogram[{name}]")
 
     def observe(self, value: float) -> None:
         index = bisect_left(self.bounds, value)
@@ -273,8 +274,8 @@ class MetricsRegistry:
     """Named metric store with get-or-create semantics and exporters."""
 
     def __init__(self):
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
-        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}  # guarded by: _lock
+        self._lock = make_lock("MetricsRegistry._lock")
 
     def _get_or_create(self, name: str, factory, kind):
         with self._lock:

@@ -17,10 +17,10 @@ cache hits never take the lock.
 
 from __future__ import annotations
 
-import threading
 import time
 
 from repro.baselines.heuristic import HeuristicBaseline
+from repro.concurrency import make_lock
 from repro.db.database import Database
 from repro.db.executor import execute_with_budget
 from repro.model.valuenet import ValueNetModel
@@ -86,10 +86,14 @@ class DatabaseRuntime:
             )
         else:
             self.pipeline = None
-        self.fallback = HeuristicBaseline(database, preprocessor=self.preprocessor)
+        # The fallback engine mutates shared per-translate state, like the
+        # pipeline it stands in for.
+        self.fallback = HeuristicBaseline(  # guarded by: _lock
+            database, preprocessor=self.preprocessor
+        )
         self.execution_timeout_s = execution_timeout_s
         self.execution_max_rows = execution_max_rows
-        self._lock = threading.Lock()
+        self._lock = make_lock(f"DatabaseRuntime[{self.database_id}]._lock")
 
     @property
     def has_model(self) -> bool:
@@ -182,7 +186,7 @@ class DatabaseRuntime:
             start = time.perf_counter()
             try:
                 result.rows = self.execute_sql(result.sql)
-            except Exception as exc:  # ExecutionError, kept broad on purpose
+            except Exception as exc:  # justified: result.error carries the failure to the caller
                 result.error = f"execution failed: {exc}"
             result.timings.execution = time.perf_counter() - start
         return result

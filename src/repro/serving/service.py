@@ -27,6 +27,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.concurrency import make_lock
 from repro.errors import ReproError
 from repro.pipeline.timing import STAGES
 from repro.pipeline.valuenet import TranslationResult
@@ -213,8 +214,12 @@ class TranslationService:
         self._ready = threading.Event()
         if ready:
             self._ready.set()
-        self._runtime_lock = threading.Lock()
+        self._runtime_lock = make_lock("TranslationService._runtime_lock")
+        # Epoch stamp is for human display only; uptime math uses the
+        # monotonic twin below (see WALLCLOCK in docs/analysis-rules.md).
         self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
+        self._observed_searchers: list = []  # guarded by: _runtime_lock
         self._init_metrics()
         self._attach_value_search_observers()
 
@@ -265,6 +270,15 @@ class TranslationService:
         self._value_search_cache_misses = m.counter(
             "value_search_cache_misses_total",
             "similarity-search span-memo misses (full blocked scans)")
+        self._internal_errors = m.counter(
+            "serving_internal_errors_total",
+            "unexpected exceptions caught in the worker/finalize paths")
+        self._model_errors = m.counter(
+            "serving_model_errors_total",
+            "batched model calls that raised (answered by fallback)")
+        self._execution_errors = m.counter(
+            "serving_execution_errors_total",
+            "SQL executions of cached answers that failed")
 
     def _attach_value_search_observers(self) -> None:
         """Subscribe to every runtime's shared searcher.
@@ -273,18 +287,18 @@ class TranslationService:
         sharing one database (and therefore one registry-backed searcher)
         must not double-count, so observers are dedup'd by searcher id.
         """
-        self._observed_searchers = []
-        seen: set[int] = set()
-        for runtime in self.runtimes.values():
-            try:
-                searcher = runtime.searcher
-            except AttributeError:  # test fakes without a preprocessor
-                continue
-            if searcher is None or id(searcher) in seen:
-                continue
-            seen.add(id(searcher))
-            searcher.add_observer(self._on_value_search)
-            self._observed_searchers.append(searcher)
+        with self._runtime_lock:
+            seen: set[int] = set()
+            for runtime in self.runtimes.values():
+                try:
+                    searcher = runtime.searcher
+                except AttributeError:  # test fakes without a preprocessor
+                    continue
+                if searcher is None or id(searcher) in seen:
+                    continue
+                seen.add(id(searcher))
+                searcher.add_observer(self._on_value_search)
+                self._observed_searchers.append(searcher)
 
     def _on_value_search(self, seconds: float, cache_hit: bool) -> None:
         self._value_search_hist.observe(seconds)
@@ -321,9 +335,10 @@ class TranslationService:
         self._started = False
         # Registry-backed searchers outlive the service; detach so a
         # stopped service stops recording into its metrics.
-        for searcher in self._observed_searchers:
+        with self._runtime_lock:
+            observed, self._observed_searchers = self._observed_searchers, []
+        for searcher in observed:
             searcher.remove_observer(self._on_value_search)
-        self._observed_searchers.clear()
 
     def drain(self, *, timeout: float = 10.0) -> bool:
         """Graceful shutdown: stop accepting, flush the queue, then stop.
@@ -367,12 +382,15 @@ class TranslationService:
             if runtime.database_id in self.runtimes:
                 raise ValueError(f"duplicate database id {runtime.database_id!r}")
             self.runtimes[runtime.database_id] = runtime
-        searcher = getattr(runtime, "searcher", None)
-        if searcher is not None and all(
-            searcher is not observed for observed in self._observed_searchers
-        ):
-            searcher.add_observer(self._on_value_search)
-            self._observed_searchers.append(searcher)
+            # Observer wiring shares the critical section: two concurrent
+            # adoptions of runtimes sharing a searcher must not
+            # double-subscribe it (that would double-count every search).
+            searcher = getattr(runtime, "searcher", None)
+            if searcher is not None and all(
+                searcher is not observed for observed in self._observed_searchers
+            ):
+                searcher.add_observer(self._on_value_search)
+                self._observed_searchers.append(searcher)
 
     def __enter__(self) -> "TranslationService":
         return self.start()
@@ -486,13 +504,18 @@ class TranslationService:
             self._process_batch(batch)
 
     def _process_batch(self, batch: list[ServeRequest]) -> None:
-        self._batch_hist.observe(float(len(batch)))
-        runtime = self.runtimes[batch[0].database_id]
         for _ in batch:
             self._inflight.inc()
         try:
+            # Everything after the inflight accounting runs under the
+            # shield — even the runtime lookup and histogram observe — so
+            # no exception can kill the worker thread with requests of
+            # this batch still unresolved.
+            self._batch_hist.observe(float(len(batch)))
+            runtime = self.runtimes[batch[0].database_id]
             self._process_batch_inner(runtime, batch)
         except Exception as exc:  # never let a worker die
+            self._internal_errors.inc()
             for request in batch:
                 if request.done.is_set():
                     continue
@@ -573,6 +596,7 @@ class TranslationService:
                     encode_observer=self._observe_encode,
                 )
             except Exception as exc:
+                self._model_errors.inc()
                 for entry in model_entries:
                     entry.response.degraded = True
                     entry.response.degraded_reason = "model_error"
@@ -590,6 +614,7 @@ class TranslationService:
             try:
                 self._finalize(runtime, entry, picked_up)
             except Exception as exc:
+                self._internal_errors.inc()
                 entry.response = ServeResponse(
                     question=entry.request.question,
                     database_id=entry.request.database_id,
@@ -652,6 +677,7 @@ class TranslationService:
             else:
                 response.rows = runtime.database.execute(response.sql)
         except Exception as exc:
+            self._execution_errors.inc()
             response.error = f"execution failed: {exc}"
 
     # ------------------------------------------------------------ recording
@@ -678,7 +704,7 @@ class TranslationService:
             "status": "stopping" if self._stopping else (
                 "ok" if self._started else "idle"),
             "ready": self.is_ready(),
-            "uptime_s": time.time() - self.started_at,
+            "uptime_s": time.monotonic() - self._started_monotonic,
             "databases": sorted(self.runtimes),
             "workers": self.workers,
             "queue_depth": self._queue.qsize(),

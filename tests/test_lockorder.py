@@ -1,0 +1,189 @@
+"""Lock-order sanitizer tests: inversions raise, clean orders don't.
+
+The sanitizer is order-based, not timing-based: an AB/BA inversion is
+caught deterministically from a single thread, no race window needed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import lockorder
+from repro.analysis.lockorder import LockOrderError, SanitizedLock
+from repro.concurrency import make_lock, make_rlock, sanitize_enabled
+
+
+@pytest.fixture(autouse=True)
+def _fresh_graph():
+    lockorder.reset()
+    yield
+    lockorder.reset()
+
+
+def test_consistent_order_passes():
+    a = SanitizedLock("A")
+    b = SanitizedLock("B")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+
+
+def test_single_thread_inversion_raises():
+    a = SanitizedLock("A")
+    b = SanitizedLock("B")
+    with a:
+        with b:
+            pass
+    with b:
+        with pytest.raises(LockOrderError) as excinfo:
+            a.acquire()
+    message = str(excinfo.value)
+    assert "'A'" in message and "'B'" in message
+    assert "previously recorded order" in message
+
+
+def test_inversion_report_carries_acquisition_stack():
+    a = SanitizedLock("A")
+    b = SanitizedLock("B")
+    with a:
+        with b:
+            pass
+    with b:
+        with pytest.raises(LockOrderError) as excinfo:
+            with a:
+                pass
+    assert "test_lockorder" in str(excinfo.value)
+
+
+def test_failed_acquire_releases_inner_lock():
+    a = SanitizedLock("A")
+    b = SanitizedLock("B")
+    with a:
+        with b:
+            pass
+    with b:
+        with pytest.raises(LockOrderError):
+            a.acquire()
+    # The inversion did not leave A held: a clean acquire succeeds.
+    assert a.acquire(blocking=False)
+    a.release()
+
+
+def test_cross_thread_inversion_raises():
+    a = SanitizedLock("A")
+    b = SanitizedLock("B")
+
+    def establish():
+        with a:
+            with b:
+                pass
+
+    thread = threading.Thread(target=establish)
+    thread.start()
+    thread.join()
+
+    with b:
+        with pytest.raises(LockOrderError):
+            a.acquire()
+
+
+def test_three_lock_cycle_detected_transitively():
+    a = SanitizedLock("A")
+    b = SanitizedLock("B")
+    c = SanitizedLock("C")
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:
+        with pytest.raises(LockOrderError):
+            a.acquire()
+
+
+def test_rlock_reentry_is_not_an_inversion():
+    lock = SanitizedLock("R", reentrant=True)
+    with lock:
+        with lock:
+            with lock:
+                pass
+
+
+def test_reset_forgets_established_order():
+    a = SanitizedLock("A")
+    b = SanitizedLock("B")
+    with a:
+        with b:
+            pass
+    lockorder.reset()
+    with b:
+        with a:
+            pass  # no error: the A->B edge was cleared
+
+
+def test_factory_returns_plain_lock_when_disabled(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert not sanitize_enabled()
+    lock = make_lock("plain")
+    assert not isinstance(lock, SanitizedLock)
+    rlock = make_rlock("plain-r")
+    assert not isinstance(rlock, SanitizedLock)
+
+
+def test_factory_returns_sanitized_lock_when_enabled(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert sanitize_enabled()
+    lock = make_lock("sanitized")
+    assert isinstance(lock, SanitizedLock)
+    assert lock.name == "sanitized"
+    rlock = make_rlock("sanitized-r")
+    assert isinstance(rlock, SanitizedLock)
+    with rlock:
+        with rlock:
+            pass
+
+
+# ----------------------------------------------------- seeded inversion
+
+
+class _Ledger:
+    """Two-account toy: transfer locks A then B; audit is the seed bug."""
+
+    def __init__(self, audit_order: tuple[str, str]):
+        self.locks = {
+            "A": make_lock("Ledger.A"),
+            "B": make_lock("Ledger.B"),
+        }
+        self.balances = {"A": 100, "B": 100}
+        self._audit_order = audit_order
+
+    def transfer(self, amount: int) -> None:
+        with self.locks["A"]:
+            with self.locks["B"]:
+                self.balances["A"] -= amount
+                self.balances["B"] += amount
+
+    def audit(self) -> int:
+        first, second = self._audit_order
+        with self.locks[first]:
+            with self.locks[second]:
+                return self.balances["A"] + self.balances["B"]
+
+
+def test_seeded_ledger_inversion_caught(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    ledger = _Ledger(audit_order=("B", "A"))  # buggy: opposite of transfer
+    ledger.transfer(10)
+    with pytest.raises(LockOrderError):
+        ledger.audit()
+
+
+def test_seeded_ledger_fixed_order_passes(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    ledger = _Ledger(audit_order=("A", "B"))  # fixed: matches transfer
+    ledger.transfer(10)
+    assert ledger.audit() == 200
