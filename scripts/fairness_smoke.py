@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Fairness smoke test: a hot tenant must not hurt background tenants.
+
+Starts the full multi-tenant serving stack in-process (TenancyController
++ fair-queue TranslationService + HTTP server) against a throwaway
+database, then drives it with the load_test tenant clients:
+
+* one **hot** tenant sending at 10x its configured rate, and
+* three **background** tenants sending politely (80% of their rate).
+
+Asserts the two properties the tenancy subsystem exists for:
+
+1. **Isolation** — every background request succeeds: no failures, no
+   429s, no 503s.  The hot tenant's flood must delay only itself.
+2. **Enforcement** — the hot tenant's *successful* throughput lands
+   within +/-10% of its configured budget (``burst + rate * duration``);
+   everything beyond that was rejected with 429, not served and not
+   errored.
+
+Run with ``PYTHONPATH=src python scripts/fairness_smoke.py``; exits 0 on
+success.  CI runs this as the ``fairness-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sqlite3
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import load_test  # noqa: E402  (sibling script, reused as a library)
+
+from repro.db import Database  # noqa: E402
+from repro.serving import DatabaseRuntime, ServingServer, TranslationService  # noqa: E402
+from repro.tenancy import QuotaLedger, TenancyController, TenantRegistry  # noqa: E402
+
+HOT_RATE = 20.0    # requests/second the hot tenant is *allowed*
+HOT_BURST = 5.0
+BG_RATE = 5.0      # per background tenant
+BG_COUNT = 3
+
+TENANTS_CONFIG = {
+    "version": 1,
+    "tenants": [
+        {
+            "id": "hot",
+            "api_key": "hot-tenant-key-0001",
+            "class": "gold",
+            "rate": HOT_RATE,
+            "burst": HOT_BURST,
+        },
+        *[
+            {
+                "id": f"bg{i}",
+                "api_key": f"bg{i}-tenant-key-0001",
+                "class": "bronze",
+                "rate": BG_RATE,
+                "burst": 2 * BG_RATE,
+            }
+            for i in range(BG_COUNT)
+        ],
+    ],
+}
+
+
+def make_database(tmp: str) -> Path:
+    path = Path(tmp) / "fairness.sqlite"
+    connection = sqlite3.connect(path)
+    connection.executescript(
+        """
+        CREATE TABLE city (
+            city_id INTEGER PRIMARY KEY,
+            city_name VARCHAR(40),
+            population INTEGER
+        );
+        INSERT INTO city VALUES (1, 'Paris', 21);
+        INSERT INTO city VALUES (2, 'Rome', 28);
+        """
+    )
+    connection.commit()
+    connection.close()
+    return path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=8.0)
+    args = parser.parse_args()
+    duration = args.duration
+
+    with tempfile.TemporaryDirectory() as tmp:
+        config_path = Path(tmp) / "tenants.json"
+        config_path.write_text(json.dumps(TENANTS_CONFIG))
+        registry = TenantRegistry.from_file(config_path)
+        tenancy = TenancyController(
+            registry, ledger=QuotaLedger(Path(tmp) / "quota.json")
+        )
+
+        database = Database.open(make_database(tmp))
+        service = TranslationService(
+            [DatabaseRuntime(database, database_id="fairness")],
+            workers=2,
+            queue_size=256,
+            per_tenant_depth=64,
+            tenancy=tenancy,
+        ).start()
+        server = ServingServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+
+        specs = [
+            # Hot tenant floods at 10x its allowance.
+            load_test.TenantSpec("hot", "hot-tenant-key-0001", 10 * HOT_RATE),
+            *[
+                # Background tenants stay inside their allowance (80%).
+                load_test.TenantSpec(
+                    f"bg{i}", f"bg{i}-tenant-key-0001", 0.8 * BG_RATE
+                )
+                for i in range(BG_COUNT)
+            ],
+        ]
+        rc = 0
+        try:
+            rc = load_test.run_tenant_mode(
+                argparse.Namespace(
+                    url=server.url,
+                    tenants=specs,
+                    duration=duration,
+                    seed=0,
+                    questions=load_test.DEFAULT_QUESTIONS,
+                    database_ids=None,
+                    timeout_ms=None,
+                    client_timeout=30.0,
+                    failure_rate=0.0,
+                    execute=False,
+                    fail_on_rejection=False,
+                )
+            )
+            stats = load_test.LAST_RUN_STATS
+            assert stats is not None, "run_tenant_mode recorded no stats"
+
+            failures = []
+            for i in range(BG_COUNT):
+                bg = stats[f"bg{i}"]
+                bad = (bg.failures + bg.rate_limited + bg.quota_rejected
+                       + bg.rejections + bg.auth_errors + bg.timeouts)
+                if bad:
+                    failures.append(
+                        f"background tenant bg{i} was hurt: "
+                        f"{bad}/{bg.attempted} requests did not succeed"
+                    )
+                if bg.ok < 0.8 * (0.8 * BG_RATE) * duration:
+                    failures.append(
+                        f"background tenant bg{i} starved: only {bg.ok} ok "
+                        f"of ~{0.8 * BG_RATE * duration:.0f} sent"
+                    )
+
+            hot = stats["hot"]
+            budget = HOT_BURST + HOT_RATE * duration
+            if not 0.9 * budget <= hot.ok <= 1.1 * budget:
+                failures.append(
+                    f"hot tenant served {hot.ok} requests; expected within "
+                    f"10% of its budget {budget:.0f} "
+                    f"(rate {HOT_RATE}/s, burst {HOT_BURST}, {duration}s)"
+                )
+            if hot.failures:
+                failures.append(
+                    f"hot tenant saw {hot.failures} hard failures "
+                    "(overload must answer 429, not errors)"
+                )
+
+            if failures:
+                for line in failures:
+                    print("FAIL:", line)
+                return 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+            tenancy.close()
+            database.close()
+    if rc != 0:
+        return rc
+    print("fairness smoke test OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,10 +20,24 @@ workloads.  Against a cluster front-end (``repro serve --workers N``)
 use ``--database-id`` per shard or repeat ``--database-id`` to spread
 load across shards round-robin.
 
-Example::
+Multi-tenant mode: repeat ``--tenant ID=KEY@RATE`` (requires the server
+to run with ``--tenants``) to drive one *paced open-loop* client per
+tenant at RATE requests/second for ``--duration`` seconds, then print a
+per-tenant breakdown — achieved rate, ok/degraded counts, rejects split
+by reason (401 auth, 429 rate-limited, 429 quota, 503 shed), and
+latency percentiles.  Tenant rejects (401/429) never fail the run: they
+are the enforcement being exercised; what fails it is real failures.
+
+Examples::
 
     PYTHONPATH=src python -m repro serve --database demo.sqlite --workers 2 &
     python scripts/load_test.py --clients 8 --requests 25 --seed 7
+
+    PYTHONPATH=src python -m repro serve --database demo.sqlite \
+        --tenants tenants.json &
+    python scripts/load_test.py --duration 10 \
+        --tenant acme=acme-secret-key@50 \
+        --tenant blip=blip-secret-key@5
 
 Exit code is non-zero when any request *failed* (timeouts and retriable
 rejections are reported but do not fail the run unless
@@ -57,10 +71,38 @@ class ClientStats:
     cache_hits: int = 0
     timeouts: int = 0
     rejections: int = 0
+    auth_errors: int = 0      # HTTP 401 (missing/unknown API key)
+    rate_limited: int = 0     # HTTP 429 reason=rate_limited
+    quota_rejected: int = 0   # HTTP 429 reason=quota
     failures: int = 0
     attempted: int = 0
     engines: dict[str, int] = field(default_factory=dict)
     client_errors: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One ``--tenant ID=KEY@RATE`` client."""
+
+    tenant_id: str
+    api_key: str
+    rate: float  # target requests/second
+
+    @classmethod
+    def parse(cls, text: str) -> "TenantSpec":
+        try:
+            tenant_id, rest = text.split("=", 1)
+            api_key, rate = rest.rsplit("@", 1)
+            spec = cls(tenant_id.strip(), api_key, float(rate))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected ID=KEY@RATE, got {text!r}"
+            ) from None
+        if not spec.tenant_id or not spec.api_key or spec.rate <= 0:
+            raise argparse.ArgumentTypeError(
+                f"expected non-empty ID, KEY and RATE > 0 in {text!r}"
+            )
+        return spec
 
 
 def percentile(sorted_values: list[float], p: float) -> float:
@@ -69,6 +111,91 @@ def percentile(sorted_values: list[float], p: float) -> float:
         return 0.0
     rank = max(1, round(p / 100.0 * len(sorted_values)))
     return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def _count_http_error(exc: urllib.error.HTTPError, stats: ClientStats) -> None:
+    """Attribute one non-2xx answer to the matching reject counter."""
+    if exc.code == 503:
+        stats.rejections += 1
+    elif exc.code == 401:
+        stats.auth_errors += 1
+    elif exc.code == 429:
+        try:
+            reason = json.loads(exc.read().decode("utf-8")).get("reason")
+        except Exception:  # body is diagnostic only; the 429 still counts
+            reason = None
+        if reason == "quota":
+            stats.quota_rejected += 1
+        else:
+            stats.rate_limited += 1
+    else:
+        stats.failures += 1
+
+
+def send_one(
+    args: argparse.Namespace,
+    body: dict,
+    stats: ClientStats,
+    *,
+    api_key: str | None = None,
+) -> None:
+    """POST one /translate request and record the outcome in ``stats``."""
+    stats.attempted += 1
+    headers = {"Content-Type": "application/json"}
+    if api_key is not None:
+        headers["Authorization"] = f"Bearer {api_key}"
+    request = urllib.request.Request(
+        args.url.rstrip("/") + "/translate",
+        data=json.dumps(body).encode("utf-8"),
+        headers=headers,
+        method="POST",
+    )
+    start = time.perf_counter()
+    try:
+        with urllib.request.urlopen(request, timeout=args.client_timeout) as resp:
+            payload = json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        stats.latencies_s.append(time.perf_counter() - start)
+        _count_http_error(exc, stats)
+        return
+    except TimeoutError:
+        stats.timeouts += 1
+        return
+    except urllib.error.URLError as exc:
+        if isinstance(exc.reason, TimeoutError):
+            stats.timeouts += 1
+        else:
+            stats.failures += 1
+        return
+    except OSError:
+        stats.failures += 1
+        return
+    except Exception as exc:  # client bug: count it, don't lose requests
+        stats.failures += 1
+        stats.client_errors.append(f"{type(exc).__name__}: {exc}")
+        return
+    stats.latencies_s.append(time.perf_counter() - start)
+    if payload.get("sql") and not payload.get("error"):
+        stats.ok += 1
+    elif payload.get("error"):
+        stats.failures += 1
+    if payload.get("degraded"):
+        stats.degraded += 1
+    if payload.get("cache_hit"):
+        stats.cache_hits += 1
+    engine = payload.get("engine", "?")
+    stats.engines[engine] = stats.engines.get(engine, 0) + 1
+
+
+def _make_body(args: argparse.Namespace, rng: random.Random, index: int) -> dict:
+    body = {"question": rng.choice(args.questions), "execute": args.execute}
+    if args.database_ids:
+        body["database_id"] = args.database_ids[index % len(args.database_ids)]
+    if args.timeout_ms is not None:
+        body["timeout_ms"] = args.timeout_ms
+    if args.failure_rate > 0 and rng.random() < args.failure_rate:
+        body["inject_failure"] = True
+    return body
 
 
 def run_client(
@@ -81,61 +208,96 @@ def run_client(
     # no cross-thread lock contention on one shared Random.
     rng = random.Random(f"{args.seed}:{client_index}")
     for i in range(count):
-        stats.attempted += 1
-        question = rng.choice(args.questions)
-        body = {"question": question, "execute": args.execute}
-        if args.database_ids:
-            body["database_id"] = args.database_ids[
-                (client_index + i) % len(args.database_ids)
-            ]
-        if args.timeout_ms is not None:
-            body["timeout_ms"] = args.timeout_ms
-        if args.failure_rate > 0 and rng.random() < args.failure_rate:
-            body["inject_failure"] = True
-        request = urllib.request.Request(
-            args.url.rstrip("/") + "/translate",
-            data=json.dumps(body).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
-            method="POST",
+        send_one(args, _make_body(args, rng, client_index + i), stats)
+
+
+def run_tenant_client(
+    args: argparse.Namespace,
+    spec: TenantSpec,
+    stats: ClientStats,
+) -> None:
+    """Open-loop client paced at ``spec.rate`` until ``--duration`` ends.
+
+    Ticks are scheduled on absolute time so the achieved send rate stays
+    at the target regardless of response latency (until one response
+    takes longer than the whole remaining schedule, which the summary
+    shows as a low achieved rate).
+    """
+    rng = random.Random(f"{args.seed}:{spec.tenant_id}")
+    interval = 1.0 / spec.rate
+    started = time.perf_counter()
+    deadline = started + args.duration
+    tick = 0
+    while True:
+        target = started + tick * interval
+        now = time.perf_counter()
+        if target >= deadline:
+            return
+        if target > now:
+            time.sleep(target - now)
+        send_one(
+            args, _make_body(args, rng, tick), stats, api_key=spec.api_key
         )
-        start = time.perf_counter()
-        try:
-            with urllib.request.urlopen(request, timeout=args.client_timeout) as resp:
-                payload = json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            stats.latencies_s.append(time.perf_counter() - start)
-            if exc.code == 503:
-                stats.rejections += 1
-            else:
-                stats.failures += 1
-            continue
-        except TimeoutError:
-            stats.timeouts += 1
-            continue
-        except urllib.error.URLError as exc:
-            if isinstance(exc.reason, TimeoutError):
-                stats.timeouts += 1
-            else:
-                stats.failures += 1
-            continue
-        except OSError:
-            stats.failures += 1
-            continue
-        except Exception as exc:  # client bug: count it, don't lose requests
-            stats.failures += 1
-            stats.client_errors.append(f"{type(exc).__name__}: {exc}")
-            continue
-        stats.latencies_s.append(time.perf_counter() - start)
-        if payload.get("sql") and not payload.get("error"):
-            stats.ok += 1
-        elif payload.get("error"):
-            stats.failures += 1
-        if payload.get("degraded"):
-            stats.degraded += 1
-        if payload.get("cache_hit"):
-            stats.cache_hits += 1
-        engine = payload.get("engine", "?")
-        stats.engines[engine] = stats.engines.get(engine, 0) + 1
+        tick += 1
+
+
+# Stats of the most recent run_tenant_mode call, for callers embedding
+# this script as a library (scripts/fairness_smoke.py asserts on them).
+LAST_RUN_STATS: dict[str, ClientStats] | None = None
+
+
+def run_tenant_mode(args: argparse.Namespace) -> int:
+    """Drive one paced client per ``--tenant`` and print the breakdown."""
+    global LAST_RUN_STATS
+    stats = {spec.tenant_id: ClientStats() for spec in args.tenants}
+    LAST_RUN_STATS = stats
+    threads = [
+        threading.Thread(
+            target=run_tenant_client,
+            args=(args, spec, stats[spec.tenant_id]),
+            name=f"tenant-{spec.tenant_id}",
+        )
+        for spec in args.tenants
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    print(f"tenants={len(args.tenants)} duration={args.duration:.1f}s "
+          f"seed={args.seed} (wall {elapsed:.2f}s)")
+    header = (f"{'tenant':<12} {'target':>7} {'sent':>6} {'ok':>6} "
+              f"{'degr':>5} {'429rate':>7} {'429quota':>8} {'401':>4} "
+              f"{'503':>4} {'fail':>5} {'p50ms':>7} {'p99ms':>7} {'req/s':>7}")
+    print(header)
+    print("-" * len(header))
+    failures = 0
+    for spec in args.tenants:
+        s = stats[spec.tenant_id]
+        lat = sorted(s.latencies_s)
+        achieved = s.ok / elapsed if elapsed > 0 else 0.0
+        failures += s.failures
+        print(f"{spec.tenant_id:<12} {spec.rate:>7.1f} {s.attempted:>6} "
+              f"{s.ok:>6} {s.degraded:>5} {s.rate_limited:>7} "
+              f"{s.quota_rejected:>8} {s.auth_errors:>4} {s.rejections:>4} "
+              f"{s.failures:>5} {1000 * percentile(lat, 50):>7.1f} "
+              f"{1000 * percentile(lat, 99):>7.1f} {achieved:>7.1f}")
+        for error in s.client_errors[:3]:
+            print("  client error:", error)
+    timeouts = sum(s.timeouts for s in stats.values())
+    rejections = sum(s.rejections for s in stats.values())
+    if timeouts:
+        print(f"timeouts         {timeouts}")
+    if failures:
+        print(f"FAIL: {failures} requests failed")
+        return 1
+    if args.fail_on_rejection and rejections:
+        print(f"FAIL: {rejections} requests rejected (--fail-on-rejection)")
+        return 1
+    print("OK: zero failed requests")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -164,9 +326,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--fail-on-rejection", action="store_true",
         help="also exit non-zero when any request was shed with a 503")
+    parser.add_argument(
+        "--tenant", action="append", dest="tenants", default=None,
+        type=TenantSpec.parse, metavar="ID=KEY@RATE",
+        help="run in multi-tenant mode: one paced client per tenant at "
+             "RATE req/s authenticated with KEY (repeatable)")
+    parser.add_argument(
+        "--duration", type=float, default=10.0,
+        help="seconds each tenant client sends for (tenant mode only)")
     args = parser.parse_args(argv)
     if not args.questions:
         args.questions = DEFAULT_QUESTIONS
+
+    if args.tenants:
+        return run_tenant_mode(args)
 
     per_client = [ClientStats() for _ in range(args.clients)]
     threads = [
@@ -205,6 +378,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"engines          {engines}")
     print(f"errors           timeout={timeouts} rejection={rejections} "
           f"failure={failures}")
+    auth_errors = sum(s.auth_errors for s in per_client)
+    limited = sum(s.rate_limited + s.quota_rejected for s in per_client)
+    if auth_errors or limited:
+        print(f"tenancy          auth=401 x{auth_errors} "
+              f"limited=429 x{limited} (use --tenant for per-tenant stats)")
     if latencies:
         print(f"latency p50      {1000 * percentile(latencies, 50):.1f} ms")
         print(f"latency p95      {1000 * percentile(latencies, 95):.1f} ms")

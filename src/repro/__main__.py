@@ -153,6 +153,26 @@ def _install_signal_handlers(shutdown) -> None:
     signal.signal(signal.SIGINT, _request_shutdown)
 
 
+def _build_tenancy(args, metrics=None):
+    """Build the TenancyController for ``--tenants`` (None when absent).
+
+    ``metrics`` should be the serving/supervisor registry so the
+    admission counters (auth failures, per-tenant rejects) appear on the
+    same ``/metrics`` exposition as the serving metrics.
+    """
+    if args.tenants is None:
+        return None
+    from repro.tenancy import QuotaLedger, TenancyController, TenantRegistry
+
+    registry = TenantRegistry.from_file(args.tenants)
+    ledger = QuotaLedger(args.quota_state)
+    controller = TenancyController(registry, ledger=ledger, metrics=metrics)
+    print(f"tenancy enabled: {len(registry.tenants())} tenant(s), "
+          f"config version {registry.version}"
+          + (f", quota ledger at {args.quota_state}" if args.quota_state else ""))
+    return controller
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
@@ -209,28 +229,38 @@ def _serve_single(args, pairs, server, shutdown) -> int:
                         beam_size=args.beam)
         for database_id, database in databases.items()
     ]
+    from repro.serving import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    tenancy = _build_tenancy(args, metrics)
     service = TranslationService(
         runtimes,
         workers=args.threads,
         queue_size=args.queue_size,
+        per_tenant_depth=args.per_tenant_depth,
         max_batch=args.max_batch,
         batch_window_ms=args.batch_window_ms,
         cache=TranslationCache(capacity=args.cache_size, ttl_s=args.cache_ttl),
         default_timeout_ms=args.timeout_ms,
         allow_failure_injection=args.allow_injection,
         ready=False,
+        metrics=metrics,
+        tenancy=tenancy,
     )
     service.start()
     server.attach(service)
     service.mark_ready()
     print(f"serving {len(runtimes)} database(s): "
           f"{', '.join(sorted(service.runtimes))}")
-    print("  endpoints: POST /translate  GET /healthz /livez /readyz /metrics")
+    print("  endpoints: POST /translate  GET /healthz /livez /readyz /metrics"
+          + ("  GET /tenants /tenants/<id>/usage" if tenancy else ""))
     try:
         _serve_until_signalled(server, shutdown)
     finally:
         clean = service.drain(timeout=args.drain_s)
         print("drained cleanly" if clean else "drain timed out; stopped anyway")
+        if tenancy is not None:
+            tenancy.close()
         for runtime in runtimes:
             runtime.database.close()
     return 0
@@ -238,18 +268,24 @@ def _serve_single(args, pairs, server, shutdown) -> int:
 
 def _serve_cluster(args, pairs, server, shutdown) -> int:
     from repro.cluster import ClusterConfig, ClusterService
+    from repro.serving import MetricsRegistry
 
+    metrics = MetricsRegistry()
+    tenancy = _build_tenancy(args, metrics)
     cluster = ClusterService(
         pairs,
         model_path=args.model,
+        metrics=metrics,
         config=ClusterConfig(
             workers=args.workers,
             default_timeout_ms=args.timeout_ms,
         ),
         verbose=True,
+        tenancy=tenancy,
         beam_size=args.beam,
         threads=args.threads,
         queue_size=args.queue_size,
+        per_tenant_depth=args.per_tenant_depth,
         max_batch=args.max_batch,
         batch_window_ms=args.batch_window_ms,
         cache_size=args.cache_size,
@@ -267,12 +303,15 @@ def _serve_cluster(args, pairs, server, shutdown) -> int:
     for worker_id, state in sorted(cluster.worker_states().items()):
         print(f"  worker {worker_id} (pid={state['pid']}): "
               f"shard={state['shard']}")
-    print("  endpoints: POST /translate  GET /healthz /livez /readyz /metrics")
+    print("  endpoints: POST /translate  GET /healthz /livez /readyz /metrics"
+          + ("  GET /tenants /tenants/<id>/usage" if tenancy else ""))
     try:
         _serve_until_signalled(server, shutdown)
     finally:
         clean = cluster.stop(timeout=args.drain_s)
         print("drained cleanly" if clean else "drain timed out; stopped anyway")
+        if tenancy is not None:
+            tenancy.close()
     return 0
 
 
@@ -352,6 +391,22 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument(
         "--allow-injection", action="store_true",
         help="honor inject_failure request flags (load/chaos testing only)",
+    )
+    serve.add_argument(
+        "--tenants", default=None, metavar="JSON",
+        help="tenants config file (enables API-key auth, per-tenant rate "
+             "limits, daily quotas, and weighted-fair scheduling); the "
+             "file is hot-reloaded when it changes",
+    )
+    serve.add_argument(
+        "--quota-state", default=None, metavar="PATH",
+        help="durable daily-quota ledger file (survives restarts); "
+             "default: in-memory only",
+    )
+    serve.add_argument(
+        "--per-tenant-depth", type=int, default=None, metavar="N",
+        help="per-tenant backlog bound inside the fair queue "
+             "(default: global --queue-size bound only)",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -122,7 +122,13 @@ def request_frame(
     execute: bool,
     budget_s: float,
     inject_failure: bool = False,
+    tenant_id: str | None = None,
+    tenant_weight: int = 1,
 ) -> dict:
+    # Tenant identity crosses the IPC boundary so worker-side fair
+    # queueing and per-tenant metrics work without each worker holding
+    # the registry; enforcement (auth/rate/quota) stays at the front
+    # door, so the worker trusts these fields.
     return {
         "type": "request",
         "id": request_id,
@@ -132,6 +138,8 @@ def request_frame(
         "execute": execute,
         "budget_s": budget_s,
         "inject_failure": inject_failure,
+        "tenant_id": tenant_id,
+        "tenant_weight": tenant_weight,
     }
 
 

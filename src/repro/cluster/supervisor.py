@@ -92,6 +92,8 @@ class _Pending:
     execute: bool
     inject_failure: bool
     deadline: float                    # supervisor monotonic
+    tenant_id: str | None = None
+    tenant_weight: int = 1
     attempts: int = 0
     excluded: set[int] = field(default_factory=set)
     done: threading.Event = field(default_factory=threading.Event)
@@ -193,8 +195,13 @@ class ClusterService:
         config: supervision/routing knobs.
         metrics: supervisor-local registry (created when omitted);
             worker-side serving metrics are merged in at scrape time.
+        tenancy: optional :class:`~repro.tenancy.controller.TenancyController`
+            — admission (auth/rate/quota) runs in the supervisor's HTTP
+            front-end; workers only receive the already-admitted tenant
+            identity over IPC for fair queueing and per-tenant metrics.
         spec_defaults: extra :class:`WorkerSpec` fields applied to every
-            worker (threads, queue_size, cache sizing, index_cache, ...).
+            worker (threads, queue_size, per_tenant_depth, cache sizing,
+            index_cache, ...).
     """
 
     def __init__(
@@ -205,6 +212,7 @@ class ClusterService:
         config: ClusterConfig | None = None,
         metrics: MetricsRegistry | None = None,
         verbose: bool = False,
+        tenancy=None,
         **spec_defaults,
     ):
         if not databases:
@@ -241,6 +249,7 @@ class ClusterService:
         ]
         self.registry = metrics if metrics is not None else MetricsRegistry()
         self.metrics = _ClusterMetrics(self)
+        self.tenancy = tenancy
         self._ids = itertools.count(1)
         self._ping_ids = itertools.count(1)
         self._lock = make_rlock("ClusterService._lock")
@@ -416,6 +425,8 @@ class ClusterService:
         execute: bool = False,
         timeout_ms: float | None = None,
         inject_failure: bool = False,
+        tenant_id: str | None = None,
+        tenant_weight: int = 1,
     ) -> ServeResponse:
         """Route one request to its shard's worker and wait for the answer.
 
@@ -448,6 +459,8 @@ class ClusterService:
             execute=bool(execute),
             inject_failure=bool(inject_failure),
             deadline=time.monotonic() + max(0.0, timeout_s),
+            tenant_id=tenant_id,
+            tenant_weight=max(1, int(tenant_weight)),
         )
         if not self._enqueue(pending):
             self._rejected_total.inc()
@@ -538,6 +551,8 @@ class ClusterService:
                 execute=item.execute,
                 budget_s=protocol.remaining_budget_s(item.deadline),
                 inject_failure=item.inject_failure,
+                tenant_id=item.tenant_id,
+                tenant_weight=item.tenant_weight,
             )
             try:
                 with handle.send_lock:

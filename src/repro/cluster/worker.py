@@ -67,6 +67,7 @@ class WorkerSpec:
     execution_timeout_s: float | None = 5.0
     execution_max_rows: int | None = 10_000
     max_inflight: int = 16
+    per_tenant_depth: int | None = None
 
 
 class WorkerProcess:
@@ -109,6 +110,7 @@ class WorkerProcess:
             runtimes,
             workers=self.spec.threads,
             queue_size=self.spec.queue_size,
+            per_tenant_depth=self.spec.per_tenant_depth,
             max_batch=self.spec.max_batch,
             batch_window_ms=self.spec.batch_window_ms,
             cache=TranslationCache(
@@ -165,6 +167,7 @@ class WorkerProcess:
             if db_id not in self.service.runtimes and not self._adopt(db_id):
                 raise UnknownDatabaseError(f"unknown database {db_id!r}")
             budget_s = max(0.0, float(frame.get("budget_s", 0.0)))
+            tenant_id = frame.get("tenant_id")
             response = self.service.translate(
                 frame["question"],
                 db_id,
@@ -172,6 +175,8 @@ class WorkerProcess:
                 execute=bool(frame.get("execute", False)),
                 timeout_ms=budget_s * 1000.0,
                 inject_failure=bool(frame.get("inject_failure", False)),
+                tenant_id=str(tenant_id) if tenant_id is not None else None,
+                tenant_weight=int(frame.get("tenant_weight", 1)),
             )
             self.send(protocol.response_frame(request_id, response.as_dict()))
         except (QueueFullError, ServiceStoppedError, UnknownDatabaseError) as exc:

@@ -16,10 +16,14 @@ from repro.serving.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LabeledCounter,
+    LabeledHistogram,
     MetricsRegistry,
     merge_snapshots,
     quantile_from_snapshot,
     render_snapshot_text,
+    series_key,
+    split_series_key,
 )
 from repro.serving.runtime import DatabaseRuntime
 from repro.serving.service import (
@@ -39,6 +43,8 @@ __all__ = [
     "DatabaseRuntime",
     "Gauge",
     "Histogram",
+    "LabeledCounter",
+    "LabeledHistogram",
     "MetricsRegistry",
     "QueueFullError",
     "ServeRequest",
@@ -54,4 +60,6 @@ __all__ = [
     "normalize_question",
     "quantile_from_snapshot",
     "render_snapshot_text",
+    "series_key",
+    "split_series_key",
 ]

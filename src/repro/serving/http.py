@@ -16,13 +16,28 @@ Endpoints (all JSON unless noted):
   "beam_size": ..., "execute": ..., "timeout_ms": ...,
   "inject_failure": ...}``; only ``question`` is required (and
   ``database_id`` only when serving several databases).
+* ``GET /tenants`` — admin-only listing of every tenant's config and
+  usage (requires an ``admin_keys`` entry; tenancy mode only).
+* ``GET /tenants/<id>/usage`` — one tenant's quota/rate/latency view;
+  reachable with that tenant's own key or an admin key.
+
+Multi-tenancy: when the backing service carries a
+:class:`~repro.tenancy.controller.TenancyController` (``service.tenancy``),
+``POST /translate`` requires an API key — ``Authorization: Bearer <key>``
+or ``X-API-Key: <key>`` — and runs the full front-door admission check.
+Rejections: 401 for missing/unknown/disabled keys, 429 with a
+``Retry-After`` header when the tenant is over its rate (token bucket)
+or daily quota; the body's ``"reason"`` field distinguishes the two.
+Without a controller the server behaves exactly as before (anonymous,
+no auth).
 
 Status codes: 200 on success (including degraded responses — the
 degradation contract lives in the body, not the status), 400 on malformed
-requests, 404 on unknown paths or databases, 503 when load is shed
-(queue full, service stopping/warming, or — in cluster mode — no live
-worker for the shard).  Every 503 body carries ``"retriable": true``:
-the request was *not* processed and may safely be retried elsewhere.
+requests, 401/403 on auth failures, 404 on unknown paths or databases,
+429 on per-tenant limits, 503 when load is shed (queue full, service
+stopping/warming, or — in cluster mode — no live worker for the shard).
+Every 503 body carries ``"retriable": true``: the request was *not*
+processed and may safely be retried elsewhere.
 
 The server may be constructed before its service exists
 (``service=None``) and bound to one later via :meth:`ServingServer.attach`;
@@ -36,17 +51,49 @@ funneling into the service's bounded queue.
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro.serving.metrics import quantile_from_snapshot, series_key
 from repro.serving.service import (
     QueueFullError,
     ServiceStoppedError,
     TranslationService,
     UnknownDatabaseError,
 )
+from repro.tenancy.controller import (
+    AuthenticationError,
+    QuotaExceededError,
+    RateLimitedError,
+)
 
 MAX_BODY_BYTES = 64 * 1024
+
+
+def _retry_after_header(seconds: float) -> str:
+    """Retry-After is an integer header; round up so clients never retry
+    early and immediately eat another 429."""
+    return str(max(1, math.ceil(seconds)))
+
+
+def tenant_latency_stats(service, tenant_id: str) -> dict:
+    """p50/p95/p99 (+count) of one tenant's in-service latency, in ms.
+
+    Works against both a single-process registry snapshot and the
+    cluster's ``{"fleet": ...}`` merged snapshot.
+    """
+    snap = service.metrics.snapshot()
+    snap = snap.get("fleet", snap)
+    hist = snap.get(series_key("tenant_latency_seconds", "tenant", tenant_id))
+    if not isinstance(hist, dict):
+        return {"count": 0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    return {
+        "count": hist.get("count", 0),
+        "p50_ms": 1000.0 * quantile_from_snapshot(hist, 0.50),
+        "p95_ms": 1000.0 * quantile_from_snapshot(hist, 0.95),
+        "p99_ms": 1000.0 * quantile_from_snapshot(hist, 0.99),
+    }
 
 
 class ServingRequestHandler(BaseHTTPRequestHandler):
@@ -63,11 +110,15 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------ plumbing
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, *, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -87,6 +138,72 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         if is_ready is not None and not is_ready():
             return False, "service is not ready"
         return True, "ok"
+
+    # ------------------------------------------------------------- tenancy
+
+    @property
+    def tenancy(self):
+        """The service's TenancyController, or None (anonymous mode)."""
+        return getattr(self.service, "tenancy", None)
+
+    def _api_key(self) -> str | None:
+        """Extract the API key: ``Authorization: Bearer`` or ``X-API-Key``."""
+        auth = self.headers.get("Authorization", "")
+        if auth.lower().startswith("bearer "):
+            return auth[len("bearer "):].strip() or None
+        key = self.headers.get("X-API-Key", "")
+        return key.strip() or None
+
+    def _tenant_usage_payload(self, tenant_id: str) -> dict | None:
+        usage = self.tenancy.usage(tenant_id)
+        if usage is None:
+            return None
+        usage["latency"] = tenant_latency_stats(self.service, tenant_id)
+        return usage
+
+    def _handle_tenants_get(self, path: str) -> None:
+        controller = self.tenancy
+        if controller is None:
+            self._send_json(404, {"error": "tenancy is not enabled"})
+            return
+        key = self._api_key()
+        if path == "/tenants":
+            if not controller.is_admin(key):
+                self._send_json(
+                    403 if key else 401,
+                    {"error": "admin API key required"},
+                )
+                return
+            overview = controller.overview()
+            for entry in overview["tenants"]:
+                if entry is not None:
+                    entry["latency"] = tenant_latency_stats(
+                        self.service, entry["id"]
+                    )
+            self._send_json(200, overview)
+            return
+        # /tenants/<id>/usage
+        parts = path.strip("/").split("/")
+        if len(parts) != 3 or parts[2] != "usage":
+            self._send_json(404, {"error": f"unknown path {path!r}"})
+            return
+        tenant_id = parts[1]
+        if not controller.is_admin(key):
+            try:
+                tenant = controller.authenticate(key)
+            except AuthenticationError:
+                self._send_json(401, {"error": "valid API key required"})
+                return
+            if tenant.tenant_id != tenant_id:
+                self._send_json(
+                    403, {"error": "key does not match this tenant"}
+                )
+                return
+        payload = self._tenant_usage_payload(tenant_id)
+        if payload is None:
+            self._send_json(404, {"error": f"unknown tenant {tenant_id!r}"})
+            return
+        self._send_json(200, payload)
 
     # ------------------------------------------------------------ handlers
 
@@ -120,6 +237,8 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
                     service.metrics.render_text(),
                     "text/plain; version=0.0.4; charset=utf-8",
                 )
+        elif parsed.path == "/tenants" or parsed.path.startswith("/tenants/"):
+            self._handle_tenants_get(parsed.path)
         else:
             self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
 
@@ -152,6 +271,38 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         ):
             self._send_json(400, {"error": 'body must include a string "question"'})
             return
+        tenant_kwargs: dict = {}
+        controller = self.tenancy
+        if controller is not None:
+            try:
+                tenant = controller.admit(self._api_key())
+            except AuthenticationError as exc:
+                self._send_json(
+                    401,
+                    {"error": str(exc), "reason": "auth"},
+                    headers={"WWW-Authenticate": "Bearer"},
+                )
+                return
+            except RateLimitedError as exc:
+                self._send_json(
+                    429,
+                    {"error": str(exc), "reason": "rate_limited",
+                     "retriable": True},
+                    headers={"Retry-After": _retry_after_header(exc.retry_after_s)},
+                )
+                return
+            except QuotaExceededError as exc:
+                self._send_json(
+                    429,
+                    {"error": str(exc), "reason": "quota",
+                     "retriable": False},
+                    headers={"Retry-After": _retry_after_header(exc.retry_after_s)},
+                )
+                return
+            tenant_kwargs = {
+                "tenant_id": tenant.tenant_id,
+                "tenant_weight": tenant.weight,
+            }
         try:
             response = service.translate(
                 payload["question"],
@@ -160,6 +311,7 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
                 execute=bool(payload.get("execute", False)),
                 timeout_ms=payload.get("timeout_ms"),
                 inject_failure=bool(payload.get("inject_failure", False)),
+                **tenant_kwargs,
             )
         except UnknownDatabaseError as exc:
             self._send_json(404, {"error": str(exc)})

@@ -156,6 +156,81 @@ class Histogram:
             }
 
 
+# --------------------------------------------------------- labeled metrics
+#
+# Tenancy needs per-tenant series (`tenant_admitted_total{tenant="acme"}`)
+# without pulling in a full label system: a *labeled family* is a named
+# group of children keyed by one label value.  Snapshots flatten each
+# child to a `name{label="value"}` key, which keeps the cluster-side
+# machinery working unchanged — `merge_snapshots` sums/merges the flat
+# keys across workers exactly like unlabeled metrics.
+
+
+def series_key(name: str, label: str, value: str) -> str:
+    """The flat snapshot key for one child of a labeled family."""
+    return f'{name}{{{label}="{value}"}}'
+
+
+def split_series_key(key: str) -> tuple[str, str]:
+    """``(base_name, label_part)``; label part is "" for plain metrics."""
+    if "{" not in key:
+        return key, ""
+    base, rest = key.split("{", 1)
+    return base, rest[:-1] if rest.endswith("}") else rest
+
+
+class _LabeledFamily:
+    """Shared plumbing for labeled counters/histograms."""
+
+    def __init__(self, name: str, help_text: str, label: str, factory):
+        self.name = name
+        self.help_text = help_text
+        self.label = label
+        self._factory = factory
+        self._children: dict[str, object] = {}  # guarded by: _lock
+        self._lock = make_lock(f"LabeledFamily[{name}]")
+
+    def labels(self, value: str):
+        """Get-or-create the child metric for one label value."""
+        value = str(value)
+        with self._lock:
+            child = self._children.get(value)
+            if child is None:
+                child = self._factory(series_key(self.name, self.label, value))
+                self._children[value] = child
+            return child
+
+    def series(self) -> dict[str, object]:
+        """Stable copy of ``{label_value: child}``."""
+        with self._lock:
+            return dict(self._children)
+
+
+class LabeledCounter(_LabeledFamily):
+    """A family of counters keyed by one label (e.g. ``tenant``)."""
+
+    def __init__(self, name: str, help_text: str = "", label: str = "tenant"):
+        super().__init__(
+            name, help_text, label, lambda series: Counter(series, help_text)
+        )
+
+
+class LabeledHistogram(_LabeledFamily):
+    """A family of histograms keyed by one label (e.g. ``tenant``)."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        label: str = "tenant",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(
+            name, help_text, label,
+            lambda series: Histogram(series, help_text, buckets),
+        )
+
+
 # ------------------------------------------------- snapshot-level helpers
 #
 # The cluster supervisor aggregates metrics across worker *processes*, so
@@ -241,31 +316,49 @@ def render_snapshot_text(
     snapshot: dict,
     *,
     help_texts: dict[str, str] | None = None,
+    kinds: dict[str, str] | None = None,
 ) -> str:
     """Prometheus text exposition of a (possibly merged) snapshot.
 
-    Metric kind is recovered from shape and naming: dict values are
-    histograms, scalar names ending in ``_total`` are counters (the
-    convention every counter in this codebase follows), anything else is
-    a gauge.
+    Metric kind comes from ``kinds`` (base name -> "counter"/"gauge",
+    supplied when rendering a live registry); without an entry it is
+    recovered from shape and naming: dict values are histograms, scalar
+    names ending in ``_total`` are counters (the convention every counter
+    in this codebase follows), anything else is a gauge.  Labeled series
+    (``name{tenant="x"}`` keys) detect kind from the *base* name and
+    render ``# TYPE`` once per family.
     """
     help_texts = help_texts or {}
+    kinds = kinds or {}
     lines: list[str] = []
+    typed: set[str] = set()
     for name, value in sorted(snapshot.items()):
-        if name in help_texts:
-            lines.append(f"# HELP {name} {help_texts[name]}")
+        base, label_part = split_series_key(name)
+        if base in help_texts and base not in typed:
+            lines.append(f"# HELP {base} {help_texts[base]}")
         if isinstance(value, dict):
-            lines.append(f"# TYPE {name} histogram")
+            if base not in typed:
+                lines.append(f"# TYPE {base} histogram")
+                typed.add(base)
+            prefix = f"{label_part}," if label_part else ""
             for bucket in value.get("buckets", ()):
                 lines.append(
-                    f'{name}_bucket{{le="{bucket["le"]:g}"}} {bucket["count"]}'
+                    f'{base}_bucket{{{prefix}le="{bucket["le"]:g}"}} '
+                    f'{bucket["count"]}'
                 )
-            lines.append(f'{name}_bucket{{le="+Inf"}} {value.get("count", 0)}')
-            lines.append(f"{name}_sum {value.get('sum', 0.0):g}")
-            lines.append(f"{name}_count {value.get('count', 0)}")
+            lines.append(
+                f'{base}_bucket{{{prefix}le="+Inf"}} {value.get("count", 0)}'
+            )
+            suffix = f"{{{label_part}}}" if label_part else ""
+            lines.append(f"{base}_sum{suffix} {value.get('sum', 0.0):g}")
+            lines.append(f"{base}_count{suffix} {value.get('count', 0)}")
         else:
-            kind = "counter" if name.endswith("_total") else "gauge"
-            lines.append(f"# TYPE {name} {kind}")
+            if base not in typed:
+                kind = kinds.get(
+                    base, "counter" if base.endswith("_total") else "gauge"
+                )
+                lines.append(f"# TYPE {base} {kind}")
+                typed.add(base)
             lines.append(f"{name} {float(value):g}")
     return "\n".join(lines) + "\n"
 
@@ -306,46 +399,81 @@ class MetricsRegistry:
             name, lambda: Histogram(name, help_text, buckets), Histogram
         )
 
+    def labeled_counter(
+        self, name: str, help_text: str = "", label: str = "tenant"
+    ) -> LabeledCounter:
+        return self._get_or_create(
+            name, lambda: LabeledCounter(name, help_text, label), LabeledCounter
+        )
+
+    def labeled_histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        label: str = "tenant",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> LabeledHistogram:
+        return self._get_or_create(
+            name,
+            lambda: LabeledHistogram(name, help_text, label, buckets),
+            LabeledHistogram,
+        )
+
     # ----------------------------------------------------------- exporters
 
+    @staticmethod
+    def _snapshot_one(metric) -> object:
+        if isinstance(metric, Histogram):
+            data = metric.snapshot()
+            data["p50"] = metric.quantile(0.50)
+            data["p95"] = metric.quantile(0.95)
+            data["p99"] = metric.quantile(0.99)
+            return data
+        return metric.value
+
     def snapshot(self) -> dict:
-        """JSON-friendly dump of every metric."""
+        """JSON-friendly dump of every metric.
+
+        Labeled families flatten to one ``name{label="value"}`` key per
+        child, so merged cluster snapshots aggregate them per series.
+        """
         with self._lock:
             metrics = dict(self._metrics)
         out: dict[str, object] = {}
         for name, metric in sorted(metrics.items()):
-            if isinstance(metric, Histogram):
-                data = metric.snapshot()
-                data["p50"] = metric.quantile(0.50)
-                data["p95"] = metric.quantile(0.95)
-                data["p99"] = metric.quantile(0.99)
-                out[name] = data
+            if isinstance(metric, _LabeledFamily):
+                for value, child in sorted(metric.series().items()):
+                    out[series_key(name, metric.label, value)] = (
+                        self._snapshot_one(child)
+                    )
             else:
-                out[name] = metric.value
+                out[name] = self._snapshot_one(metric)
         return out
 
     def render_text(self) -> str:
-        """Prometheus text exposition (version 0.0.4)."""
+        """Prometheus text exposition (version 0.0.4).
+
+        Delegates to :func:`render_snapshot_text`, so live registries and
+        merged cluster snapshots render identically (kind recovery relies
+        on the ``_total`` counter convention the lint rule enforces).
+        """
         with self._lock:
             metrics = dict(self._metrics)
-        lines: list[str] = []
-        for name, metric in sorted(metrics.items()):
-            if metric.help_text:
-                lines.append(f"# HELP {name} {metric.help_text}")
-            if isinstance(metric, Counter):
-                lines.append(f"# TYPE {name} counter")
-                lines.append(f"{name} {metric.value:g}")
-            elif isinstance(metric, Gauge):
-                lines.append(f"# TYPE {name} gauge")
-                lines.append(f"{name} {metric.value:g}")
-            else:
-                lines.append(f"# TYPE {name} histogram")
-                data = metric.snapshot()
-                for bucket in data["buckets"]:
-                    lines.append(
-                        f'{name}_bucket{{le="{bucket["le"]:g}"}} {bucket["count"]}'
-                    )
-                lines.append(f'{name}_bucket{{le="+Inf"}} {data["count"]}')
-                lines.append(f"{name}_sum {data['sum']:g}")
-                lines.append(f"{name}_count {data['count']}")
-        return "\n".join(lines) + "\n"
+        help_texts = {
+            name: metric.help_text
+            for name, metric in metrics.items()
+            if metric.help_text
+        }
+        kinds = {
+            name: "counter"
+            for name, metric in metrics.items()
+            if isinstance(metric, (Counter, LabeledCounter))
+        }
+        kinds.update(
+            (name, "gauge")
+            for name, metric in metrics.items()
+            if isinstance(metric, Gauge)
+        )
+        return render_snapshot_text(
+            self.snapshot(), help_texts=help_texts, kinds=kinds
+        )

@@ -34,6 +34,7 @@ from repro.pipeline.valuenet import TranslationResult
 from repro.serving.cache import CacheKey, TranslationCache
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.runtime import DatabaseRuntime
+from repro.tenancy.scheduler import FairQueue, LaneBacklogFull
 
 
 class ServingError(ReproError):
@@ -69,6 +70,7 @@ class ServeResponse:
     queue_ms: float = 0.0
     service_ms: float = 0.0
     batch_size: int = 1
+    tenant_id: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -89,6 +91,7 @@ class ServeResponse:
             "queue_ms": self.queue_ms,
             "service_ms": self.service_ms,
             "batch_size": self.batch_size,
+            "tenant_id": self.tenant_id,
         }
 
     @classmethod
@@ -115,6 +118,7 @@ class ServeResponse:
             queue_ms=float(payload.get("queue_ms", 0.0)),
             service_ms=float(payload.get("service_ms", 0.0)),
             batch_size=int(payload.get("batch_size", 1)),
+            tenant_id=payload.get("tenant_id"),
         )
 
 
@@ -129,6 +133,8 @@ class ServeRequest:
     inject_failure: bool
     deadline: float  # monotonic seconds
     enqueued_at: float
+    tenant_id: str | None = None
+    tenant_weight: int = 1
     done: threading.Event = field(default_factory=threading.Event)
     response: ServeResponse | None = None
 
@@ -158,6 +164,15 @@ class TranslationService:
         workers: worker-thread count.
         queue_size: bound on queued requests; :meth:`submit` raises
             :class:`QueueFullError` beyond it.
+        per_tenant_depth: per-tenant backlog bound inside the fair
+            queue (``None`` = global bound only).  With tenancy enabled
+            this is what keeps one hot tenant from occupying the whole
+            shared queue: its lane fills and *its* requests shed while
+            other tenants keep enqueueing.
+        tenancy: optional :class:`~repro.tenancy.controller.TenancyController`
+            the HTTP front-end consults for auth/rate/quota admission
+            and the ``/tenants`` endpoints.  The service itself only
+            schedules by tenant; enforcement happens at the front door.
         max_batch: micro-batch cap per worker dequeue.
         batch_window_ms: how long a worker waits to fill a batch after
             its first request.
@@ -184,6 +199,7 @@ class TranslationService:
         *,
         workers: int = 4,
         queue_size: int = 64,
+        per_tenant_depth: int | None = None,
         max_batch: int = 8,
         batch_window_ms: float = 2.0,
         cache: TranslationCache | None = None,
@@ -192,6 +208,7 @@ class TranslationService:
         allow_failure_injection: bool = False,
         ready: bool = True,
         allow_empty: bool = False,
+        tenancy=None,
     ):
         if not runtimes and not allow_empty:
             raise ValueError("need at least one DatabaseRuntime")
@@ -207,7 +224,10 @@ class TranslationService:
         self.default_timeout_ms = default_timeout_ms
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.allow_failure_injection = allow_failure_injection
-        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self.tenancy = tenancy
+        self._queue = FairQueue(
+            maxsize=queue_size, per_lane_limit=per_tenant_depth
+        )
         self._threads: list[threading.Thread] = []
         self._started = False
         self._stopping = False
@@ -231,6 +251,14 @@ class TranslationService:
             "serving_requests_total", "requests accepted into the queue")
         self._rejected_total = m.counter(
             "serving_rejected_total", "requests rejected (queue full)")
+        self._rejected_backlog = m.counter(
+            "serving_rejected_backlog_total",
+            "requests rejected because the tenant's own lane was full")
+        self._tenant_requests = m.labeled_counter(
+            "tenant_requests_total",
+            "requests accepted into the queue, per tenant")
+        self._tenant_latency = m.labeled_histogram(
+            "tenant_latency_seconds", "total in-service latency, per tenant")
         self._responses_ok = m.counter(
             "serving_responses_ok_total", "successful responses")
         self._responses_error = m.counter(
@@ -328,7 +356,7 @@ class TranslationService:
             return
         self._stopping = True
         for _ in self._threads:
-            self._queue.put(_SHUTDOWN)
+            self._queue.push_control(_SHUTDOWN)
         for thread in self._threads:
             thread.join(timeout=timeout)
         self._threads.clear()
@@ -409,11 +437,16 @@ class TranslationService:
         execute: bool = False,
         timeout_ms: float | None = None,
         inject_failure: bool = False,
+        tenant_id: str | None = None,
+        tenant_weight: int = 1,
     ) -> ServeRequest:
         """Enqueue a request; returns immediately with the in-flight handle.
 
         ``database_id`` may be omitted when the service hosts exactly one
-        database.
+        database.  ``tenant_id``/``tenant_weight`` place the request on
+        the tenant's fair-queue lane (anonymous traffic shares one lane),
+        so a backlogged tenant is drained at its priority-class weight
+        instead of FIFO order.
         """
         if self._stopping:
             raise ServiceStoppedError("service is stopping")
@@ -441,15 +474,22 @@ class TranslationService:
             inject_failure=inject_failure and self.allow_failure_injection,
             deadline=now + timeout_s,
             enqueued_at=now,
+            tenant_id=tenant_id,
+            tenant_weight=max(1, int(tenant_weight)),
         )
         try:
-            self._queue.put_nowait(request)
-        except queue.Full:
+            self._queue.push(
+                request.tenant_id, request, weight=request.tenant_weight
+            )
+        except LaneBacklogFull as exc:
+            self._rejected_backlog.inc()
+            raise QueueFullError(str(exc)) from None
+        except queue.Full as exc:
             self._rejected_total.inc()
-            raise QueueFullError(
-                f"request queue is full ({self._queue.maxsize} pending)"
-            ) from None
+            raise QueueFullError(str(exc)) from None
         self._requests_total.inc()
+        if tenant_id is not None:
+            self._tenant_requests.labels(tenant_id).inc()
         self._queue_depth.set(self._queue.qsize())
         return request
 
@@ -474,7 +514,7 @@ class TranslationService:
     def _worker_loop(self) -> None:
         pending: ServeRequest | None = None
         while True:
-            first = pending if pending is not None else self._queue.get()
+            first = pending if pending is not None else self._queue.pop()
             pending = None
             if first is _SHUTDOWN:
                 return
@@ -485,12 +525,12 @@ class TranslationService:
                 if remaining <= 0:
                     break
                 try:
-                    nxt = self._queue.get(timeout=remaining)
+                    nxt = self._queue.pop(timeout=remaining)
                 except queue.Empty:
                     break
                 if nxt is _SHUTDOWN:
                     # Re-post for a sibling worker; finish this batch first.
-                    self._queue.put(_SHUTDOWN)
+                    self._queue.push_control(_SHUTDOWN)
                     break
                 if (
                     nxt.database_id == first.database_id
@@ -524,6 +564,7 @@ class TranslationService:
                     database_id=request.database_id,
                     error=f"internal error: {exc}",
                     engine="none",
+                    tenant_id=request.tenant_id,
                 )
                 self._record(response)
                 request.resolve(response)
@@ -555,6 +596,7 @@ class TranslationService:
                 database_id=request.database_id,
                 queue_ms=1000.0 * queue_wait,
                 batch_size=size,
+                tenant_id=request.tenant_id,
             )
             key = CacheKey.make(
                 request.database_id, request.question, request.beam_size
@@ -620,6 +662,7 @@ class TranslationService:
                     database_id=entry.request.database_id,
                     error=f"internal error: {exc}",
                     engine="none",
+                    tenant_id=entry.request.tenant_id,
                 )
             self._record(entry.response)
             entry.request.resolve(entry.response)
@@ -690,6 +733,10 @@ class TranslationService:
         if response.degraded:
             self._responses_degraded.inc()
         self._latency.observe(response.service_ms / 1000.0)
+        if response.tenant_id is not None:
+            self._tenant_latency.labels(response.tenant_id).observe(
+                response.service_ms / 1000.0
+            )
         if response.cache_hit:
             return  # cached timings describe work that did not run now
         for stage, seconds in response.timings.items():
@@ -709,5 +756,6 @@ class TranslationService:
             "workers": self.workers,
             "queue_depth": self._queue.qsize(),
             "queue_capacity": self._queue.maxsize,
+            "queue_lanes": self._queue.lanes(),
             "cache": self.cache.stats(),
         }

@@ -1,0 +1,54 @@
+"""Multi-tenant front door: API-key auth, quotas, weighted-fair scheduling.
+
+The subsystem that turns the anonymous serving stack into a
+multi-tenant service:
+
+* :class:`TenantRegistry` — API-key tenant table loaded from a
+  versioned JSON config with hot reload and constant-time key lookup.
+* :class:`TokenBucket` — per-tenant rate limiting (rate + burst).
+* :class:`QuotaLedger` — durable daily quotas with atomic on-disk
+  checkpoints that survive restarts.
+* :class:`FairQueue` — deficit-round-robin admission queue keyed on
+  priority-class weights (plugged into the translation service).
+* :class:`TenancyController` — the front-door object the HTTP layer
+  calls: ``admit(api_key)`` -> authenticated :class:`Tenant`, or a typed
+  rejection (401 auth / 429 rate / 429 quota with ``Retry-After``).
+
+Enable it with ``repro serve --tenants tenants.json``.
+"""
+
+from repro.tenancy.bucket import BucketDecision, TokenBucket
+from repro.tenancy.controller import (
+    AuthenticationError,
+    QuotaExceededError,
+    RateLimitedError,
+    TenancyController,
+    TenancyError,
+)
+from repro.tenancy.quota import QuotaDecision, QuotaLedger
+from repro.tenancy.registry import (
+    DEFAULT_PRIORITY_CLASSES,
+    Tenant,
+    TenantConfigError,
+    TenantRegistry,
+)
+from repro.tenancy.scheduler import DEFAULT_LANE, FairQueue, LaneBacklogFull
+
+__all__ = [
+    "AuthenticationError",
+    "BucketDecision",
+    "DEFAULT_LANE",
+    "DEFAULT_PRIORITY_CLASSES",
+    "FairQueue",
+    "LaneBacklogFull",
+    "QuotaDecision",
+    "QuotaExceededError",
+    "QuotaLedger",
+    "RateLimitedError",
+    "Tenant",
+    "TenancyController",
+    "TenancyError",
+    "TenantConfigError",
+    "TenantRegistry",
+    "TokenBucket",
+]

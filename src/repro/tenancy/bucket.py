@@ -1,0 +1,86 @@
+"""Per-tenant token-bucket rate limiting.
+
+A :class:`TokenBucket` enforces a sustained ``rate`` (tokens per second)
+with a ``burst`` allowance (bucket capacity): over any time window of
+length ``T`` it grants at most ``burst + rate * T`` requests, and a
+tenant that has been idle long enough always has a full burst available.
+
+Timebase: the bucket runs entirely on the *monotonic* clock.  Callers
+may inject ``now`` (a monotonic-style timestamp) on every call, which is
+how the property tests drive it deterministically; production callers
+just omit it.
+
+The bucket never sleeps.  A denied acquisition reports ``retry_after_s``
+— the exact time until one token will have accumulated — which the HTTP
+layer turns into a ``Retry-After`` header on the 429 response.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.concurrency import make_lock
+
+
+@dataclass(frozen=True)
+class BucketDecision:
+    """Outcome of one :meth:`TokenBucket.try_acquire` call."""
+
+    allowed: bool
+    retry_after_s: float  # 0.0 when allowed
+    tokens_left: float    # tokens remaining after the decision
+
+
+class TokenBucket:
+    """Classic token bucket: capacity ``burst``, refill ``rate``/second."""
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0:
+            raise ValueError("rate must be positive (tokens per second)")
+        if burst < 1:
+            raise ValueError("burst must allow at least one request")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)  # guarded by: _lock
+        self._updated: float | None = None  # guarded by: _lock
+        self._lock = make_lock("TokenBucket._lock")
+
+    def _refill_locked(self, now: float) -> None:
+        """Advance the bucket to ``now``; caller holds ``_lock``."""
+        if self._updated is None:
+            self._updated = now
+            return
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._updated = now
+        # A clock that appears to run backwards (only possible with an
+        # injected test clock) leaves the bucket untouched rather than
+        # draining it.
+
+    def try_acquire(
+        self, tokens: float = 1.0, *, now: float | None = None
+    ) -> BucketDecision:
+        """Take ``tokens`` if available; never blocks.
+
+        Returns the decision with ``retry_after_s`` set to the time until
+        the *requested* amount will have refilled when denied.
+        """
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            self._refill_locked(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return BucketDecision(True, 0.0, self._tokens)
+            deficit = tokens - self._tokens
+            return BucketDecision(False, deficit / self.rate, self._tokens)
+
+    def peek(self, *, now: float | None = None) -> float:
+        """Current token count (after refill), without taking any."""
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            self._refill_locked(now)
+            return self._tokens

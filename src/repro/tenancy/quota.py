@@ -1,0 +1,194 @@
+"""Durable per-tenant daily quotas.
+
+The ledger counts requests per tenant per UTC calendar day and
+checkpoints the counts to disk so a serve restart does not reset them
+(a tenant cannot double its daily budget by bouncing the server).
+
+Durability model: every state-changing call increments a dirty counter
+and the ledger checkpoints every ``flush_every`` charges plus on
+:meth:`flush`/:meth:`close`.  Checkpoints are atomic — the JSON is
+written to a temp file in the same directory and ``os.replace``\\ d over
+the target — so a crash mid-write leaves the previous checkpoint
+intact.  Losing the tail between checkpoints under-counts by at most
+``flush_every`` requests, which is the right failure direction for a
+quota (never over-charge a tenant for requests that were lost).
+
+Calendar semantics are the one place wall-clock time is *correct*: a
+"daily" quota resets at UTC midnight by definition, so the day key comes
+from ``datetime.now(timezone.utc)`` (injectable for tests), never from
+the monotonic clock.  Deadlines and durations elsewhere in the codebase
+stay monotonic per the WALLCLOCK rule.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.concurrency import make_lock
+from repro.logs import get_logger
+
+_LOG = get_logger(__name__)
+
+_FORMAT_VERSION = 1
+_SECONDS_PER_DAY = 86_400
+
+
+def _utc_now() -> datetime:
+    return datetime.now(timezone.utc)
+
+
+@dataclass(frozen=True)
+class QuotaDecision:
+    """Outcome of one :meth:`QuotaLedger.charge` call."""
+
+    allowed: bool
+    used: int               # count after the decision (charged when allowed)
+    remaining: int | None   # None = unlimited
+    retry_after_s: float    # seconds until the next UTC midnight when denied
+
+
+class QuotaLedger:
+    """Per-tenant daily request counts with atomic on-disk checkpoints.
+
+    Args:
+        path: checkpoint file; ``None`` keeps the ledger memory-only
+            (tests, deployments that accept reset-on-restart).
+        flush_every: charges between automatic checkpoints.
+        now_fn: UTC ``datetime`` source (injected by tests to exercise
+            day rollover deterministically).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        *,
+        flush_every: int = 64,
+        now_fn=None,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.flush_every = max(1, int(flush_every))
+        self._now_fn = now_fn or _utc_now
+        self._lock = make_lock("QuotaLedger._lock")
+        self._day = self._today()  # guarded by: _lock
+        self._counts: dict[str, int] = {}  # guarded by: _lock
+        self._dirty = 0  # guarded by: _lock
+        if self.path is not None:
+            self._load()
+
+    # -------------------------------------------------------------- clock
+
+    def _today(self) -> str:
+        return self._now_fn().strftime("%Y-%m-%d")
+
+    def _seconds_to_midnight(self) -> float:
+        now = self._now_fn()
+        midnight = now.replace(hour=0, minute=0, second=0, microsecond=0)
+        elapsed = (now - midnight).total_seconds()
+        return max(1.0, _SECONDS_PER_DAY - elapsed)
+
+    # --------------------------------------------------------- persistence
+
+    def _load(self) -> None:
+        """Restore counts from the checkpoint (same-day entries only)."""
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # justified: a corrupt checkpoint must not brick serving; we
+            # log it and start the day's counts fresh (under-counting).
+            _LOG.warning("quota checkpoint %s unreadable (%s); starting fresh",
+                         self.path, exc)
+            return
+        if not isinstance(payload, dict):
+            _LOG.warning("quota checkpoint %s malformed; starting fresh", self.path)
+            return
+        with self._lock:
+            if payload.get("day") == self._day:
+                counts = payload.get("counts")
+                if isinstance(counts, dict):
+                    self._counts = {
+                        str(k): int(v) for k, v in counts.items()
+                        if isinstance(v, (int, float))
+                    }
+            # A checkpoint from a previous day is simply stale: the day
+            # rolled over while the server was down, counts reset.
+
+    def _checkpoint_locked(self) -> None:
+        """Atomically write the current state; caller holds ``_lock``."""
+        if self.path is None:
+            return
+        payload = {
+            "version": _FORMAT_VERSION,
+            "day": self._day,
+            "counts": self._counts,
+        }
+        body = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(body)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            # justified: a full/readonly disk must not fail requests; the
+            # quota degrades to memory-only until the disk recovers.
+            _LOG.warning("quota checkpoint to %s failed: %s", self.path, exc)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        self._dirty = 0
+
+    def flush(self) -> None:
+        """Force a checkpoint now (no-op for memory-only ledgers)."""
+        with self._lock:
+            self._checkpoint_locked()
+
+    def close(self) -> None:
+        self.flush()
+
+    # ------------------------------------------------------------ charging
+
+    def _rollover_locked(self) -> None:
+        today = self._today()
+        if today != self._day:
+            self._day = today
+            self._counts = {}
+            self._checkpoint_locked()
+
+    def charge(self, tenant_id: str, limit: int | None) -> QuotaDecision:
+        """Charge one request against ``tenant_id``'s daily budget.
+
+        ``limit=None`` means unlimited — the request is still counted so
+        the usage endpoint reports it.
+        """
+        with self._lock:
+            self._rollover_locked()
+            used = self._counts.get(tenant_id, 0)
+            if limit is not None and used >= limit:
+                return QuotaDecision(
+                    False, used, 0, self._seconds_to_midnight()
+                )
+            used += 1
+            self._counts[tenant_id] = used
+            self._dirty += 1
+            if self._dirty >= self.flush_every:
+                self._checkpoint_locked()
+            remaining = None if limit is None else max(0, limit - used)
+            return QuotaDecision(True, used, remaining, 0.0)
+
+    def usage(self, tenant_id: str) -> tuple[str, int]:
+        """``(day, used)`` for one tenant, today."""
+        with self._lock:
+            self._rollover_locked()
+            return self._day, self._counts.get(tenant_id, 0)

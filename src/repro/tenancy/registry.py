@@ -1,0 +1,317 @@
+"""API-key tenant registry: versioned config file with hot reload.
+
+Config format (JSON)::
+
+    {
+      "version": 3,
+      "priority_classes": {"gold": 8, "silver": 4, "bronze": 1},
+      "admin_keys": ["ops-admin-key"],
+      "tenants": [
+        {
+          "id": "acme",
+          "api_key": "acme-secret-key",
+          "name": "Acme Corp",
+          "class": "gold",
+          "rate": 50,
+          "burst": 100,
+          "daily_quota": 100000,
+          "enabled": true
+        }
+      ]
+    }
+
+``version`` is a human-maintained integer surfaced by the admin
+endpoint so operators can confirm which revision is live.  ``class``
+resolves to a scheduling weight through ``priority_classes`` (defaults
+below).  ``daily_quota`` may be omitted/null for unlimited; ``enabled:
+false`` keeps a tenant's record (and its quota history) while refusing
+its traffic.
+
+Hot reload: :meth:`TenantRegistry.reload_if_changed` stats the config
+file (throttled to once per second) and atomically swaps the parsed
+tenant table when the file changed.  A file that fails to parse keeps
+the previous table — a bad config push degrades to "no change", never
+to "no tenants".
+
+Authentication is constant-time: the key is compared against *every*
+tenant with :func:`hmac.compare_digest`, with no early exit, so response
+timing leaks neither key prefixes nor whether a key exists at all.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import os
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.concurrency import make_lock
+from repro.errors import ReproError
+from repro.logs import get_logger
+
+_LOG = get_logger(__name__)
+
+DEFAULT_PRIORITY_CLASSES = {"gold": 8, "silver": 4, "bronze": 1}
+DEFAULT_CLASS = "bronze"
+
+# Tenant ids flow into Prometheus label values and file paths unescaped;
+# restricting the alphabet at load time keeps both layers trivially safe.
+_TENANT_ID_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
+
+class TenantConfigError(ReproError):
+    """The tenants config file is malformed."""
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant's admission contract (immutable; reload swaps objects)."""
+
+    tenant_id: str
+    api_key: str
+    name: str = ""
+    priority_class: str = DEFAULT_CLASS
+    weight: int = 1
+    rate: float = 10.0          # sustained requests per second
+    burst: float = 20.0         # token-bucket capacity
+    daily_quota: int | None = None
+    enabled: bool = True
+
+    def describe(self) -> dict:
+        """Public view — everything except the key."""
+        return {
+            "id": self.tenant_id,
+            "name": self.name,
+            "class": self.priority_class,
+            "weight": self.weight,
+            "rate": self.rate,
+            "burst": self.burst,
+            "daily_quota": self.daily_quota,
+            "enabled": self.enabled,
+        }
+
+
+def _parse_tenant(raw: dict, classes: dict[str, int]) -> Tenant:
+    if not isinstance(raw, dict):
+        raise TenantConfigError("each tenant must be an object")
+    tenant_id = raw.get("id")
+    if not isinstance(tenant_id, str) or not _TENANT_ID_RE.match(tenant_id):
+        raise TenantConfigError(
+            f"tenant id {tenant_id!r} must match {_TENANT_ID_RE.pattern}"
+        )
+    api_key = raw.get("api_key")
+    if not isinstance(api_key, str) or len(api_key) < 8:
+        raise TenantConfigError(
+            f"tenant {tenant_id!r} needs an api_key of at least 8 characters"
+        )
+    priority_class = raw.get("class", DEFAULT_CLASS)
+    if priority_class not in classes:
+        raise TenantConfigError(
+            f"tenant {tenant_id!r} has unknown class {priority_class!r} "
+            f"(known: {', '.join(sorted(classes))})"
+        )
+    rate = float(raw.get("rate", 10.0))
+    burst = float(raw.get("burst", max(1.0, 2 * rate)))
+    if rate <= 0 or burst < 1:
+        raise TenantConfigError(
+            f"tenant {tenant_id!r} needs rate > 0 and burst >= 1"
+        )
+    quota = raw.get("daily_quota")
+    if quota is not None:
+        quota = int(quota)
+        if quota < 0:
+            raise TenantConfigError(
+                f"tenant {tenant_id!r} daily_quota must be >= 0"
+            )
+    return Tenant(
+        tenant_id=tenant_id,
+        api_key=api_key,
+        name=str(raw.get("name", tenant_id)),
+        priority_class=priority_class,
+        weight=max(1, int(classes[priority_class])),
+        rate=rate,
+        burst=burst,
+        daily_quota=quota,
+        enabled=bool(raw.get("enabled", True)),
+    )
+
+
+def _parse_config(payload: dict) -> tuple[int, dict[str, int], tuple[str, ...], list[Tenant]]:
+    if not isinstance(payload, dict):
+        raise TenantConfigError("tenants config must be a JSON object")
+    version = int(payload.get("version", 0))
+    classes = dict(DEFAULT_PRIORITY_CLASSES)
+    for name, weight in (payload.get("priority_classes") or {}).items():
+        if not isinstance(name, str) or int(weight) < 1:
+            raise TenantConfigError(
+                f"priority class {name!r} needs an integer weight >= 1"
+            )
+        classes[name] = int(weight)
+    admin_keys = tuple(str(k) for k in payload.get("admin_keys") or ())
+    tenants = [_parse_tenant(raw, classes) for raw in payload.get("tenants") or ()]
+    seen_ids: set[str] = set()
+    seen_keys: set[str] = set()
+    for tenant in tenants:
+        if tenant.tenant_id in seen_ids:
+            raise TenantConfigError(f"duplicate tenant id {tenant.tenant_id!r}")
+        if tenant.api_key in seen_keys or tenant.api_key in admin_keys:
+            raise TenantConfigError(
+                f"tenant {tenant.tenant_id!r} reuses another api_key"
+            )
+        seen_ids.add(tenant.tenant_id)
+        seen_keys.add(tenant.api_key)
+    return version, classes, admin_keys, tenants
+
+
+def _constant_time_lookup(key: str, tenants: list[Tenant]) -> Tenant | None:
+    """Compare ``key`` against every tenant; no early exit."""
+    encoded = key.encode("utf-8")
+    found: Tenant | None = None
+    for tenant in tenants:
+        if hmac.compare_digest(encoded, tenant.api_key.encode("utf-8")):
+            found = tenant
+    return found
+
+
+class TenantRegistry:
+    """In-memory tenant table, optionally backed by a hot-reloaded file."""
+
+    def __init__(
+        self,
+        tenants: list[Tenant],
+        *,
+        priority_classes: dict[str, int] | None = None,
+        admin_keys: tuple[str, ...] = (),
+        version: int = 0,
+        path: str | os.PathLike | None = None,
+    ):
+        self.path = Path(path) if path is not None else None
+        self._lock = make_lock("TenantRegistry._lock")
+        self._tenants = list(tenants)  # guarded by: _lock
+        self._by_id = {t.tenant_id: t for t in tenants}  # guarded by: _lock
+        self._classes = dict(priority_classes or DEFAULT_PRIORITY_CLASSES)  # guarded by: _lock
+        self._admin_keys = tuple(admin_keys)  # guarded by: _lock
+        self._version = int(version)  # guarded by: _lock
+        self._generation = 0  # guarded by: _lock
+        self._stat_sig: tuple | None = None  # guarded by: _lock
+        self._last_check = 0.0  # guarded by: _lock
+        if self.path is not None:
+            try:
+                stat = self.path.stat()
+                self._stat_sig = (stat.st_mtime_ns, stat.st_size)
+            except OSError:
+                self._stat_sig = None
+
+    # ------------------------------------------------------------- loading
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike) -> "TenantRegistry":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise TenantConfigError(f"cannot load tenants config {path}: {exc}")
+        version, classes, admin_keys, tenants = _parse_config(payload)
+        return cls(
+            tenants,
+            priority_classes=classes,
+            admin_keys=admin_keys,
+            version=version,
+            path=path,
+        )
+
+    def reload_if_changed(self, *, min_interval_s: float = 1.0) -> bool:
+        """Re-read the config when the file changed; returns True on swap.
+
+        Throttled: the file is stat'd at most every ``min_interval_s``.
+        Parse failures keep the current table and log a warning.
+        """
+        if self.path is None:
+            return False
+        now = time.monotonic()
+        with self._lock:
+            if now - self._last_check < min_interval_s:
+                return False
+            self._last_check = now
+            previous_sig = self._stat_sig
+        try:
+            stat = self.path.stat()
+            sig = (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            return False  # file temporarily missing: keep serving old table
+        if sig == previous_sig:
+            return False
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+            version, classes, admin_keys, tenants = _parse_config(payload)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
+                TenantConfigError, ValueError) as exc:
+            # justified: a bad config push must not drop the live tenant
+            # table; the warning is the operator's signal to fix it.
+            _LOG.warning("tenants config %s reload failed: %s", self.path, exc)
+            with self._lock:
+                self._stat_sig = sig  # don't re-parse the same bad file
+            return False
+        with self._lock:
+            self._tenants = tenants
+            self._by_id = {t.tenant_id: t for t in tenants}
+            self._classes = classes
+            self._admin_keys = admin_keys
+            self._version = version
+            self._stat_sig = sig
+            self._generation += 1
+        _LOG.info("tenants config reloaded: version=%s tenants=%d",
+                  version, len(tenants))
+        return True
+
+    # ------------------------------------------------------------- queries
+
+    def authenticate(self, api_key: str | None) -> Tenant | None:
+        """Constant-time key lookup; ``None`` for unknown/missing keys.
+
+        Disabled tenants authenticate to ``None`` as well — callers
+        cannot distinguish a revoked key from an unknown one, which is
+        the point.
+        """
+        if not api_key:
+            return None
+        with self._lock:
+            tenants = self._tenants
+        tenant = _constant_time_lookup(api_key, tenants)
+        if tenant is not None and not tenant.enabled:
+            return None
+        return tenant
+
+    def is_admin(self, api_key: str | None) -> bool:
+        if not api_key:
+            return False
+        with self._lock:
+            admin_keys = self._admin_keys
+        encoded = api_key.encode("utf-8")
+        matched = False
+        for key in admin_keys:
+            if hmac.compare_digest(encoded, key.encode("utf-8")):
+                matched = True
+        return matched
+
+    def get(self, tenant_id: str) -> Tenant | None:
+        with self._lock:
+            return self._by_id.get(tenant_id)
+
+    def tenants(self) -> list[Tenant]:
+        with self._lock:
+            return list(self._tenants)
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._version
+
+    @property
+    def generation(self) -> int:
+        """Bumps on every successful hot reload (buckets resync on it)."""
+        with self._lock:
+            return self._generation
