@@ -173,6 +173,20 @@ def _build_tenancy(args, metrics=None):
     return controller
 
 
+def _build_policy(args, metrics=None):
+    """Build the PolicyEngine for ``--policy`` (None when absent)."""
+    if args.policy is None:
+        return None
+    from repro.policy import PolicyConfigStore, PolicyEngine
+
+    engine = PolicyEngine(PolicyConfigStore.load(args.policy), metrics=metrics)
+    from repro.policy import rule_catalog
+
+    print(f"policy engine enabled: {len(rule_catalog())} rule(s), "
+          f"config at {args.policy}")
+    return engine
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
@@ -224,15 +238,17 @@ def _serve_single(args, pairs, server, shutdown) -> int:
     print(f"indexes ready in {_time.perf_counter() - warm_start:.2f}s "
           f"(built={stats['build_count']} loaded={stats['load_count']})")
 
-    runtimes = [
-        DatabaseRuntime(database, model, database_id=database_id,
-                        beam_size=args.beam)
-        for database_id, database in databases.items()
-    ]
     from repro.serving import MetricsRegistry
 
     metrics = MetricsRegistry()
     tenancy = _build_tenancy(args, metrics)
+    policy = _build_policy(args, metrics)
+    runtimes = [
+        DatabaseRuntime(database, model, database_id=database_id,
+                        beam_size=args.beam, policy=policy,
+                        dialect=args.dialect)
+        for database_id, database in databases.items()
+    ]
     service = TranslationService(
         runtimes,
         workers=args.threads,
@@ -246,6 +262,7 @@ def _serve_single(args, pairs, server, shutdown) -> int:
         ready=False,
         metrics=metrics,
         tenancy=tenancy,
+        policy=policy,
     )
     service.start()
     server.attach(service)
@@ -292,6 +309,8 @@ def _serve_cluster(args, pairs, server, shutdown) -> int:
         cache_ttl_s=args.cache_ttl,
         index_cache=args.index_cache,
         allow_failure_injection=args.allow_injection,
+        policy_path=args.policy,
+        dialect=args.dialect,
     )
     cluster.start()
     server.attach(cluster)
@@ -407,6 +426,18 @@ def main(argv: list[str] | None = None) -> int:
         "--per-tenant-depth", type=int, default=None, metavar="N",
         help="per-tenant backlog bound inside the fair queue "
              "(default: global --queue-size bound only)",
+    )
+    serve.add_argument(
+        "--policy", default=None, metavar="JSON",
+        help="SQL policy config file (enables the defense-in-depth policy "
+             "engine: blocked keywords, read-only enforcement, join "
+             "sanity, cost bounds; see docs/policy.md)",
+    )
+    serve.add_argument(
+        "--dialect", default="sqlite",
+        choices=("sqlite", "postgres", "mysql"),
+        help="default SQL dialect for rendered responses (per-request "
+             "override via the 'dialect' body field)",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -94,6 +94,7 @@ class _Pending:
     deadline: float                    # supervisor monotonic
     tenant_id: str | None = None
     tenant_weight: int = 1
+    dialect: str | None = None
     attempts: int = 0
     excluded: set[int] = field(default_factory=set)
     done: threading.Event = field(default_factory=threading.Event)
@@ -427,14 +428,24 @@ class ClusterService:
         inject_failure: bool = False,
         tenant_id: str | None = None,
         tenant_weight: int = 1,
+        dialect: str | None = None,
     ) -> ServeResponse:
         """Route one request to its shard's worker and wait for the answer.
 
         Raises :class:`UnknownDatabaseError` for unknown databases and
         :class:`QueueFullError` for every retriable rejection (no live
         worker, dispatch queue full, deadline expired in queue, worker
-        died with no requeue budget left).
+        died with no requeue budget left).  ``dialect`` is validated at
+        the front door (ValueError -> HTTP 400) and rides the IPC frame.
         """
+        if dialect is not None:
+            from repro.errors import TranslationError
+            from repro.sql.dialect import get_dialect
+
+            try:
+                dialect = get_dialect(dialect).name
+            except TranslationError as exc:
+                raise ValueError(str(exc)) from None
         if self._stopping or not self._started:
             raise QueueFullError("cluster is not accepting requests")
         if database_id is None:
@@ -461,6 +472,7 @@ class ClusterService:
             deadline=time.monotonic() + max(0.0, timeout_s),
             tenant_id=tenant_id,
             tenant_weight=max(1, int(tenant_weight)),
+            dialect=dialect,
         )
         if not self._enqueue(pending):
             self._rejected_total.inc()
@@ -553,6 +565,7 @@ class ClusterService:
                 inject_failure=item.inject_failure,
                 tenant_id=item.tenant_id,
                 tenant_weight=item.tenant_weight,
+                dialect=item.dialect,
             )
             try:
                 with handle.send_lock:

@@ -68,6 +68,8 @@ class WorkerSpec:
     execution_max_rows: int | None = 10_000
     max_inflight: int = 16
     per_tenant_depth: int | None = None
+    policy_path: str | None = None  # JSON policy config (see repro.policy)
+    dialect: str = "sqlite"         # default response dialect
 
 
 class WorkerProcess:
@@ -87,6 +89,11 @@ class WorkerProcess:
             from repro.model import ValueNetModel
 
             self.model = ValueNetModel.load(spec.model_path)
+        self.policy = None
+        if spec.policy_path is not None:
+            from repro.policy import PolicyConfigStore, PolicyEngine
+
+            self.policy = PolicyEngine(PolicyConfigStore.load(spec.policy_path))
         self.service: TranslationService | None = None
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, spec.max_inflight),
@@ -120,6 +127,7 @@ class WorkerProcess:
             allow_failure_injection=self.spec.allow_failure_injection,
             ready=False,
             allow_empty=True,  # an empty shard adopts databases on failover
+            policy=self.policy,
         )
         self.service.start()
         self.service.mark_ready()
@@ -141,6 +149,8 @@ class WorkerProcess:
             beam_size=self.spec.beam_size,
             execution_timeout_s=self.spec.execution_timeout_s,
             execution_max_rows=self.spec.execution_max_rows,
+            policy=self.policy,
+            dialect=self.spec.dialect,
         )
 
     def _adopt(self, db_id: str) -> bool:
@@ -177,6 +187,7 @@ class WorkerProcess:
                 inject_failure=bool(frame.get("inject_failure", False)),
                 tenant_id=str(tenant_id) if tenant_id is not None else None,
                 tenant_weight=int(frame.get("tenant_weight", 1)),
+                dialect=frame.get("dialect"),
             )
             self.send(protocol.response_frame(request_id, response.as_dict()))
         except (QueueFullError, ServiceStoppedError, UnknownDatabaseError) as exc:

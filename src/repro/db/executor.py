@@ -21,12 +21,46 @@ class QueryTimeoutError(ExecutionError):
     """A query exceeded its wall-clock budget and was interrupted."""
 
 
+class MultiStatementError(ExecutionError):
+    """A SQL string contained more than one statement."""
+
+
+def reject_multi_statement(sql: str) -> None:
+    """Raise :class:`MultiStatementError` if ``sql`` holds >1 statement.
+
+    The executor runs *generated* SQL, so this is the last line of
+    defense even when the policy layer is disabled or bypassed: a
+    statement separator outside quotes followed by anything non-blank
+    (``SELECT ...; DROP TABLE ...``) is rejected outright.  A single
+    trailing ``;`` is legal.  Quote-aware via :func:`_skip_quoted`, so
+    ``'a;b'`` in a literal never false-positives.
+    """
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch in ("'", '"', "`"):
+            i = _skip_quoted(sql, i)
+            continue
+        if ch == "[":  # SQLite bracket-quoted identifier
+            end = sql.find("]", i + 1)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == ";" and sql[i + 1 :].strip():
+            raise MultiStatementError(
+                f"SQL contains multiple statements (separator at offset {i}): {sql!r}"
+            )
+        i += 1
+
+
 def execute_with_budget(
     database: Database,
     sql: str,
     *,
     timeout_s: float | None = None,
     max_rows: int | None = 10_000,
+    policy=None,
+    tenant_id: str | None = None,
 ) -> list[tuple]:
     """Execute ``sql`` under a wall-clock budget and a result-row cap.
 
@@ -41,8 +75,22 @@ def execute_with_budget(
     :meth:`Database.execute`).
 
     ``timeout_s=None`` (or <= 0) disables the timer and degenerates to a
-    plain capped execute.
+    plain capped execute.  Multi-statement strings are always rejected
+    (see :func:`reject_multi_statement`) — sqlite3 would silently run
+    only the first statement, which hides injection attempts instead of
+    surfacing them.  An optional ``policy``
+    (:class:`~repro.policy.engine.PolicyEngine`) runs as the final
+    safe-execute gate right here, with whatever ``tenant_id`` context
+    the caller has.
     """
+    reject_multi_statement(sql)
+    if policy is not None:
+        policy.check_sql(
+            sql,
+            database_id=database.schema.name,
+            tenant_id=tenant_id,
+            schema=database.schema,
+        )
     if timeout_s is None or timeout_s <= 0:
         return database.execute(sql, max_rows=max_rows)
     connection = database.connection  # per-thread; interrupt targets it only

@@ -1,0 +1,159 @@
+"""Policy configuration: built-in defaults with per-database / per-tenant overrides.
+
+The config file is a versioned JSON document loaded alongside the tenant
+registry::
+
+    {
+      "version": 1,
+      "default":   {"read_only": true, "max_subquery_depth": 3},
+      "databases": {"concerts": {"require_limit": 500}},
+      "tenants":   {"acme": {"max_tables": 4, "disabled_rules": ["limit-required"]}}
+    }
+
+Resolution is field-level with precedence **tenant > database > default >
+built-in**: a tenant override only replaces the fields it names, so a
+tenant that caps ``max_tables`` still inherits the database's
+``require_limit``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+
+#: Statement-leading keywords that are never allowed to execute.  The set is
+#: deliberately wider than what SQLite can parse — defense in depth means the
+#: corpus is blocked even if the backend grows new capabilities.
+DEFAULT_BLOCKED_KEYWORDS: tuple[str, ...] = (
+    "insert", "update", "delete", "drop", "create", "alter", "truncate",
+    "replace", "pragma", "attach", "detach", "vacuum", "reindex",
+    "grant", "revoke", "begin", "commit", "rollback", "savepoint",
+)
+
+
+class PolicyConfigError(ReproError):
+    """The policy config file is malformed."""
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Effective policy for one (database, tenant) pair.
+
+    Attributes:
+        read_only: only ``SELECT`` statements may execute.
+        blocked_keywords: keywords that block a query wherever they appear
+            outside string literals.
+        require_limit: when set, any non-aggregate query must carry
+            ``LIMIT <= require_limit`` (aggregate-only queries return a
+            bounded row count by construction and are exempt).
+        max_subquery_depth: maximum nesting depth of subqueries
+            (``None`` = unbounded; the top-level query is depth 0).
+        max_tables: maximum number of distinct tables per SELECT
+            (``None`` = unbounded) — a cost bound on the join fan-out.
+        disabled_rules: rule ids skipped entirely for this scope.
+    """
+
+    read_only: bool = True
+    blocked_keywords: tuple[str, ...] = DEFAULT_BLOCKED_KEYWORDS
+    require_limit: int | None = None
+    max_subquery_depth: int | None = 3
+    max_tables: int | None = None
+    disabled_rules: tuple[str, ...] = ()
+
+    def rule_disabled(self, rule_id: str) -> bool:
+        return rule_id in self.disabled_rules
+
+    def override(self, overrides: Mapping[str, Any]) -> "PolicyConfig":
+        """Return a copy with ``overrides`` applied field-by-field."""
+        known = {f.name for f in fields(PolicyConfig)}
+        cleaned: dict[str, Any] = {}
+        for key, value in overrides.items():
+            if key not in known:
+                raise PolicyConfigError(f"unknown policy field {key!r}")
+            if key in ("blocked_keywords", "disabled_rules"):
+                if not isinstance(value, (list, tuple)) or not all(
+                    isinstance(v, str) for v in value
+                ):
+                    raise PolicyConfigError(f"policy field {key!r} must be a list of strings")
+                value = tuple(v.lower() for v in value)
+            elif key == "read_only":
+                if not isinstance(value, bool):
+                    raise PolicyConfigError("policy field 'read_only' must be a boolean")
+            elif value is not None:
+                if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                    raise PolicyConfigError(
+                        f"policy field {key!r} must be a non-negative integer or null"
+                    )
+            cleaned[key] = value
+        return replace(self, **cleaned)
+
+
+class PolicyConfigStore:
+    """Resolves effective :class:`PolicyConfig` per database and tenant."""
+
+    def __init__(
+        self,
+        default: PolicyConfig | None = None,
+        databases: Mapping[str, Mapping[str, Any]] | None = None,
+        tenants: Mapping[str, Mapping[str, Any]] | None = None,
+    ):
+        self._default = default if default is not None else PolicyConfig()
+        self._databases = {k: dict(v) for k, v in (databases or {}).items()}
+        self._tenants = {k: dict(v) for k, v in (tenants or {}).items()}
+
+    @property
+    def default(self) -> PolicyConfig:
+        return self._default
+
+    def resolve(
+        self, database_id: str | None = None, tenant_id: str | None = None
+    ) -> PolicyConfig:
+        """Effective config: built-in < default < database < tenant."""
+        config = self._default
+        if database_id is not None and database_id in self._databases:
+            config = config.override(self._databases[database_id])
+        if tenant_id is not None and tenant_id in self._tenants:
+            config = config.override(self._tenants[tenant_id])
+        return config
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PolicyConfigStore":
+        if not isinstance(payload, Mapping):
+            raise PolicyConfigError("policy config must be a JSON object")
+        version = payload.get("version", 1)
+        if version != 1:
+            raise PolicyConfigError(f"unsupported policy config version {version!r}")
+        for section in ("default", "databases", "tenants"):
+            value = payload.get(section, {})
+            if not isinstance(value, Mapping):
+                raise PolicyConfigError(f"policy section {section!r} must be an object")
+        default = PolicyConfig().override(payload.get("default", {}))
+        databases = payload.get("databases", {})
+        tenants = payload.get("tenants", {})
+        for name, scoped in (("databases", databases), ("tenants", tenants)):
+            for key, overrides in scoped.items():
+                if not isinstance(overrides, Mapping):
+                    raise PolicyConfigError(
+                        f"policy override {name}[{key!r}] must be an object"
+                    )
+                # Validate eagerly so a bad config fails at load, not at
+                # the first request that happens to hit the bad scope.
+                default.override(overrides)
+        return cls(default=default, databases=databases, tenants=tenants)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PolicyConfigStore":
+        """Load and validate a policy config file."""
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise PolicyConfigError(f"cannot read policy config {path}: {exc}") from exc
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PolicyConfigError(f"policy config {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)

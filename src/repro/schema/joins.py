@@ -73,8 +73,29 @@ def steiner_join_tables(graph: SchemaGraph, tables: list[str]) -> set[str]:
             raise TranslationError(f"table {terminal!r} not in schema graph")
     if len(set(terminals)) <= 1:
         return {graph.original_name(t) for t in terminals}
+    # Restrict to the connected component holding the terminals: the
+    # metric closure inside steiner_tree spans the WHOLE graph, so one
+    # unrelated isolated table elsewhere in the schema would otherwise
+    # poison planning for every multi-table query (KeyError from the
+    # closure, surfacing as "cannot be connected").
+    terminal_set = set(terminals)
+    component: set[str] | None = None
+    for nodes in nx.connected_components(graph.graph):
+        if terminal_set & nodes:
+            if not terminal_set <= nodes:
+                raise TranslationError(
+                    f"tables {tables!r} cannot be connected by join paths"
+                )
+            component = nodes
+            break
+    if component is None:
+        raise TranslationError(
+            f"tables {tables!r} cannot be connected by join paths"
+        )
     try:
-        tree = steiner_tree(graph.graph, set(terminals), weight="weight")
+        tree = steiner_tree(
+            graph.graph.subgraph(component), terminal_set, weight="weight"
+        )
     except Exception as exc:  # networkx raises bare exceptions on disconnection
         raise TranslationError(
             f"tables {tables!r} cannot be connected by join paths"

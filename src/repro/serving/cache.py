@@ -1,6 +1,6 @@
 """LRU + TTL result cache for translations.
 
-Keys are ``(database_id, normalized_question, beam_size)`` — the three
+Keys are ``(database_id, normalized_question, beam_size, dialect)`` — the
 inputs that fully determine a translation for a fixed model — so repeated
 questions (the common interactive pattern: users iterate on phrasings and
 re-ask) skip the neural pipeline entirely.  Entries expire after a TTL so
@@ -30,10 +30,19 @@ class CacheKey:
     database_id: str
     question: str
     beam_size: int
+    dialect: str = "sqlite"
 
     @classmethod
-    def make(cls, database_id: str, question: str, beam_size: int) -> "CacheKey":
-        return cls(database_id, normalize_question(question), int(beam_size))
+    def make(
+        cls,
+        database_id: str,
+        question: str,
+        beam_size: int,
+        dialect: str = "sqlite",
+    ) -> "CacheKey":
+        return cls(
+            database_id, normalize_question(question), int(beam_size), str(dialect)
+        )
 
 
 class TranslationCache:

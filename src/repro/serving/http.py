@@ -14,8 +14,13 @@ Endpoints (all JSON unless noted):
   JSON snapshot with p50/p95/p99 per histogram.
 * ``POST /translate`` — body ``{"question": ..., "database_id": ...,
   "beam_size": ..., "execute": ..., "timeout_ms": ...,
-  "inject_failure": ...}``; only ``question`` is required (and
-  ``database_id`` only when serving several databases).
+  "inject_failure": ..., "dialect": ...}``; only ``question`` is
+  required (and ``database_id`` only when serving several databases).
+  ``dialect`` selects the SQL flavor of the response
+  (``sqlite``/``postgres``/``mysql``).  When a policy engine is
+  configured and a rule blocks the query, the response is a 403 whose
+  body carries ``"reason": "policy"``, the machine-readable
+  ``"rule_id"`` and the structured ``"policy"`` violation list.
 * ``GET /tenants`` — admin-only listing of every tenant's config and
   usage (requires an ``admin_keys`` entry; tenancy mode only).
 * ``GET /tenants/<id>/usage`` — one tenant's quota/rate/latency view;
@@ -33,7 +38,8 @@ no auth).
 
 Status codes: 200 on success (including degraded responses — the
 degradation contract lives in the body, not the status), 400 on malformed
-requests, 401/403 on auth failures, 404 on unknown paths or databases,
+requests, 401/403 on auth failures (403 also carries policy blocks —
+the body's ``"reason"`` distinguishes), 404 on unknown paths or databases,
 429 on per-tenant limits, 503 when load is shed (queue full, service
 stopping/warming, or — in cluster mode — no live worker for the shard).
 Every 503 body carries ``"retriable": true``: the request was *not*
@@ -311,6 +317,7 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
                 execute=bool(payload.get("execute", False)),
                 timeout_ms=payload.get("timeout_ms"),
                 inject_failure=bool(payload.get("inject_failure", False)),
+                dialect=payload.get("dialect"),
                 **tenant_kwargs,
             )
         except UnknownDatabaseError as exc:
@@ -321,6 +328,14 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
             return
         except (TypeError, ValueError) as exc:
             self._send_json(400, {"error": f"bad request parameters: {exc}"})
+            return
+        if getattr(response, "policy", None) is not None:
+            # Policy-blocked: a structured 4xx carrying the machine-readable
+            # rule id(s); the query was NOT executed.
+            body = response.as_dict()
+            body["reason"] = "policy"
+            body["rule_id"] = response.policy.get("rule_id")
+            self._send_json(403, body)
             return
         self._send_json(200, response.as_dict())
 

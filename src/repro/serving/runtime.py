@@ -26,6 +26,8 @@ from repro.db.executor import execute_with_budget
 from repro.model.valuenet import ValueNetModel
 from repro.pipeline.valuenet import TranslationResult, ValueNetPipeline
 from repro.preprocessing.pipeline import Preprocessor
+from repro.schema.graph import SchemaGraph
+from repro.sql.dialect import get_dialect
 
 
 class DatabaseRuntime:
@@ -51,6 +53,13 @@ class DatabaseRuntime:
             via ``sqlite3.Connection.interrupt`` so a pathological query
             cannot wedge a worker.
         execution_max_rows: result-row cap for executed queries.
+        policy: optional :class:`~repro.policy.engine.PolicyEngine`
+            enforced as the final safe-execute gate in
+            :meth:`execute_sql` (the service also checks earlier, with
+            tenant context — this layer catches anything that bypasses
+            it).
+        dialect: default SQL dialect for responses from this database
+            (requests may override per call).
     """
 
     def __init__(
@@ -64,6 +73,8 @@ class DatabaseRuntime:
         preprocessor: Preprocessor | None = None,
         execution_timeout_s: float | None = 5.0,
         execution_max_rows: int | None = 10_000,
+        policy=None,
+        dialect: str = "sqlite",
     ):
         if model is not None and pipeline is not None:
             raise ValueError("pass either model or pipeline, not both")
@@ -83,6 +94,7 @@ class DatabaseRuntime:
                 beam_size=beam_size,
                 execution_timeout_s=execution_timeout_s,
                 execution_max_rows=execution_max_rows,
+                policy=policy,
             )
         else:
             self.pipeline = None
@@ -93,6 +105,9 @@ class DatabaseRuntime:
         )
         self.execution_timeout_s = execution_timeout_s
         self.execution_max_rows = execution_max_rows
+        self.policy = policy
+        self.dialect = get_dialect(dialect).name
+        self._graph: SchemaGraph | None = None
         self._lock = make_lock(f"DatabaseRuntime[{self.database_id}]._lock")
 
     @property
@@ -167,13 +182,27 @@ class DatabaseRuntime:
             finally:
                 self.pipeline.beam_size = configured
 
-    def execute_sql(self, sql: str) -> list[tuple]:
-        """Execute generated SQL under the runtime's budget and row cap."""
+    @property
+    def schema_graph(self) -> SchemaGraph:
+        """Lazily-built PK/FK graph (for policy checks and re-rendering)."""
+        if self._graph is None:
+            self._graph = SchemaGraph(self.database.schema)
+        return self._graph
+
+    def execute_sql(self, sql: str, *, tenant_id: str | None = None) -> list[tuple]:
+        """Execute generated SQL under the runtime's budget and row cap.
+
+        With a policy engine attached this is the final safe-execute
+        gate: the SQL is re-validated (with whatever tenant context the
+        caller has) immediately before it reaches the database.
+        """
         return execute_with_budget(
             self.database,
             sql,
             timeout_s=self.execution_timeout_s,
             max_rows=self.execution_max_rows,
+            policy=self.policy,
+            tenant_id=tenant_id,
         )
 
     def translate_fallback(

@@ -28,12 +28,14 @@ import time
 from dataclasses import dataclass, field
 
 from repro.concurrency import make_lock
-from repro.errors import ReproError
+from repro.errors import ReproError, TranslationError
 from repro.pipeline.timing import STAGES
 from repro.pipeline.valuenet import TranslationResult
+from repro.policy.engine import PolicyViolationError
 from repro.serving.cache import CacheKey, TranslationCache
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.runtime import DatabaseRuntime
+from repro.sql.dialect import DEFAULT_DIALECT, get_dialect
 from repro.tenancy.scheduler import FairQueue, LaneBacklogFull
 
 
@@ -71,10 +73,16 @@ class ServeResponse:
     service_ms: float = 0.0
     batch_size: int = 1
     tenant_id: str | None = None
+    dialect: str = DEFAULT_DIALECT
+    policy: dict | None = None  # structured violations when policy-blocked
 
     @property
     def ok(self) -> bool:
         return self.sql is not None and self.error is None
+
+    @property
+    def policy_blocked(self) -> bool:
+        return self.policy is not None
 
     def as_dict(self) -> dict:
         return {
@@ -92,6 +100,8 @@ class ServeResponse:
             "service_ms": self.service_ms,
             "batch_size": self.batch_size,
             "tenant_id": self.tenant_id,
+            "dialect": self.dialect,
+            "policy": self.policy,
         }
 
     @classmethod
@@ -119,6 +129,8 @@ class ServeResponse:
             service_ms=float(payload.get("service_ms", 0.0)),
             batch_size=int(payload.get("batch_size", 1)),
             tenant_id=payload.get("tenant_id"),
+            dialect=payload.get("dialect", DEFAULT_DIALECT),
+            policy=payload.get("policy"),
         )
 
 
@@ -135,6 +147,7 @@ class ServeRequest:
     enqueued_at: float
     tenant_id: str | None = None
     tenant_weight: int = 1
+    dialect: str = DEFAULT_DIALECT
     done: threading.Event = field(default_factory=threading.Event)
     response: ServeResponse | None = None
 
@@ -173,6 +186,12 @@ class TranslationService:
             the HTTP front-end consults for auth/rate/quota admission
             and the ``/tenants`` endpoints.  The service itself only
             schedules by tenant; enforcement happens at the front door.
+        policy: optional :class:`~repro.policy.engine.PolicyEngine`.
+            Every response's SQL (model, fallback, or cached) is
+            validated with the request's tenant context before it is
+            returned or executed; violations produce a structured
+            ``policy`` payload (HTTP maps it to 403) and increment the
+            tenant-labeled ``policy_blocked_total`` counter.
         max_batch: micro-batch cap per worker dequeue.
         batch_window_ms: how long a worker waits to fill a batch after
             its first request.
@@ -209,6 +228,7 @@ class TranslationService:
         ready: bool = True,
         allow_empty: bool = False,
         tenancy=None,
+        policy=None,
     ):
         if not runtimes and not allow_empty:
             raise ValueError("need at least one DatabaseRuntime")
@@ -225,6 +245,9 @@ class TranslationService:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.allow_failure_injection = allow_failure_injection
         self.tenancy = tenancy
+        self.policy = policy
+        if policy is not None:
+            policy.bind_metrics(self.metrics)
         self._queue = FairQueue(
             maxsize=queue_size, per_lane_limit=per_tenant_depth
         )
@@ -439,6 +462,7 @@ class TranslationService:
         inject_failure: bool = False,
         tenant_id: str | None = None,
         tenant_weight: int = 1,
+        dialect: str | None = None,
     ) -> ServeRequest:
         """Enqueue a request; returns immediately with the in-flight handle.
 
@@ -446,7 +470,9 @@ class TranslationService:
         database.  ``tenant_id``/``tenant_weight`` place the request on
         the tenant's fair-queue lane (anonymous traffic shares one lane),
         so a backlogged tenant is drained at its priority-class weight
-        instead of FIFO order.
+        instead of FIFO order.  ``dialect`` selects the SQL dialect of
+        the response (``sqlite`` / ``postgres`` / ``mysql``); when
+        omitted, the target database's configured default applies.
         """
         if self._stopping:
             raise ServiceStoppedError("service is stopping")
@@ -462,6 +488,13 @@ class TranslationService:
                 + ", ".join(sorted(self.runtimes))
             )
         runtime = self.runtimes[database_id]
+        if dialect is None:
+            dialect = getattr(runtime, "dialect", None)
+        try:
+            dialect_name = get_dialect(dialect).name
+        except TranslationError as exc:
+            # Surfaced as a 400 by the HTTP layer (bad request parameter).
+            raise ValueError(str(exc)) from None
         now = time.monotonic()
         timeout_s = (
             timeout_ms if timeout_ms is not None else self.default_timeout_ms
@@ -476,6 +509,7 @@ class TranslationService:
             enqueued_at=now,
             tenant_id=tenant_id,
             tenant_weight=max(1, int(tenant_weight)),
+            dialect=dialect_name,
         )
         try:
             self._queue.push(
@@ -597,9 +631,13 @@ class TranslationService:
                 queue_ms=1000.0 * queue_wait,
                 batch_size=size,
                 tenant_id=request.tenant_id,
+                dialect=request.dialect,
             )
             key = CacheKey.make(
-                request.database_id, request.question, request.beam_size
+                request.database_id,
+                request.question,
+                request.beam_size,
+                request.dialect,
             )
             cached = self.cache.get(key)
             if cached is not None:
@@ -608,9 +646,19 @@ class TranslationService:
                 response.timings = dict(cached["timings"])
                 response.engine = "cache"
                 response.cache_hit = True
+                # Policy configs differ per tenant, so a cached answer is
+                # re-checked with THIS request's tenant context (on the
+                # canonical SQLite form, which the AST rules parse).
+                execute_sql = cached.get("execute_sql", cached["sql"])
+                blocked = self._check_policy(runtime, request, response, execute_sql)
+                if not blocked and request.execute:
+                    self._execute_rows(
+                        runtime,
+                        response,
+                        sql=execute_sql,
+                        tenant_id=request.tenant_id,
+                    )
                 response.service_ms = 1000.0 * (time.monotonic() - picked_up)
-                if request.execute:
-                    self._execute_rows(runtime, response)
                 self._record(response)
                 request.resolve(response)
                 continue
@@ -696,6 +744,16 @@ class TranslationService:
             response.error = result.error
         response.timings = result.timings.as_dict()
 
+        # Policy runs on the canonical SQLite form (what would execute);
+        # only a clean query is re-rendered into the requested dialect.
+        sqlite_sql = response.sql
+        if self._check_policy(runtime, request, response, sqlite_sql):
+            response.rows = None  # discard anything executed upstream
+        elif request.dialect != DEFAULT_DIALECT and sqlite_sql is not None:
+            response.sql = self._render_for_dialect(
+                runtime, request, response, sqlite_sql
+            )
+
         finished = time.monotonic()
         if (
             response.engine == "model"
@@ -709,16 +767,99 @@ class TranslationService:
 
         if response.ok and not response.degraded:
             self.cache.put(
-                entry.key, {"sql": response.sql, "timings": response.timings}
+                entry.key,
+                {
+                    "sql": response.sql,
+                    # Canonical form for re-execution and policy re-checks
+                    # on later cache hits (== sql for the SQLite dialect).
+                    "execute_sql": sqlite_sql,
+                    "timings": response.timings,
+                },
             )
 
-    def _execute_rows(self, runtime: DatabaseRuntime, response: ServeResponse) -> None:
+    def _check_policy(
+        self,
+        runtime: DatabaseRuntime,
+        request: ServeRequest,
+        response: ServeResponse,
+        sql: str | None,
+    ) -> bool:
+        """Validate ``sql`` for this request's tenant; True when blocked.
+
+        A blocked response carries the structured violations in
+        ``response.policy`` (the HTTP layer maps it to a 403 with the
+        machine-readable rule id) and the engine counts it in the
+        tenant-labeled ``policy_blocked_total`` metric.
+        """
+        if self.policy is None or sql is None:
+            return False
+        database = getattr(runtime, "database", None)  # test fakes lack it
         try:
+            self.policy.check_sql(
+                sql,
+                database_id=request.database_id,
+                tenant_id=request.tenant_id,
+                schema=database.schema if database is not None else None,
+                graph=getattr(runtime, "schema_graph", None),
+            )
+        except PolicyViolationError as exc:
+            response.policy = exc.as_dict()
+            response.error = str(exc)
+            return True
+        return False
+
+    def _render_for_dialect(
+        self,
+        runtime: DatabaseRuntime,
+        request: ServeRequest,
+        response: ServeResponse,
+        sqlite_sql: str,
+    ) -> str | None:
+        """Re-render canonical SQLite SQL into the requested dialect.
+
+        Returns the rendered SQL, or ``None`` with ``response.error`` set
+        when the generated SQL cannot be re-parsed (outside our subset).
+        """
+        database = getattr(runtime, "database", None)
+        graph = getattr(runtime, "schema_graph", None)
+        if database is None or graph is None:
+            response.error = (
+                f"dialect {request.dialect!r} unavailable: runtime has no schema"
+            )
+            return None
+        from repro.sql.parser import parse_sql
+        from repro.sql.render import render_sql
+
+        try:
+            query = parse_sql(sqlite_sql, database.schema)
+            return render_sql(query, graph, request.dialect)
+        except ReproError as exc:
+            response.error = f"dialect rendering failed: {exc}"
+            return None
+
+    def _execute_rows(
+        self,
+        runtime: DatabaseRuntime,
+        response: ServeResponse,
+        *,
+        sql: str | None = None,
+        tenant_id: str | None = None,
+    ) -> None:
+        target = sql if sql is not None else response.sql
+        try:
+            if isinstance(runtime, DatabaseRuntime):
+                response.rows = runtime.execute_sql(target, tenant_id=tenant_id)
+                return
             execute = getattr(runtime, "execute_sql", None)  # test fakes lack it
             if execute is not None:
-                response.rows = execute(response.sql)
+                response.rows = execute(target)
             else:
-                response.rows = runtime.database.execute(response.sql)
+                response.rows = runtime.database.execute(target)
+        except PolicyViolationError as exc:
+            # The runtime-level final gate fired (only reachable when the
+            # service itself has no engine but the runtime does).
+            response.policy = exc.as_dict()
+            response.error = str(exc)
         except Exception as exc:
             self._execution_errors.inc()
             response.error = f"execution failed: {exc}"

@@ -1,0 +1,237 @@
+"""Pluggable SQL dialects: quoting, escaping, LIMIT and LIKE semantics.
+
+The renderer (:mod:`repro.sql.render`) walks the AST once and delegates
+every surface decision that differs between engines to a
+:class:`Dialect`:
+
+* **identifier quoting** — bare identifiers stay bare (that is what the
+  byte-equality lock against the legacy SQLite renderer requires); an
+  identifier that is not a safe bare word, or that collides with a
+  reserved word of the target engine, is quoted with the dialect's
+  quote character (``"`` for SQLite/PostgreSQL, backtick for MySQL).
+* **string-literal escaping** — all three dialects double embedded
+  single quotes.  MySQL additionally treats backslash as an escape
+  character (``NO_BACKSLASH_ESCAPES`` off, the default), so backslashes
+  are doubled and NUL renders as ``\\0``.  PostgreSQL text values cannot
+  contain NUL at all — rendering one raises instead of emitting a
+  literal that the server would reject with a confusing parse error.
+  SQLite string literals cannot *express* NUL, but TEXT values may
+  contain it, so the SQLite dialect falls back to a hex-blob cast.
+* **LIMIT/OFFSET form** — all three supported engines accept
+  ``LIMIT n``; the hook exists so a ``TOP n``/``FETCH FIRST`` engine
+  can be added without touching the renderer.
+* **LIKE case semantics** — SQLite's ``LIKE`` is case-insensitive for
+  ASCII (and MySQL's default collation behaves the same), which is the
+  semantics ValueNet's value grounding was built against.  PostgreSQL's
+  ``LIKE`` is case-*sensitive*, so the Postgres dialect renders
+  ``LIKE``/``NOT LIKE`` as ``ILIKE``/``NOT ILIKE`` to preserve query
+  meaning across backends.
+* **boolean / NULL rendering** — SQLite has no boolean literals
+  (``1``/``0``); PostgreSQL and MySQL render ``TRUE``/``FALSE``.
+  ``None`` renders as ``NULL`` everywhere.
+
+Dialects are stateless; module-level singletons are handed out by
+:func:`get_dialect`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import TranslationError
+from repro.sql.ast import Operator
+
+#: An identifier that may be emitted without quoting in any dialect.
+_SAFE_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class Dialect:
+    """Base dialect: SQLite-compatible defaults, subclass per engine.
+
+    Subclasses override the class attributes (and, rarely, the escape
+    methods); the renderer only ever calls the public methods.
+    """
+
+    #: Registry / selection name (``dialect=`` on requests and configs).
+    name = "generic"
+    #: Character wrapping quoted identifiers (doubled to escape).
+    identifier_quote = '"'
+    #: Reserved words that force identifier quoting even for safe words.
+    reserved_words: frozenset[str] = frozenset()
+    #: Whether backslash is an escape character inside string literals.
+    backslash_escapes = False
+    #: Whether the engine's LIKE is case-insensitive (ASCII) by default.
+    like_is_case_insensitive = True
+
+    # -------------------------------------------------------- identifiers
+
+    def quote_identifier(self, name: str) -> str:
+        """Quote ``name`` only when required.
+
+        Safe bare words that are not reserved stay bare — the SQLite
+        dialect therefore reproduces the legacy renderer byte for byte
+        on every identifier the Spider-subset parser can produce.
+        """
+        if _SAFE_IDENTIFIER_RE.match(name) and name.lower() not in self.reserved_words:
+            return name
+        quote = self.identifier_quote
+        return quote + name.replace(quote, quote + quote) + quote
+
+    # ------------------------------------------------------------ strings
+
+    def quote_string(self, value: str) -> str:
+        """Render ``value`` as a string literal for this dialect."""
+        if "\x00" in value:
+            return self._quote_string_with_nul(value)
+        escaped = value.replace("'", "''")
+        if self.backslash_escapes:
+            # Order matters: double backslashes first, then quotes would
+            # be wrong (the doubled quote contains no backslash, but a
+            # pre-existing backslash-quote pair must not merge) — so
+            # backslashes are doubled on the raw value before quote
+            # doubling, which never introduces new backslashes.
+            escaped = value.replace("\\", "\\\\").replace("'", "''")
+        return "'" + escaped + "'"
+
+    def _quote_string_with_nul(self, value: str) -> str:
+        raise TranslationError(
+            f"dialect {self.name!r} cannot represent NUL inside a string literal"
+        )
+
+    # ----------------------------------------------------------- literals
+
+    def render_boolean(self, value: bool) -> str:
+        return "TRUE" if value else "FALSE"
+
+    def render_null(self) -> str:
+        return "NULL"
+
+    # ---------------------------------------------------------- operators
+
+    def render_operator(self, operator: Operator) -> str:
+        """The SQL spelling of a comparison operator in this dialect."""
+        return operator.value.upper()
+
+    # -------------------------------------------------------------- forms
+
+    def render_limit(self, limit: int) -> str:
+        return f"LIMIT {int(limit)}"
+
+
+class SqliteDialect(Dialect):
+    """SQLite: the source-of-truth dialect the legacy renderer emitted.
+
+    Output is byte-identical to the pre-dialect renderer for every query
+    the parser accepts (bare identifiers, ``''`` quote doubling, literal
+    backslashes, ``LIMIT n``).
+    """
+
+    name = "sqlite"
+    # No reserved-word quoting: the legacy renderer never quoted, and the
+    # parser cannot produce identifiers that collide with keywords.
+    reserved_words = frozenset()
+
+    def _quote_string_with_nul(self, value: str) -> str:
+        # A SQLite string literal cannot express NUL, but a TEXT value
+        # can hold one: cast the UTF-8 bytes through a hex blob.
+        return f"CAST(X'{value.encode('utf-8').hex()}' AS TEXT)"
+
+
+class PostgresDialect(Dialect):
+    """PostgreSQL (``standard_conforming_strings = on``, the default).
+
+    ``LIKE`` is case-sensitive in PostgreSQL; rendering it as ``ILIKE``
+    preserves the SQLite semantics the model was trained against.
+    """
+
+    name = "postgres"
+    reserved_words = frozenset({
+        "all", "analyse", "analyze", "and", "any", "array", "as", "asc",
+        "asymmetric", "both", "case", "cast", "check", "collate", "column",
+        "constraint", "create", "current_date", "current_time",
+        "current_timestamp", "current_user", "default", "deferrable", "desc",
+        "distinct", "do", "else", "end", "except", "false", "for", "foreign",
+        "from", "grant", "group", "having", "in", "initially", "intersect",
+        "into", "leading", "limit", "localtime", "localtimestamp", "not",
+        "null", "offset", "on", "only", "or", "order", "placing", "primary",
+        "references", "returning", "select", "session_user", "some",
+        "symmetric", "table", "then", "to", "trailing", "true", "union",
+        "unique", "user", "using", "when", "where", "window", "with",
+    })
+    like_is_case_insensitive = False
+
+    def render_operator(self, operator: Operator) -> str:
+        if operator is Operator.LIKE:
+            return "ILIKE"
+        if operator is Operator.NOT_LIKE:
+            return "NOT ILIKE"
+        return super().render_operator(operator)
+
+
+class MysqlDialect(Dialect):
+    """MySQL / MariaDB (``NO_BACKSLASH_ESCAPES`` off, the default)."""
+
+    name = "mysql"
+    identifier_quote = "`"
+    reserved_words = frozenset({
+        "add", "all", "alter", "and", "as", "asc", "before", "between",
+        "bigint", "binary", "blob", "both", "by", "case", "change", "char",
+        "check", "collate", "column", "condition", "constraint", "continue",
+        "convert", "create", "cross", "current_date", "current_time",
+        "current_timestamp", "current_user", "database", "databases",
+        "decimal", "declare", "default", "delete", "desc", "describe",
+        "distinct", "div", "double", "drop", "else", "enclosed", "escaped",
+        "exists", "exit", "explain", "false", "fetch", "float", "for",
+        "force", "foreign", "from", "fulltext", "grant", "group", "having",
+        "if", "ignore", "in", "index", "inner", "insert", "int", "integer",
+        "interval", "into", "is", "join", "key", "keys", "leading", "left",
+        "like", "limit", "lock", "long", "match", "modifies", "natural",
+        "not", "null", "on", "optimize", "option", "or", "order", "outer",
+        "primary", "procedure", "range", "read", "references", "regexp",
+        "rename", "repeat", "replace", "require", "restrict", "return",
+        "revoke", "right", "schema", "select", "set", "show", "table",
+        "terminated", "then", "to", "trailing", "true", "trigger", "union",
+        "unique", "unsigned", "update", "usage", "use", "using", "values",
+        "varchar", "when", "where", "while", "with", "write", "xor",
+    })
+    backslash_escapes = True
+
+    def _quote_string_with_nul(self, value: str) -> str:
+        rendered = (
+            value.replace("\\", "\\\\").replace("'", "''").replace("\x00", "\\0")
+        )
+        return "'" + rendered + "'"
+
+
+_DIALECTS: dict[str, Dialect] = {
+    d.name: d for d in (SqliteDialect(), PostgresDialect(), MysqlDialect())
+}
+
+DEFAULT_DIALECT = "sqlite"
+
+
+def dialect_names() -> tuple[str, ...]:
+    """Selectable dialect names, stable order."""
+    return tuple(sorted(_DIALECTS))
+
+
+def get_dialect(dialect: str | Dialect | None) -> Dialect:
+    """Resolve a dialect by name (``None`` -> SQLite).
+
+    Accepts a :class:`Dialect` instance unchanged so callers can pass
+    either form.
+
+    Raises:
+        TranslationError: for unknown dialect names (the serving layer
+            maps this to a 400, never a 500).
+    """
+    if dialect is None:
+        return _DIALECTS[DEFAULT_DIALECT]
+    if isinstance(dialect, Dialect):
+        return dialect
+    found = _DIALECTS.get(str(dialect).lower())
+    if found is None:
+        raise TranslationError(
+            f"unknown SQL dialect {dialect!r} (known: {', '.join(dialect_names())})"
+        )
+    return found

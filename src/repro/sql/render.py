@@ -1,4 +1,4 @@
-"""Render the SQL AST into executable SQLite SQL.
+"""Render the SQL AST into executable SQL for a target dialect.
 
 The renderer performs the deterministic post-processing the paper describes
 in Section III-C: it infers the full JOIN path over the PK/FK schema graph
@@ -8,6 +8,12 @@ cross join and the query result would be wrong.
 
 Tables receive aliases ``T1 .. Tn`` (matching the Spider gold-query style)
 whenever more than one table participates in a FROM clause.
+
+Everything that differs between engines — identifier quoting, string
+escaping, operator spelling (``LIKE`` vs ``ILIKE``), the LIMIT form —
+is delegated to a :class:`repro.sql.dialect.Dialect`.  The default
+SQLite dialect reproduces the legacy renderer byte for byte; that lock
+is enforced by the differential suite in ``tests/test_dialect.py``.
 """
 
 from __future__ import annotations
@@ -27,28 +33,44 @@ from repro.sql.ast import (
     SelectItem,
     SelectQuery,
 )
+from repro.sql.dialect import Dialect, get_dialect
 
 
-def quote_string(value: str) -> str:
-    """Quote a string literal for SQLite (single quotes, doubled to escape)."""
-    return "'" + value.replace("'", "''") + "'"
+def quote_string(value: str, dialect: str | Dialect | None = None) -> str:
+    """Quote a string literal for ``dialect`` (default SQLite)."""
+    return get_dialect(dialect).quote_string(value)
 
 
-def render_literal(literal: Literal) -> str:
-    """Render a literal: numbers bare, strings quoted."""
+def render_literal(literal: Literal, dialect: str | Dialect | None = None) -> str:
+    """Render a literal: numbers bare, strings quoted per dialect."""
+    resolved = get_dialect(dialect)
+    value = literal.value
+    if isinstance(value, bool):
+        return resolved.render_boolean(value)
+    if value is None:
+        return resolved.render_null()
     if literal.is_number():
-        value = literal.value
         if isinstance(value, float) and value.is_integer():
             return str(int(value))
         return str(value)
-    return quote_string(str(literal.value))
+    return resolved.quote_string(str(value))
+
+
+def render_sql(query: Query, graph: SchemaGraph, dialect: str | Dialect | None = None) -> str:
+    """Render ``query`` against ``graph`` in the given dialect (default SQLite)."""
+    return SqlRenderer(graph, dialect=dialect).render(query)
 
 
 class SqlRenderer:
-    """Stateless renderer bound to one schema graph."""
+    """Stateless renderer bound to one schema graph and one dialect."""
 
-    def __init__(self, graph: SchemaGraph):
+    def __init__(self, graph: SchemaGraph, dialect: str | Dialect | None = None):
         self._graph = graph
+        self._dialect = get_dialect(dialect)
+
+    @property
+    def dialect(self) -> Dialect:
+        return self._dialect
 
     # ------------------------------------------------------------- public
 
@@ -80,7 +102,7 @@ class SqlRenderer:
         if query.order_by is not None:
             parts.append(self._render_order_by(query.order_by, aliases))
         if query.limit is not None:
-            parts.append(f"LIMIT {query.limit}")
+            parts.append(self._dialect.render_limit(query.limit))
         return " ".join(parts)
 
     @staticmethod
@@ -114,25 +136,29 @@ class SqlRenderer:
         if column.is_star() and column.table is None:
             return "*"
         if column.table is None:
-            return column.column
+            return self._dialect.quote_identifier(column.column)
         alias = aliases.get(column.table.lower())
         if alias is None:
             # Column references a table outside the FROM clause; render it
             # qualified with the raw table name so the error is visible in
             # the SQL instead of silently mis-binding.
             alias = column.table
-        return f"{alias}.{column.column}"
+        quoted_alias = self._dialect.quote_identifier(alias)
+        return f"{quoted_alias}.{self._dialect.quote_identifier(column.column)}"
 
     def _render_from_clause(self, plan, aliases: dict[str, str]) -> str:
+        quote = self._dialect.quote_identifier
         first = plan.tables[0]
         if len(plan.tables) == 1:
-            return f"FROM {first}"
-        rendered = [f"FROM {first} AS {aliases[first.lower()]}"]
+            return f"FROM {quote(first)}"
+        rendered = [f"FROM {quote(first)} AS {quote(aliases[first.lower()])}"]
         for table, edge in zip(plan.tables[1:], plan.edges):
-            left_alias = aliases[edge.left_table.lower()]
-            right_alias = aliases[edge.right_table.lower()]
+            left_alias = quote(aliases[edge.left_table.lower()])
+            right_alias = quote(aliases[edge.right_table.lower()])
             condition = edge.condition(left_alias, right_alias)
-            rendered.append(f"JOIN {table} AS {aliases[table.lower()]} ON {condition}")
+            rendered.append(
+                f"JOIN {quote(table)} AS {quote(aliases[table.lower()])} ON {condition}"
+            )
         return " ".join(rendered)
 
     def _render_condition(self, expr: ConditionExpr, aliases: dict[str, str]) -> str:
@@ -151,15 +177,17 @@ class SqlRenderer:
         column = self._render_column(condition.column, aliases)
         if condition.aggregate is not AggregateFunction.NONE:
             column = f"{condition.aggregate.value.upper()}({column})"
-        operator = condition.operator.value.upper()
+        operator = self._dialect.render_operator(condition.operator)
 
         rhs = condition.rhs
         if isinstance(rhs, tuple):
             low, high = rhs
-            return f"{column} BETWEEN {render_literal(low)} AND {render_literal(high)}"
+            low_sql = render_literal(low, self._dialect)
+            high_sql = render_literal(high, self._dialect)
+            return f"{column} BETWEEN {low_sql} AND {high_sql}"
         if isinstance(rhs, Query):
             return f"{column} {operator} ({self.render(rhs)})"
-        return f"{column} {operator} {render_literal(rhs)}"
+        return f"{column} {operator} {render_literal(rhs, self._dialect)}"
 
     def _render_order_by(self, order_by: OrderBy, aliases: dict[str, str]) -> str:
         items = ", ".join(
