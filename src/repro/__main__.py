@@ -190,7 +190,7 @@ def _build_policy(args, metrics=None):
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
-    from repro.serving import ServingServer
+    from repro.serving import AsyncServingServer, ServingServer
 
     pairs = _parse_database_specs(args.databases)
     shutdown = threading.Event()
@@ -198,9 +198,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     # Bind the port before the (possibly long) warm-up: /livez answers
     # immediately, /readyz answers 503 until the service is attached.
-    server = ServingServer((args.host, args.port), None)
+    server_cls = (
+        AsyncServingServer if args.http_impl == "async" else ServingServer
+    )
+    server = server_cls((args.host, args.port), None)
     engine = "model" if args.model is not None else "heuristic-only"
-    print(f"listening on {server.url} [{engine}] — warming up ...")
+    print(f"listening on {server.url} [{engine}/{args.http_impl}] — warming up ...")
 
     if args.workers > 0:
         return _serve_cluster(args, pairs, server, shutdown)
@@ -378,6 +381,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--http-impl", default="threaded", choices=("threaded", "async"),
+        help="HTTP front door: 'threaded' = stdlib thread-per-connection "
+             "(default, battle-tested fallback); 'async' = selectors-based "
+             "non-blocking event loop (keep-alive/pipelining, slowloris "
+             "deadlines, bounded connections). Same routes either way.",
+    )
     serve.add_argument(
         "--workers", type=int, default=0, metavar="N",
         help="worker PROCESSES for cluster serving (sharded by database, "

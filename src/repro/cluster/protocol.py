@@ -1,9 +1,35 @@
-"""Length-prefixed JSON IPC between the cluster supervisor and workers.
+"""Zero-copy framed IPC between the cluster supervisor and workers.
 
-Every frame on the wire is ``4-byte big-endian length || UTF-8 JSON
-object``.  The object always carries a ``"type"`` field; request/response
-frames additionally carry an ``"id"`` so many requests can be in flight
-on one connection and answers may arrive out of order.
+Every frame on the wire is ``4-byte big-endian length || payload``.  Two
+payload encodings share that envelope, distinguished by the first
+payload byte:
+
+* **JSON** (first byte ``{`` — i.e. any ``json.dumps`` of an object):
+  the original wire format, still produced by :func:`send_frame` and by
+  :class:`FrameConnection` when the binary fast path is off.
+* **Binary fast path** (first byte ``0x00``, opt-in per sender):
+  ``0x00 || 4-byte header length || JSON header || (4-byte blob length
+  || blob bytes)*``.  Large string fields and all ``bytes`` fields are
+  lifted out of the message before JSON encoding and shipped as raw
+  length-prefixed blobs, so multi-kilobyte payloads (candidate lists,
+  encoder features, result rows) are not round-tripped through
+  ``json.dumps`` character escaping.  The header is the message with
+  each lifted field replaced by a placeholder; the receiver re-inflates
+  it.  Receivers always understand both encodings, so the fast path
+  needs no handshake — enabling it is purely a sender-side choice.
+
+The object always carries a ``"type"`` field; request/response frames
+additionally carry an ``"id"`` so many requests can be in flight on one
+connection and answers may arrive out of order.
+
+:class:`FrameConnection` is the performant way to speak the protocol:
+it keeps one preallocated, geometrically-grown receive buffer per
+connection (``recv_into`` on ``memoryview`` slices — no per-chunk
+``bytes`` churn or reassembly joins) and writes each frame with a
+single gathered ``sendmsg`` syscall referencing blob ``memoryview``\\ s
+(no concatenation copy).  A reader interrupted mid-frame — EINTR, a
+socket timeout, a one-byte-at-a-time peer — resumes cleanly on the next
+call: partial frame state lives on the connection, not the stack.
 
 Deadlines cross the process boundary as a *remaining budget* in seconds
 (``budget_s``), not as an absolute timestamp: each side re-anchors the
@@ -43,6 +69,20 @@ _LENGTH = struct.Struct("!I")
 # a protocol bug (e.g. unbounded result rows), not a legitimate message.
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 
+# First payload byte of a binary fast-path frame.  JSON payloads always
+# start with "{" (0x7B), so the tag can never collide.
+BINARY_TAG = 0x00
+
+# Strings at least this long are shipped as raw UTF-8 blobs instead of
+# being escaped through json.dumps.  Short strings stay inline: the
+# placeholder + length prefix would cost more than the escaping.
+BLOB_THRESHOLD = 1024
+
+# Placeholder key marking a lifted field inside the binary header.  The
+# NUL prefix keeps it out of the space of real field names; encoders
+# refuse messages that happen to contain it rather than mis-decode.
+_BLOB_KEY = "\x00blob"
+
 
 class ProtocolError(ReproError):
     """Malformed or oversized frame, or a closed peer mid-frame."""
@@ -52,47 +92,281 @@ class PeerClosedError(ProtocolError):
     """The other end closed the connection at a frame boundary."""
 
 
-def send_frame(sock: socket.socket, message: dict) -> None:
-    """Serialize ``message`` and write one length-prefixed frame."""
-    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
-    if len(body) > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"refusing to send {len(body)} byte frame (max {MAX_FRAME_BYTES})"
-        )
-    sock.sendall(_LENGTH.pack(len(body)) + body)
+# ----------------------------------------------------------- blob lifting
 
 
-def _recv_exact(sock: socket.socket, count: int) -> bytes:
-    """Read exactly ``count`` bytes or raise on EOF."""
-    chunks: list[bytes] = []
-    remaining = count
-    while remaining > 0:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            if not chunks and remaining == count:
-                raise PeerClosedError("peer closed the connection")
-            raise ProtocolError(
-                f"peer closed mid-frame ({count - remaining}/{count} bytes)"
-            )
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+def _lift_blobs(value, blobs: list[bytes]):
+    """Replace large strings / all bytes in ``value`` with placeholders.
+
+    Returns the (possibly rebuilt) JSON-safe structure; lifted payloads
+    are appended to ``blobs`` in placeholder-index order.
+    """
+    if isinstance(value, str):
+        if len(value) >= BLOB_THRESHOLD:
+            blobs.append(value.encode("utf-8"))
+            return {_BLOB_KEY: [len(blobs) - 1, "s"]}
+        return value
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        blobs.append(bytes(value))
+        return {_BLOB_KEY: [len(blobs) - 1, "b"]}
+    if isinstance(value, dict):
+        if _BLOB_KEY in value:
+            raise ProtocolError("message contains the reserved blob key")
+        return {key: _lift_blobs(item, blobs) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_lift_blobs(item, blobs) for item in value]
+    return value
 
 
-def recv_frame(sock: socket.socket) -> dict:
-    """Read one frame; raises :class:`PeerClosedError` on clean EOF."""
-    header = _recv_exact(sock, _LENGTH.size)
-    (length,) = _LENGTH.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"{length} byte frame exceeds {MAX_FRAME_BYTES}")
-    body = _recv_exact(sock, length) if length else b""
+def _restore_blobs(value, blobs: list[memoryview]):
+    """Inverse of :func:`_lift_blobs` over a decoded binary header."""
+    if isinstance(value, dict):
+        placeholder = value.get(_BLOB_KEY)
+        if placeholder is not None and len(value) == 1:
+            index, kind = placeholder
+            blob = blobs[index]
+            return str(blob, "utf-8") if kind == "s" else bytes(blob)
+        return {key: _restore_blobs(item, blobs) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_restore_blobs(item, blobs) for item in value]
+    return value
+
+
+def _encode_payload_views(message: dict, *, binary: bool) -> list:
+    """Encode ``message`` as a list of buffer views (without the length
+    envelope); the caller prefixes the total length and gathers them
+    into one write."""
+    if not binary:
+        return [json.dumps(message, separators=(",", ":")).encode("utf-8")]
+    blobs: list[bytes] = []
+    header = json.dumps(
+        _lift_blobs(message, blobs), separators=(",", ":")
+    ).encode("utf-8")
+    if not blobs:
+        # Nothing lifted: plain JSON is smaller and faster to decode.
+        return [header]
+    views: list = [bytes((BINARY_TAG,)) + _LENGTH.pack(len(header)), header]
+    for blob in blobs:
+        views.append(_LENGTH.pack(len(blob)))
+        views.append(memoryview(blob))
+    return views
+
+
+def _decode_payload(view) -> dict:
+    """Decode one frame payload (memoryview or bytes), either encoding."""
+    if len(view) == 0:
+        raise ProtocolError("empty frame payload")
+    view = memoryview(view)
     try:
-        message = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        if view[0] == BINARY_TAG:
+            if len(view) < 1 + _LENGTH.size:
+                raise ProtocolError("truncated binary frame header")
+            (header_len,) = _LENGTH.unpack_from(view, 1)
+            offset = 1 + _LENGTH.size
+            if offset + header_len > len(view):
+                raise ProtocolError("binary frame header exceeds payload")
+            header = json.loads(str(view[offset:offset + header_len], "utf-8"))
+            offset += header_len
+            blobs: list[memoryview] = []
+            while offset < len(view):
+                if offset + _LENGTH.size > len(view):
+                    raise ProtocolError("truncated blob length prefix")
+                (blob_len,) = _LENGTH.unpack_from(view, offset)
+                offset += _LENGTH.size
+                if offset + blob_len > len(view):
+                    raise ProtocolError("blob exceeds frame payload")
+                blobs.append(view[offset:offset + blob_len])
+                offset += blob_len
+            message = _restore_blobs(header, blobs)
+        else:
+            # str() decodes straight from the buffer — no bytes() copy.
+            message = json.loads(str(view, "utf-8"))
+    except ProtocolError:
+        raise
+    except (UnicodeDecodeError, json.JSONDecodeError, ValueError,
+            IndexError, TypeError) as exc:
         raise ProtocolError(f"invalid frame payload: {exc}") from exc
     if not isinstance(message, dict) or not isinstance(message.get("type"), str):
         raise ProtocolError("frame must be a JSON object with a string 'type'")
     return message
+
+
+# --------------------------------------------------------- gathered writes
+
+
+def _sendmsg_all(sock: socket.socket, views: list) -> None:
+    """Write every view with as few syscalls as possible (EINTR-safe)."""
+    pending = [memoryview(v) for v in views if len(v)]
+    use_sendmsg = hasattr(sock, "sendmsg")
+    while pending:
+        try:
+            if use_sendmsg:
+                sent = sock.sendmsg(pending)
+            else:  # pragma: no cover - platforms without sendmsg
+                sent = sock.send(pending[0])
+        except InterruptedError:  # pragma: no cover - EINTR resume
+            continue
+        while sent > 0:
+            head = pending[0]
+            if sent >= len(head):
+                sent -= len(head)
+                pending.pop(0)
+            else:
+                pending[0] = head[sent:]
+                sent = 0
+
+
+# ------------------------------------------------------ framed connection
+
+
+class FrameConnection:
+    """One framed peer connection with reusable zero-copy buffers.
+
+    ``send`` and ``recv`` are independently single-threaded: one thread
+    may read while another writes (they touch disjoint state), but
+    concurrent senders must serialize externally (the cluster already
+    holds a send lock per connection), as must concurrent readers.
+
+    The receive buffer is preallocated and grown geometrically, never
+    shrunk: a connection that once saw a large frame reads every later
+    frame with zero allocations.  Partial-frame state survives
+    ``recv()`` raising (EINTR surfacing, socket timeouts): the next call
+    resumes exactly where the interrupted one stopped.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        binary: bool = False,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        initial_buffer: int = 64 * 1024,
+    ):
+        self.sock = sock
+        self.binary = binary
+        self.max_frame_bytes = max_frame_bytes
+        self._recv_buf = bytearray(initial_buffer)
+        self._recv_have = 0          # bytes of the current frame received
+        self._body_len: int | None = None  # parsed length header, if any
+
+    # ------------------------------------------------------------- sending
+
+    def send(self, message: dict) -> None:
+        """Serialize ``message`` and write one frame (single syscall in
+        the common case, via ``sendmsg`` gather)."""
+        payload = _encode_payload_views(message, binary=self.binary)
+        total = sum(len(v) for v in payload)
+        if total > self.max_frame_bytes:
+            raise ProtocolError(
+                f"refusing to send {total} byte frame (max {self.max_frame_bytes})"
+            )
+        _sendmsg_all(self.sock, [_LENGTH.pack(total), *payload])
+
+    # ----------------------------------------------------------- receiving
+
+    def _fill(self, need: int) -> None:
+        """Top up the receive buffer to ``need`` bytes of the current
+        frame; resumable after EINTR/timeouts mid-frame."""
+        if len(self._recv_buf) < need:
+            grown = len(self._recv_buf)
+            while grown < need:
+                grown *= 2
+            buf = bytearray(grown)
+            buf[: self._recv_have] = self._recv_buf[: self._recv_have]
+            self._recv_buf = buf
+        view = memoryview(self._recv_buf)
+        while self._recv_have < need:
+            try:
+                count = self.sock.recv_into(view[self._recv_have:need])
+            except InterruptedError:  # pragma: no cover - EINTR resume
+                continue
+            if count == 0:
+                if self._recv_have == 0 and self._body_len is None:
+                    raise PeerClosedError("peer closed the connection")
+                raise ProtocolError(
+                    f"peer closed mid-frame ({self._recv_have}/{need} bytes)"
+                )
+            self._recv_have += count
+
+    def recv(self) -> dict:
+        """Read one frame; raises :class:`PeerClosedError` on clean EOF."""
+        if self._body_len is None:
+            self._fill(_LENGTH.size)
+            (length,) = _LENGTH.unpack_from(self._recv_buf, 0)
+            if length > self.max_frame_bytes:
+                raise ProtocolError(
+                    f"{length} byte frame exceeds {self.max_frame_bytes}"
+                )
+            if length == 0:
+                raise ProtocolError("empty frame payload")
+            self._body_len = length
+        total = _LENGTH.size + self._body_len
+        self._fill(total)
+        try:
+            return _decode_payload(
+                memoryview(self._recv_buf)[_LENGTH.size:total]
+            )
+        finally:
+            self._body_len = None
+            self._recv_have = 0
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------- one-shot module functions
+
+
+def send_frame(sock: socket.socket, message: dict, *, binary: bool = False) -> None:
+    """Serialize ``message`` and write one length-prefixed frame.
+
+    Stateless convenience for tests and one-off control messages; the
+    cluster's hot paths go through :class:`FrameConnection` instead.
+    """
+    payload = _encode_payload_views(message, binary=binary)
+    total = sum(len(v) for v in payload)
+    if total > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"refusing to send {total} byte frame (max {MAX_FRAME_BYTES})"
+        )
+    _sendmsg_all(sock, [_LENGTH.pack(total), *payload])
+
+
+def _recv_exact(sock: socket.socket, count: int, *, at_boundary: bool) -> bytearray:
+    """Read exactly ``count`` bytes into a fresh buffer or raise on EOF."""
+    buf = bytearray(count)
+    view = memoryview(buf)
+    have = 0
+    while have < count:
+        try:
+            got = sock.recv_into(view[have:])
+        except InterruptedError:  # pragma: no cover - EINTR resume
+            continue
+        if got == 0:
+            if have == 0 and at_boundary:
+                raise PeerClosedError("peer closed the connection")
+            raise ProtocolError(
+                f"peer closed mid-frame ({have}/{count} bytes)"
+            )
+        have += got
+    return buf
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Read one frame (either encoding); :class:`PeerClosedError` on
+    clean EOF.  Stateless — a timeout mid-frame loses the partial frame;
+    long-lived readers should hold a :class:`FrameConnection`."""
+    header = _recv_exact(sock, _LENGTH.size, at_boundary=True)
+    (length,) = _LENGTH.unpack(bytes(header))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"{length} byte frame exceeds {MAX_FRAME_BYTES}")
+    if length == 0:
+        raise ProtocolError("empty frame payload")
+    body = _recv_exact(sock, length, at_boundary=False)
+    return _decode_payload(memoryview(body))
 
 
 # --------------------------------------------------------- deadline budget

@@ -123,6 +123,7 @@ class _WorkerHandle:
         self.status = WorkerStatus.STOPPED
         self.proc: multiprocessing.process.BaseProcess | None = None
         self.sock: socket.socket | None = None
+        self.conn: protocol.FrameConnection | None = None
         self.incarnation = 0
         self.window = threading.Semaphore(config.max_inflight)
         self.dispatch: queue.Queue = queue.Queue(maxsize=config.dispatch_queue_size)
@@ -336,10 +337,10 @@ class ClusterService:
         with self._lock:
             for handle in self.handles:
                 handle.status = WorkerStatus.STOPPED
-                if handle.sock is not None:
+                if handle.conn is not None:
                     try:
                         with handle.send_lock:
-                            protocol.send_frame(handle.sock, protocol.shutdown_frame())
+                            handle.conn.send(protocol.shutdown_frame())
                     except OSError:
                         pass
         for handle in self.handles:
@@ -387,6 +388,10 @@ class ClusterService:
         parent, child = socket.socketpair()
         handle.incarnation += 1
         handle.sock = parent
+        # Binary fast path on by default: request frames are small, but
+        # the worker's responses (rows, candidates) ride the same class
+        # of connection, so both directions keep reusable buffers.
+        handle.conn = protocol.FrameConnection(parent, binary=True)
         handle.window = threading.Semaphore(self.config.max_inflight)
         handle.status = WorkerStatus.STARTING
         handle.started_at = time.monotonic()
@@ -404,7 +409,7 @@ class ClusterService:
         handle.proc = proc
         receiver = threading.Thread(
             target=self._receive_loop,
-            args=(handle, parent, handle.incarnation, handle.window),
+            args=(handle, handle.conn, handle.incarnation, handle.window),
             name=f"cluster-recv-{handle.worker_id}.{handle.incarnation}",
             daemon=True,
         )
@@ -569,7 +574,7 @@ class ClusterService:
             )
             try:
                 with handle.send_lock:
-                    protocol.send_frame(handle.sock, frame)
+                    handle.conn.send(frame)
             except (OSError, protocol.ProtocolError):
                 with handle.pending_lock:
                     handle.pending.pop(item.request_id, None)
@@ -599,13 +604,13 @@ class ClusterService:
     def _receive_loop(
         self,
         handle: _WorkerHandle,
-        sock: socket.socket,
+        conn: protocol.FrameConnection,
         incarnation: int,
         window: threading.Semaphore,
     ) -> None:
         try:
             while True:
-                frame = protocol.recv_frame(sock)
+                frame = conn.recv()
                 kind = frame.get("type")
                 if kind == "response":
                     item = self._pop_pending(handle, frame.get("id"))
@@ -753,9 +758,8 @@ class ClusterService:
                         handle.success_recorded = True
                     try:
                         with handle.send_lock:
-                            protocol.send_frame(
-                                handle.sock,
-                                protocol.ping_frame(next(self._ping_ids)),
+                            handle.conn.send(
+                                protocol.ping_frame(next(self._ping_ids))
                             )
                     except (OSError, protocol.ProtocolError):
                         pass  # receiver EOF handles the fallout

@@ -78,6 +78,9 @@ class WorkerProcess:
     def __init__(self, spec: WorkerSpec, sock: socket.socket):
         self.spec = spec
         self.sock = sock
+        # Binary fast path: response payloads (SQL, rows, candidate
+        # lists) skip json escaping; the supervisor auto-detects.
+        self._conn = protocol.FrameConnection(sock, binary=True)
         self._send_lock = make_lock(f"WorkerProcess[{spec.worker_id}]._send_lock")
         self._adopt_lock = make_lock(f"WorkerProcess[{spec.worker_id}]._adopt_lock")
         self._paths = dict(spec.databases)
@@ -168,7 +171,7 @@ class WorkerProcess:
 
     def send(self, frame: dict) -> None:
         with self._send_lock:
-            protocol.send_frame(self.sock, frame)
+            self._conn.send(frame)
 
     def _handle_request(self, frame: dict) -> None:
         request_id = frame["id"]
@@ -224,7 +227,7 @@ class WorkerProcess:
         try:
             while True:
                 try:
-                    frame = protocol.recv_frame(self.sock)
+                    frame = self._conn.recv()
                 except (protocol.ProtocolError, OSError):
                     break  # supervisor died or closed; exit with it
                 kind = frame.get("type")

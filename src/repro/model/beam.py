@@ -5,6 +5,12 @@ keeps the ``beam_size`` highest-scoring partial action sequences instead
 and returns the best *complete* one.  IRNet (ValueNet's base) decodes with
 a beam — this module provides the same extension for our decoder, subject
 to the identical grammar constraints as the greedy path.
+
+Like :meth:`ValueNetDecoder.decode`, the search runs against the decoder
+ops interface: pass a per-request
+:class:`~repro.model.stepcache.StepCache` to reuse memoized pointer
+memory projections, feed embeddings, and grammar masks across all
+hypotheses of the request — predictions are identical either way.
 """
 
 from __future__ import annotations
@@ -17,22 +23,28 @@ import numpy as np
 from repro.errors import ModelError
 from repro.model.decoder import DecoderStep, ValueNetDecoder
 from repro.model.encoder import EncodedExample
-from repro.nn.functional import masked_log_softmax, log_softmax
-from repro.nn.tensor import Tensor
+from repro.model.stepcache import RECURSIVE_ACTION, ReferenceOps, StepCache
 from repro.semql.actions import ActionType, GRAMMAR_ACTION_LIST
 from repro.semql.tree import GrammarState
 
 
 @dataclass
 class _Hypothesis:
-    """One partial decode: accumulated score plus decoder state."""
+    """One partial decode: accumulated score plus decoder state.
+
+    ``state``/``prev`` are Tensors on the reference path and raw numpy
+    arrays on the cached path; the search never looks inside them.
+    ``recursive`` counts emitted recursive productions incrementally so
+    the budget policy does not rescan ``steps`` every expansion.
+    """
 
     score: float
-    state: tuple[Tensor, Tensor]
-    prev: Tensor
+    state: tuple
+    prev: object
     grammar: GrammarState
     steps: list[DecoderStep] = field(default_factory=list)
     last_column: int | None = None
+    recursive: int = 0
 
     @property
     def finished(self) -> bool:
@@ -49,6 +61,7 @@ def beam_decode(
     *,
     beam_size: int = 4,
     column_to_table: list[int | None] | None = None,
+    cache: StepCache | None = None,
 ) -> list[DecoderStep]:
     """Grammar-constrained beam search; returns the best complete steps.
 
@@ -58,24 +71,26 @@ def beam_decode(
     if beam_size < 1:
         raise ValueError(f"beam_size must be positive, got {beam_size}")
     decoder.eval()
+    ops = cache if cache is not None else ReferenceOps(decoder, encoded)
 
     initial = _Hypothesis(
         score=0.0,
-        state=decoder._initial_state(encoded),
-        prev=decoder.start_embedding,
+        state=ops.initial_state(),
+        prev=ops.start(),
         grammar=GrammarState(),
     )
     beam: list[_Hypothesis] = [initial]
     completed: list[_Hypothesis] = []
+    max_steps = decoder.config.max_decode_steps
 
-    for _step in range(decoder.config.max_decode_steps):
+    for _step in range(max_steps):
         candidates: list[_Hypothesis] = []
         for hypothesis in beam:
             if hypothesis.finished:
                 completed.append(hypothesis)
                 continue
             candidates.extend(
-                _expand(decoder, encoded, hypothesis, beam_size, column_to_table)
+                _expand(ops, hypothesis, beam_size, column_to_table, max_steps)
             )
         if not candidates:
             break
@@ -92,23 +107,24 @@ def beam_decode(
 
 
 def _expand(
-    decoder: ValueNetDecoder,
-    encoded: EncodedExample,
+    ops,
     hypothesis: _Hypothesis,
     beam_size: int,
-    column_to_table: list[int | None] | None = None,
+    column_to_table: list[int | None] | None,
+    max_steps: int,
 ) -> list[_Hypothesis]:
-    h, state = decoder._step(hypothesis.prev, hypothesis.state, encoded)
+    # Surviving hypotheses keep references to the returned state, so the
+    # cached path must allocate fresh state arrays here (``reuse=False``).
+    h, state = ops.step(hypothesis.prev, hypothesis.state)
     grammar = hypothesis.grammar
     expected = grammar.expected_type()
 
     expansions: list[_Hypothesis] = []
     if expected in (ActionType.C, ActionType.T, ActionType.V):
         kind = expected.value
-        if expected is ActionType.V and encoded.num_values == 0:
+        if expected is ActionType.V and ops.encoded.num_values == 0:
             return []
-        logits = decoder._head_logits(kind, h, encoded)
-        log_probs = log_softmax(logits).data
+        log_probs = ops.pointer_log_probs(kind, h)
         if (
             expected is ActionType.T
             and column_to_table is not None
@@ -137,37 +153,29 @@ def _expand(
                 _Hypothesis(
                     score=hypothesis.score + float(log_probs[index]),
                     state=state,
-                    prev=decoder._feed_embedding(kind, int(index), encoded),
+                    prev=ops.feed(kind, int(index)),
                     grammar=fork,
                     steps=hypothesis.steps + [DecoderStep(kind, int(index))],
                     last_column=next_column,
+                    recursive=hypothesis.recursive,
                 )
             )
         return expansions
 
-    logits = decoder.sketch_head(h)
-    remaining = decoder.config.max_decode_steps - len(hypothesis.steps)
+    remaining = max_steps - len(hypothesis.steps)
     # Mirror the greedy decoder's budget policy exactly, including its
     # hard cap on recursive expansions — beam_size=1 must reproduce
     # greedy decoding step for step.
-    recursive_so_far = sum(
-        1 for s in hypothesis.steps
-        if s.kind == "grammar" and (
-            ActionType.FILTER in GRAMMAR_ACTION_LIST[s.target].children
-            or ActionType.R in GRAMMAR_ACTION_LIST[s.target].children
-        )
-    )
-    mask = decoder._grammar_mask(
+    mask = ops.grammar_mask(
         expected,
-        encoded.num_values,
         conserve_budget=(
-            remaining < 6 * grammar.pending + 12 or recursive_so_far >= 8
+            remaining < 6 * grammar.pending + 12 or hypothesis.recursive >= 8
         ),
         in_subquery=grammar.expected_in_subquery(),
         in_compound=grammar.expected_in_compound_branch(),
         required_arity=grammar.required_select_arity(),
     )
-    log_probs = masked_log_softmax(logits, mask).data
+    log_probs = ops.sketch_log_probs(h, mask)
     for action_id in np.argsort(-log_probs, kind="stable")[:beam_size]:
         if math.isinf(log_probs[action_id]) or log_probs[action_id] < -1e20:
             continue
@@ -177,10 +185,12 @@ def _expand(
             _Hypothesis(
                 score=hypothesis.score + float(log_probs[action_id]),
                 state=state,
-                prev=decoder._feed_embedding("grammar", int(action_id), encoded),
+                prev=ops.feed("grammar", int(action_id)),
                 grammar=fork,
                 steps=hypothesis.steps + [DecoderStep("grammar", int(action_id))],
                 last_column=hypothesis.last_column,
+                recursive=hypothesis.recursive
+                + (1 if RECURSIVE_ACTION[int(action_id)] else 0),
             )
         )
     return expansions

@@ -19,8 +19,9 @@ import numpy as np
 from repro.config import ModelConfig
 from repro.errors import ModelError
 from repro.model.encoder import EncodedExample
+from repro.model.stepcache import RECURSIVE_ACTION, ReferenceOps, StepCache
 from repro.nn.attention import BilinearAttention, PointerNetwork
-from repro.nn.functional import attention_pool, cross_entropy, masked_log_softmax
+from repro.nn.functional import attention_pool, cross_entropy
 from repro.nn.layers import Dropout, Embedding, Linear, Module
 from repro.nn.rnn import LSTMCell
 from repro.nn.tensor import Tensor, concat
@@ -239,6 +240,7 @@ class ValueNetDecoder(Module):
         encoded: EncodedExample,
         *,
         column_to_table: list[int | None] | None = None,
+        cache: "StepCache | None" = None,
     ) -> list[DecoderStep]:
         """Greedy grammar-constrained decoding; returns the emitted steps.
 
@@ -249,23 +251,31 @@ class ValueNetDecoder(Module):
                 T pointer that follows a C pointer is constrained to the
                 chosen column's table — every gold tree satisfies this, so
                 the constraint only removes inconsistent predictions.
+            cache: optional per-request :class:`StepCache`; routes the hot
+                loop through the memoized raw-numpy fast path.  Predictions
+                are identical with or without it.
         """
         self.eval()
-        state = self._initial_state(encoded)
-        prev = self.start_embedding
+        ops = cache if cache is not None else ReferenceOps(self, encoded)
+        state = ops.initial_state()
+        prev = ops.start()
         grammar = GrammarState()
         steps: list[DecoderStep] = []
         last_column: int | None = None
+        # Recursive-production count, maintained incrementally (the budget
+        # policy below caps it; recomputing it per step was O(steps^2)).
+        recursive_so_far = 0
 
         while not grammar.finished and len(steps) < self.config.max_decode_steps:
-            h, state = self._step(prev, state, encoded)
+            # Greedy decoding is single-threaded through one state chain,
+            # so the step may ping-pong arena buffers (``reuse=True``).
+            h, state = ops.step(prev, state, reuse=True)
             expected = grammar.expected_type()
             if expected in (ActionType.C, ActionType.T, ActionType.V):
                 kind = expected.value
                 if expected is ActionType.V and encoded.num_values == 0:
                     raise ModelError("grammar requires a value but no candidates exist")
-                logits = self._head_logits(kind, h, encoded)
-                scores = logits.data
+                scores = ops.pointer_scores(kind, h)
                 if (
                     expected is ActionType.T
                     and column_to_table is not None
@@ -283,25 +293,16 @@ class ValueNetDecoder(Module):
                     last_column = None
                 steps.append(DecoderStep(kind, index))
                 grammar.advance_pointer(expected)
-                prev = self._feed_embedding(kind, index, encoded)
+                prev = ops.feed(kind, index)
             else:
-                logits = self.sketch_head(h)
                 # A pending non-terminal costs up to ~6 further steps
                 # (Filter -> A -> C, T plus a value/sub-query); once the
                 # remaining budget cannot cover that, stop recursing.  A
                 # hard cap on recursive expansions (no real query nests six
                 # conjunctions or sub-queries) backstops the estimate.
                 remaining = self.config.max_decode_steps - len(steps)
-                recursive_so_far = sum(
-                    1 for s in steps
-                    if s.kind == "grammar" and (
-                        ActionType.FILTER in GRAMMAR_ACTION_LIST[s.target].children
-                        or ActionType.R in GRAMMAR_ACTION_LIST[s.target].children
-                    )
-                )
-                mask = self._grammar_mask(
+                mask = ops.grammar_mask(
                     expected,
-                    encoded.num_values,
                     conserve_budget=(
                         remaining < 6 * grammar.pending + 12
                         or recursive_so_far >= 8
@@ -310,11 +311,13 @@ class ValueNetDecoder(Module):
                     in_compound=grammar.expected_in_compound_branch(),
                     required_arity=grammar.required_select_arity(),
                 )
-                log_probs = masked_log_softmax(logits, mask)
-                action_id = int(np.argmax(log_probs.data))
+                log_probs = ops.sketch_log_probs(h, mask)
+                action_id = int(np.argmax(log_probs))
                 steps.append(DecoderStep("grammar", action_id))
                 grammar.advance_grammar(GRAMMAR_ACTION_LIST[action_id])
-                prev = self._feed_embedding("grammar", action_id, encoded)
+                if RECURSIVE_ACTION[action_id]:
+                    recursive_so_far += 1
+                prev = ops.feed("grammar", action_id)
 
         if not grammar.finished:
             raise ModelError(

@@ -5,10 +5,14 @@ request queue with a micro-batching worker pool
 (:class:`TranslationService`), an LRU+TTL result cache
 (:class:`TranslationCache`), graceful degradation to the heuristic
 baseline on model failure or deadline breach, a metrics registry
-(:class:`MetricsRegistry`), and a stdlib HTTP front-end
-(:class:`ServingServer`).  Start it from the CLI with ``repro serve``.
+(:class:`MetricsRegistry`), and two interchangeable HTTP front-ends —
+the threaded stdlib :class:`ServingServer` and the selectors-based
+non-blocking :class:`AsyncServingServer` — sharing one route
+implementation (:mod:`repro.serving.routes`).  Start either from the
+CLI with ``repro serve --http-impl {threaded,async}``.
 """
 
+from repro.serving.async_http import AsyncServingServer
 from repro.serving.cache import CacheKey, TranslationCache, normalize_question
 from repro.serving.http import ServingRequestHandler, ServingServer
 from repro.serving.metrics import (
@@ -37,6 +41,7 @@ from repro.serving.service import (
 )
 
 __all__ = [
+    "AsyncServingServer",
     "CacheKey",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",

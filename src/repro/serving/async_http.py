@@ -1,0 +1,658 @@
+"""Selectors-based non-blocking HTTP/1.1 front door.
+
+One event-loop thread owns every connection: it accepts, enforces
+read deadlines, parses requests (request line, headers, Content-Length
+*and* chunked bodies) incrementally as bytes arrive, and writes
+responses — no thread per connection, no stack per idle keep-alive
+client.  Translate work (the only blocking route) is handed to a small
+worker pool; completions come back to the loop over a self-pipe wakeup
+so the loop never blocks on anything but ``select``.
+
+Route logic is NOT here: every fully-read request goes through
+:func:`repro.serving.routes.handle`, the same code the threaded server
+uses, so the two implementations return byte-identical bodies (locked
+by ``tests/test_http_differential.py``).
+
+Protocol behavior:
+
+* **Keep-alive / pipelining** — HTTP/1.1 persistent connections by
+  default; ``Connection: close`` honored.  Pipelined requests are
+  parsed one at a time and answered strictly in order: the next request
+  is not parsed until the previous response has been fully written.
+* **Slowloris** — a connection must deliver complete headers within
+  ``header_deadline_s`` of the first byte of a request, and the body
+  within ``body_deadline_s`` of the headers; idle keep-alive
+  connections are closed after ``idle_deadline_s``.  All deadlines are
+  monotonic (never ``time.time()``).
+* **Bounds** — at most ``max_connections`` concurrent sockets (the
+  listener stops accepting at the cap and resumes as connections
+  close); request bodies over ``MAX_BODY_BYTES`` are refused with 413
+  *before* the body is read; header blocks are capped at 32 KiB.
+* **Graceful drain** — :meth:`shutdown` stops accepting, closes idle
+  keep-alive connections, lets in-flight requests finish (their
+  responses carry ``Connection: close``), and force-closes stragglers
+  after ``drain_grace_s``.
+
+The public surface mirrors :class:`repro.serving.http.ServingServer`
+(``serve_forever`` / ``shutdown`` / ``server_close`` / ``attach`` /
+``url`` / ``server_address``) so the CLI and scripts can swap
+implementations via ``repro serve --http-impl async``.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.concurrency import make_lock
+from repro.serving import routes
+
+_MAX_HEADER_BYTES = 32 * 1024
+# Stop reading from a connection whose buffered-but-unparsed input
+# exceeds this while a request is still being processed (pipelining
+# back-pressure); reading resumes once the response drains.
+_MAX_PIPELINE_BUFFER = 256 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 401: "Unauthorized", 403: "Forbidden",
+    404: "Not Found", 405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+# Connection parse phases.
+_IDLE = 0          # between requests (keep-alive) or brand new
+_HEADERS = 1       # reading the request head
+_BODY = 2          # reading a fixed-length body
+_CHUNKED = 3       # reading a chunked body
+_PROCESSING = 4    # request handed off / response being written
+
+
+class _HeaderView:
+    """Case-insensitive read view over parsed request headers."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: dict[str, str]):
+        self._items = items  # keys already lower-cased
+
+    def get(self, name: str, default=None):
+        return self._items.get(name.lower(), default)
+
+
+class _Connection:
+    __slots__ = (
+        "sock", "fd", "inbuf", "instart", "outbuf", "outstart", "phase",
+        "deadline", "want_close", "closing", "busy", "parsing", "registered",
+        "generation", "method", "target", "headers", "body_remaining",
+        "body", "chunk_state", "chunk_need", "requests_served",
+    )
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.inbuf = bytearray()
+        self.instart = 0          # parse offset into inbuf
+        self.outbuf = bytearray()
+        self.outstart = 0         # write offset into outbuf
+        self.phase = _IDLE
+        self.deadline: float | None = None
+        self.want_close = False   # next response carries Connection: close
+        self.closing = False      # close as soon as outbuf drains
+        self.busy = False         # a request is in flight (ordering gate)
+        self.parsing = False      # re-entrancy guard for _parse
+        self.registered = True    # currently registered with the selector
+        self.generation = 0       # bumped on close; stale completions drop
+        self.method = ""
+        self.target = ""
+        self.headers: _HeaderView | None = None
+        self.body_remaining = 0
+        self.body = bytearray()
+        self.chunk_state = 0      # 0 = size line, 1 = data, 2 = trailers
+        self.chunk_need = 0
+        self.requests_served = 0
+
+    def compact(self) -> None:
+        """Drop consumed prefixes so buffers do not grow without bound."""
+        if self.instart:
+            del self.inbuf[: self.instart]
+            self.instart = 0
+        if self.outstart:
+            del self.outbuf[: self.outstart]
+            self.outstart = 0
+
+
+class AsyncServingServer:
+    """Non-blocking HTTP/1.1 server over one ``selectors`` event loop.
+
+    Drop-in alternative to :class:`repro.serving.http.ServingServer`;
+    same constructor shape, same lifecycle methods, same duck-typed
+    ``service``.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service,
+        *,
+        verbose: bool = False,
+        max_connections: int = 512,
+        worker_threads: int = 8,
+        header_deadline_s: float = 10.0,
+        body_deadline_s: float = 30.0,
+        idle_deadline_s: float = 75.0,
+        drain_grace_s: float = 5.0,
+    ):
+        self.service = service
+        self.verbose = verbose
+        self.max_connections = max_connections
+        self.header_deadline_s = header_deadline_s
+        self.body_deadline_s = body_deadline_s
+        self.idle_deadline_s = idle_deadline_s
+        self.drain_grace_s = drain_grace_s
+
+        self._listener = socket.create_server(address, reuse_port=False)
+        self._listener.setblocking(False)
+        self.server_address = self._listener.getsockname()
+
+        self._selector = selectors.DefaultSelector()
+        self._conns: dict[int, _Connection] = {}
+        self._accepting = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, worker_threads),
+            thread_name_prefix="async-http-worker",
+        )
+        # Self-pipe: worker threads push completed responses and poke
+        # the loop out of select().
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._wake_send.setblocking(False)
+        self._completions_lock = make_lock("AsyncServingServer._completions_lock")
+        self._completions: deque = deque()  # guarded by: _completions_lock
+        self._shutdown_requested = threading.Event()
+        self._stopped = threading.Event()
+        self._draining = False
+        self._drain_deadline: float | None = None
+        # Loop-thread-only counters (no lock: single writer).
+        self.connections_accepted = 0
+        self.requests_handled = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def attach(self, service) -> None:
+        """Bind a (possibly late-built) service; flips readiness wiring."""
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        """Run the event loop until :meth:`shutdown` completes a drain."""
+        self._selector.register(self._wake_recv, selectors.EVENT_READ, "wake")
+        self._set_accepting(True)
+        try:
+            while True:
+                if self._shutdown_requested.is_set() and not self._draining:
+                    self._begin_drain()
+                if self._draining and self._drain_complete():
+                    break
+                timeout = self._next_timeout(poll_interval)
+                for key, events in self._selector.select(timeout):
+                    if key.data == "wake":
+                        self._drain_wakeups()
+                    elif key.data == "accept":
+                        self._accept_ready()
+                    else:
+                        self._conn_ready(key.data, events)
+                self._expire_deadlines()
+        finally:
+            for conn in list(self._conns.values()):
+                self._close_conn(conn)
+            self._set_accepting(False)
+            try:
+                self._selector.unregister(self._wake_recv)
+            except KeyError:
+                pass
+            self._stopped.set()
+
+    def shutdown(self) -> None:
+        """Request a graceful drain; blocks until the loop has exited."""
+        self._shutdown_requested.set()
+        self._wake()
+        self._stopped.wait()
+
+    def server_close(self) -> None:
+        self._pool.shutdown(wait=False)
+        for sock in (self._listener, self._wake_recv, self._wake_send):
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._selector.close()
+
+    # ----------------------------------------------------------- event loop
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(b"x")
+        except (BlockingIOError, OSError):
+            pass  # pipe full = a wakeup is already pending
+
+    def _drain_wakeups(self) -> None:
+        try:
+            while self._wake_recv.recv(4096):
+                pass
+        except BlockingIOError:
+            pass
+        while True:
+            with self._completions_lock:
+                if not self._completions:
+                    break
+                conn, generation, response = self._completions.popleft()
+            if conn.generation == generation and conn.fd in self._conns:
+                self._finish_request(conn, response)
+
+    def _next_timeout(self, poll_interval: float) -> float:
+        now = time.monotonic()
+        nearest = now + poll_interval
+        for conn in self._conns.values():
+            if conn.deadline is not None and conn.deadline < nearest:
+                nearest = conn.deadline
+        if self._drain_deadline is not None and self._drain_deadline < nearest:
+            nearest = self._drain_deadline
+        return max(0.0, nearest - now)
+
+    def _set_accepting(self, on: bool) -> None:
+        if on and not self._accepting:
+            self._selector.register(self._listener, selectors.EVENT_READ, "accept")
+            self._accepting = True
+        elif not on and self._accepting:
+            try:
+                self._selector.unregister(self._listener)
+            except (KeyError, ValueError):
+                pass
+            self._accepting = False
+
+    def _accept_ready(self) -> None:
+        while len(self._conns) < self.max_connections:
+            try:
+                sock, _addr = self._listener.accept()
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            conn = _Connection(sock)
+            conn.deadline = time.monotonic() + self.idle_deadline_s
+            self._conns[conn.fd] = conn
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+            self.connections_accepted += 1
+        # At capacity: stop accepting until a connection closes.
+        self._set_accepting(False)
+
+    def _conn_ready(self, conn: _Connection, events: int) -> None:
+        if events & selectors.EVENT_WRITE:
+            self._flush(conn)
+        if conn.fd in self._conns and events & selectors.EVENT_READ:
+            self._read(conn)
+
+    def _update_events(self, conn: _Connection) -> None:
+        if conn.fd not in self._conns:
+            return
+        mask = 0
+        if len(conn.outbuf) - conn.outstart:
+            mask |= selectors.EVENT_WRITE
+        buffered_in = len(conn.inbuf) - conn.instart
+        if not (conn.busy and buffered_in > _MAX_PIPELINE_BUFFER):
+            mask |= selectors.EVENT_READ
+        try:
+            if mask == 0:
+                # Pipelining back-pressure with nothing to write: park
+                # the socket entirely until the in-flight request drains.
+                if conn.registered:
+                    self._selector.unregister(conn.sock)
+                    conn.registered = False
+            elif conn.registered:
+                self._selector.modify(conn.sock, mask, conn)
+            else:
+                self._selector.register(conn.sock, mask, conn)
+                conn.registered = True
+        except (KeyError, ValueError, OSError):
+            self._close_conn(conn)
+
+    def _close_conn(self, conn: _Connection) -> None:
+        conn.generation += 1
+        self._conns.pop(conn.fd, None)
+        if conn.registered:
+            conn.registered = False
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        if not self._draining:
+            self._set_accepting(True)
+
+    # -------------------------------------------------------------- reading
+
+    def _read(self, conn: _Connection) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not data:
+            self._close_conn(conn)
+            return
+        conn.inbuf += data
+        if not conn.busy:
+            self._parse(conn)
+        self._update_events(conn)
+
+    def _parse(self, conn: _Connection) -> None:
+        """Advance the request parser as far as the buffer allows.
+
+        Re-entrant calls (a synchronous GET finishing inside the loop)
+        no-op: the outermost loop keeps running, so a hundred pipelined
+        requests cost iteration, not stack depth.
+        """
+        if conn.parsing:
+            return
+        conn.parsing = True
+        try:
+            while not conn.busy and not conn.closing and conn.fd in self._conns:
+                if conn.phase in (_IDLE, _HEADERS):
+                    if not self._parse_head(conn):
+                        return
+                if conn.phase == _BODY:
+                    have = len(conn.inbuf) - conn.instart
+                    if have < conn.body_remaining:
+                        return
+                    end = conn.instart + conn.body_remaining
+                    conn.body = bytearray(conn.inbuf[conn.instart:end])
+                    conn.instart = end
+                    self._dispatch(conn)
+                elif conn.phase == _CHUNKED:
+                    if not self._parse_chunked(conn):
+                        return
+                else:
+                    return
+        finally:
+            conn.parsing = False
+
+    def _parse_head(self, conn: _Connection) -> bool:
+        """Parse request line + headers; True when the head is complete."""
+        if conn.phase == _IDLE and len(conn.inbuf) > conn.instart:
+            conn.phase = _HEADERS
+            conn.deadline = time.monotonic() + self.header_deadline_s
+        end = conn.inbuf.find(b"\r\n\r\n", conn.instart)
+        if end < 0:
+            if len(conn.inbuf) - conn.instart > _MAX_HEADER_BYTES:
+                self._reject(conn, 431, "request header block too large")
+            return False
+        head = bytes(conn.inbuf[conn.instart:end])
+        conn.instart = end + 4
+        lines = head.split(b"\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith(b"HTTP/1."):
+            self._reject(conn, 400, "malformed request line")
+            return False
+        try:
+            conn.method = parts[0].decode("ascii")
+            conn.target = parts[1].decode("ascii")
+        except UnicodeDecodeError:
+            self._reject(conn, 400, "malformed request line")
+            return False
+        items: dict[str, str] = {}
+        for line in lines[1:]:
+            name, sep, value = line.partition(b":")
+            if not sep:
+                self._reject(conn, 400, "malformed header line")
+                return False
+            try:
+                items[name.decode("ascii").strip().lower()] = (
+                    value.decode("latin-1").strip()
+                )
+            except UnicodeDecodeError:
+                self._reject(conn, 400, "malformed header line")
+                return False
+        conn.headers = _HeaderView(items)
+        if items.get("connection", "").lower() == "close":
+            conn.want_close = True
+        transfer = items.get("transfer-encoding", "").lower()
+        if "chunked" in transfer:
+            conn.phase = _CHUNKED
+            conn.chunk_state = 0
+            conn.body = bytearray()
+            conn.deadline = time.monotonic() + self.body_deadline_s
+            return True
+        raw_length = items.get("content-length", "0")
+        try:
+            length = int(raw_length)
+            if length < 0:
+                raise ValueError(raw_length)
+        except ValueError:
+            self._reject(conn, 400, "bad Content-Length")
+            return False
+        if length > routes.MAX_BODY_BYTES:
+            # Refuse before reading the body; close (it is still in
+            # flight and we will not drain it).
+            self._reject(conn, None, None, response=routes.body_too_large())
+            return False
+        conn.body_remaining = length
+        conn.body = bytearray()
+        conn.phase = _BODY
+        conn.deadline = time.monotonic() + self.body_deadline_s
+        return True
+
+    def _parse_chunked(self, conn: _Connection) -> bool:
+        """Incremental chunked-body decoder; True when the body is done."""
+        buf = conn.inbuf
+        while True:
+            if conn.chunk_state == 0:  # size line
+                eol = buf.find(b"\r\n", conn.instart)
+                if eol < 0:
+                    return False
+                size_token = bytes(buf[conn.instart:eol]).split(b";")[0].strip()
+                try:
+                    size = int(size_token, 16)
+                except ValueError:
+                    self._reject(conn, 400, "malformed chunk size")
+                    return False
+                conn.instart = eol + 2
+                if size == 0:
+                    conn.chunk_state = 2
+                    continue
+                if len(conn.body) + size > routes.MAX_BODY_BYTES:
+                    self._reject(conn, None, None, response=routes.body_too_large())
+                    return False
+                conn.chunk_need = size
+                conn.chunk_state = 1
+            elif conn.chunk_state == 1:  # chunk data + trailing CRLF
+                have = len(buf) - conn.instart
+                if have < conn.chunk_need + 2:
+                    return False
+                end = conn.instart + conn.chunk_need
+                conn.body += buf[conn.instart:end]
+                if bytes(buf[end:end + 2]) != b"\r\n":
+                    self._reject(conn, 400, "malformed chunk terminator")
+                    return False
+                conn.instart = end + 2
+                conn.chunk_state = 0
+            else:  # trailers: consume lines until the empty one
+                eol = buf.find(b"\r\n", conn.instart)
+                if eol < 0:
+                    return False
+                line = bytes(buf[conn.instart:eol])
+                conn.instart = eol + 2
+                if not line:
+                    self._dispatch(conn)
+                    return True
+
+    # ----------------------------------------------------------- dispatching
+
+    def _dispatch(self, conn: _Connection) -> None:
+        conn.busy = True
+        conn.deadline = None  # translate has its own service-level timeout
+        conn.compact()
+        method, target = conn.method, conn.target
+        headers, body = conn.headers, bytes(conn.body)
+        if method == "POST":
+            # Blocking route: run on the pool, complete via self-pipe.
+            generation = conn.generation
+            service = self.service
+            self._pool.submit(
+                self._run_in_worker, conn, generation, service, method,
+                target, headers, body,
+            )
+        else:
+            self._finish_request(
+                conn, routes.handle(self.service, method, target, headers, None)
+            )
+
+    def _run_in_worker(
+        self, conn, generation, service, method, target, headers, body
+    ) -> None:
+        try:
+            response = routes.handle(service, method, target, headers, body)
+        except Exception as exc:  # justified: worker must never die silently
+            response = routes.error_response(500, f"internal error: {exc}")
+        with self._completions_lock:
+            self._completions.append((conn, generation, response))
+        self._wake()
+
+    def _finish_request(self, conn: _Connection, response: routes.Response) -> None:
+        """Queue the response bytes and re-arm parsing (loop thread only)."""
+        self.requests_handled += 1
+        conn.requests_served += 1
+        close = conn.want_close or self._draining
+        self._enqueue_response(conn, response, close=close)
+        conn.busy = False
+        conn.phase = _IDLE
+        conn.method = ""
+        conn.headers = None
+        conn.body = bytearray()
+        if close:
+            conn.closing = True
+        else:
+            conn.deadline = time.monotonic() + self.idle_deadline_s
+            # Pipelined requests may already be buffered (no-op when
+            # called from inside the parse loop itself).
+            self._parse(conn)
+        self._flush(conn)
+
+    def _enqueue_response(
+        self, conn: _Connection, response: routes.Response, *, close: bool
+    ) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {response.status} {reason}\r\n"
+            f"Server: repro-serving/1.0\r\n"
+            f"Content-Type: {response.content_type}\r\n"
+            f"Content-Length: {len(response.body)}\r\n"
+        ]
+        for name, value in response.headers:
+            head.append(f"{name}: {value}\r\n")
+        head.append("Connection: close\r\n" if close else "Connection: keep-alive\r\n")
+        head.append("\r\n")
+        conn.outbuf += "".join(head).encode("latin-1")
+        conn.outbuf += response.body
+
+    def _reject(
+        self,
+        conn: _Connection,
+        status: int | None,
+        message: str | None,
+        *,
+        response: routes.Response | None = None,
+    ) -> None:
+        """Protocol-level error: answer (if possible) and close."""
+        if response is None:
+            response = routes.error_response(status, message)
+        conn.want_close = True
+        conn.closing = True  # stops the parser; close once the 4xx drains
+        self._enqueue_response(conn, response, close=True)
+        self._flush(conn)
+
+    # -------------------------------------------------------------- writing
+
+    def _flush(self, conn: _Connection) -> None:
+        if conn.fd not in self._conns:
+            return
+        view = memoryview(conn.outbuf)
+        while conn.outstart < len(conn.outbuf):
+            try:
+                sent = conn.sock.send(view[conn.outstart:])
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                view.release()
+                self._close_conn(conn)
+                return
+            conn.outstart += sent
+        view.release()
+        if conn.outstart >= len(conn.outbuf):
+            conn.outbuf = bytearray()
+            conn.outstart = 0
+            if conn.closing:
+                self._close_conn(conn)
+                return
+        self._update_events(conn)
+
+    # ------------------------------------------------------------ deadlines
+
+    def _expire_deadlines(self) -> None:
+        now = time.monotonic()
+        for conn in list(self._conns.values()):
+            if conn.deadline is None or conn.deadline > now:
+                continue
+            if conn.phase in (_HEADERS, _BODY, _CHUNKED):
+                # Slowloris: a partial request that blew its read
+                # deadline.  408 then close (best-effort write).
+                self._reject(conn, 408, "request read deadline exceeded")
+                if conn.fd in self._conns:
+                    self._close_conn(conn)
+            else:
+                # Idle keep-alive past its welcome.
+                self._close_conn(conn)
+        if (
+            self._draining
+            and self._drain_deadline is not None
+            and self._drain_deadline <= now
+        ):
+            for conn in list(self._conns.values()):
+                self._close_conn(conn)
+
+    # ---------------------------------------------------------------- drain
+
+    def _begin_drain(self) -> None:
+        self._draining = True
+        self._drain_deadline = time.monotonic() + self.drain_grace_s
+        self._set_accepting(False)
+        for conn in list(self._conns.values()):
+            if conn.busy:
+                conn.want_close = True  # response will carry Connection: close
+            elif len(conn.outbuf) - conn.outstart:
+                conn.closing = True  # close as soon as the response drains
+                self._flush(conn)
+            else:
+                self._close_conn(conn)
+
+    def _drain_complete(self) -> bool:
+        return not self._conns

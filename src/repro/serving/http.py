@@ -1,4 +1,4 @@
-"""Stdlib HTTP front-end for the translation service.
+"""Stdlib (threaded) HTTP front-end for the translation service.
 
 Endpoints (all JSON unless noted):
 
@@ -40,71 +40,44 @@ Status codes: 200 on success (including degraded responses — the
 degradation contract lives in the body, not the status), 400 on malformed
 requests, 401/403 on auth failures (403 also carries policy blocks —
 the body's ``"reason"`` distinguishes), 404 on unknown paths or databases,
-429 on per-tenant limits, 503 when load is shed (queue full, service
-stopping/warming, or — in cluster mode — no live worker for the shard).
-Every 503 body carries ``"retriable": true``: the request was *not*
-processed and may safely be retried elsewhere.
+413 on oversized request bodies, 429 on per-tenant limits, 503 when load
+is shed (queue full, service stopping/warming, or — in cluster mode — no
+live worker for the shard).  Every 503 body carries ``"retriable": true``:
+the request was *not* processed and may safely be retried elsewhere.
+
+The actual route logic lives in :mod:`repro.serving.routes`, shared
+byte-for-byte with the selectors-based implementation in
+:mod:`repro.serving.async_http`; this module is only the
+thread-per-connection transport around it.  Pick an implementation with
+``repro serve --http-impl {threaded,async}`` (threaded remains the
+default and the fallback).
 
 The server may be constructed before its service exists
 (``service=None``) and bound to one later via :meth:`ServingServer.attach`;
 until then it is live but not ready and sheds all translate traffic.
 This lets deployments open the port (and pass liveness probes) while
-index warm-up is still running.  Served by
-:class:`http.server.ThreadingHTTPServer` — one thread per connection, all
-funneling into the service's bounded queue.
+index warm-up is still running.
 """
 
 from __future__ import annotations
 
-import json
-import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import parse_qs, urlparse
 
-from repro.serving.metrics import quantile_from_snapshot, series_key
-from repro.serving.service import (
-    QueueFullError,
-    ServiceStoppedError,
-    TranslationService,
-    UnknownDatabaseError,
+from repro.serving import routes
+from repro.serving.routes import (  # noqa: F401  (re-exported, public API)
+    MAX_BODY_BYTES,
+    tenant_latency_stats,
 )
-from repro.tenancy.controller import (
-    AuthenticationError,
-    QuotaExceededError,
-    RateLimitedError,
-)
-
-MAX_BODY_BYTES = 64 * 1024
-
-
-def _retry_after_header(seconds: float) -> str:
-    """Retry-After is an integer header; round up so clients never retry
-    early and immediately eat another 429."""
-    return str(max(1, math.ceil(seconds)))
-
-
-def tenant_latency_stats(service, tenant_id: str) -> dict:
-    """p50/p95/p99 (+count) of one tenant's in-service latency, in ms.
-
-    Works against both a single-process registry snapshot and the
-    cluster's ``{"fleet": ...}`` merged snapshot.
-    """
-    snap = service.metrics.snapshot()
-    snap = snap.get("fleet", snap)
-    hist = snap.get(series_key("tenant_latency_seconds", "tenant", tenant_id))
-    if not isinstance(hist, dict):
-        return {"count": 0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
-    return {
-        "count": hist.get("count", 0),
-        "p50_ms": 1000.0 * quantile_from_snapshot(hist, 0.50),
-        "p95_ms": 1000.0 * quantile_from_snapshot(hist, 0.95),
-        "p99_ms": 1000.0 * quantile_from_snapshot(hist, 0.99),
-    }
+from repro.serving.service import TranslationService
 
 
 class ServingRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-serving/1.0"
     protocol_version = "HTTP/1.1"
+    # Headers and body go out in separate writes; without TCP_NODELAY the
+    # second write stalls behind the peer's delayed ACK (~40 ms per
+    # response on loopback).  The async front door sets it too.
+    disable_nagle_algorithm = True
 
     @property
     def service(self) -> TranslationService | None:
@@ -114,230 +87,34 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(format, *args)
 
-    # ------------------------------------------------------------ plumbing
-
-    def _send_json(
-        self, status: int, payload: dict, *, headers: dict | None = None
-    ) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
+    def _write(self, response: routes.Response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
             self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(body)
-
-    def _send_text(self, status: int, text: str, content_type: str) -> None:
-        body = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _service_ready(self) -> tuple[bool, str]:
-        service = self.service
-        if service is None:
-            return False, "service not attached (warming up)"
-        is_ready = getattr(service, "is_ready", None)
-        if is_ready is not None and not is_ready():
-            return False, "service is not ready"
-        return True, "ok"
-
-    # ------------------------------------------------------------- tenancy
-
-    @property
-    def tenancy(self):
-        """The service's TenancyController, or None (anonymous mode)."""
-        return getattr(self.service, "tenancy", None)
-
-    def _api_key(self) -> str | None:
-        """Extract the API key: ``Authorization: Bearer`` or ``X-API-Key``."""
-        auth = self.headers.get("Authorization", "")
-        if auth.lower().startswith("bearer "):
-            return auth[len("bearer "):].strip() or None
-        key = self.headers.get("X-API-Key", "")
-        return key.strip() or None
-
-    def _tenant_usage_payload(self, tenant_id: str) -> dict | None:
-        usage = self.tenancy.usage(tenant_id)
-        if usage is None:
-            return None
-        usage["latency"] = tenant_latency_stats(self.service, tenant_id)
-        return usage
-
-    def _handle_tenants_get(self, path: str) -> None:
-        controller = self.tenancy
-        if controller is None:
-            self._send_json(404, {"error": "tenancy is not enabled"})
-            return
-        key = self._api_key()
-        if path == "/tenants":
-            if not controller.is_admin(key):
-                self._send_json(
-                    403 if key else 401,
-                    {"error": "admin API key required"},
-                )
-                return
-            overview = controller.overview()
-            for entry in overview["tenants"]:
-                if entry is not None:
-                    entry["latency"] = tenant_latency_stats(
-                        self.service, entry["id"]
-                    )
-            self._send_json(200, overview)
-            return
-        # /tenants/<id>/usage
-        parts = path.strip("/").split("/")
-        if len(parts) != 3 or parts[2] != "usage":
-            self._send_json(404, {"error": f"unknown path {path!r}"})
-            return
-        tenant_id = parts[1]
-        if not controller.is_admin(key):
-            try:
-                tenant = controller.authenticate(key)
-            except AuthenticationError:
-                self._send_json(401, {"error": "valid API key required"})
-                return
-            if tenant.tenant_id != tenant_id:
-                self._send_json(
-                    403, {"error": "key does not match this tenant"}
-                )
-                return
-        payload = self._tenant_usage_payload(tenant_id)
-        if payload is None:
-            self._send_json(404, {"error": f"unknown tenant {tenant_id!r}"})
-            return
-        self._send_json(200, payload)
-
-    # ------------------------------------------------------------ handlers
+        self.wfile.write(response.body)
 
     def do_GET(self) -> None:  # noqa: N802
-        parsed = urlparse(self.path)
-        service = self.service
-        if parsed.path == "/livez":
-            self._send_json(200, {"live": True})
-        elif parsed.path == "/readyz":
-            ready, reason = self._service_ready()
-            if ready:
-                self._send_json(200, {"ready": True})
-            else:
-                self._send_json(503, {"ready": False, "reason": reason,
-                                      "retriable": True})
-        elif parsed.path == "/healthz":
-            if service is None:
-                self._send_json(200, {"status": "starting", "ready": False})
-            else:
-                self._send_json(200, service.health())
-        elif parsed.path == "/metrics":
-            if service is None:
-                self._send_text(200, "", "text/plain; version=0.0.4; charset=utf-8")
-                return
-            params = parse_qs(parsed.query)
-            if params.get("format", [""])[0] == "json":
-                self._send_json(200, service.metrics.snapshot())
-            else:
-                self._send_text(
-                    200,
-                    service.metrics.render_text(),
-                    "text/plain; version=0.0.4; charset=utf-8",
-                )
-        elif parsed.path == "/tenants" or parsed.path.startswith("/tenants/"):
-            self._handle_tenants_get(parsed.path)
-        else:
-            self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+        self._write(routes.handle(self.service, "GET", self.path, self.headers, None))
 
     def do_POST(self) -> None:  # noqa: N802
-        parsed = urlparse(self.path)
-        if parsed.path != "/translate":
-            self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
-            return
-        service = self.service
-        if service is None:
-            self._send_json(
-                503, {"error": "service is warming up", "retriable": True}
-            )
-            return
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
-            self._send_json(400, {"error": "bad Content-Length"})
+            self._write(routes.error_response(400, "bad Content-Length"))
             return
-        if length <= 0 or length > MAX_BODY_BYTES:
-            self._send_json(400, {"error": "body required (<= 64 KiB)"})
+        if length > MAX_BODY_BYTES:
+            # Refused before reading: the connection is closed (the body
+            # is still in flight), which HTTP/1.1 permits for 413.
+            self.close_connection = True
+            self._write(routes.body_too_large())
             return
-        try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self._send_json(400, {"error": f"invalid JSON body: {exc}"})
-            return
-        if not isinstance(payload, dict) or not isinstance(
-            payload.get("question"), str
-        ):
-            self._send_json(400, {"error": 'body must include a string "question"'})
-            return
-        tenant_kwargs: dict = {}
-        controller = self.tenancy
-        if controller is not None:
-            try:
-                tenant = controller.admit(self._api_key())
-            except AuthenticationError as exc:
-                self._send_json(
-                    401,
-                    {"error": str(exc), "reason": "auth"},
-                    headers={"WWW-Authenticate": "Bearer"},
-                )
-                return
-            except RateLimitedError as exc:
-                self._send_json(
-                    429,
-                    {"error": str(exc), "reason": "rate_limited",
-                     "retriable": True},
-                    headers={"Retry-After": _retry_after_header(exc.retry_after_s)},
-                )
-                return
-            except QuotaExceededError as exc:
-                self._send_json(
-                    429,
-                    {"error": str(exc), "reason": "quota",
-                     "retriable": False},
-                    headers={"Retry-After": _retry_after_header(exc.retry_after_s)},
-                )
-                return
-            tenant_kwargs = {
-                "tenant_id": tenant.tenant_id,
-                "tenant_weight": tenant.weight,
-            }
-        try:
-            response = service.translate(
-                payload["question"],
-                payload.get("database_id"),
-                beam_size=payload.get("beam_size"),
-                execute=bool(payload.get("execute", False)),
-                timeout_ms=payload.get("timeout_ms"),
-                inject_failure=bool(payload.get("inject_failure", False)),
-                dialect=payload.get("dialect"),
-                **tenant_kwargs,
-            )
-        except UnknownDatabaseError as exc:
-            self._send_json(404, {"error": str(exc)})
-            return
-        except (QueueFullError, ServiceStoppedError) as exc:
-            self._send_json(503, {"error": str(exc), "retriable": True})
-            return
-        except (TypeError, ValueError) as exc:
-            self._send_json(400, {"error": f"bad request parameters: {exc}"})
-            return
-        if getattr(response, "policy", None) is not None:
-            # Policy-blocked: a structured 4xx carrying the machine-readable
-            # rule id(s); the query was NOT executed.
-            body = response.as_dict()
-            body["reason"] = "policy"
-            body["rule_id"] = response.policy.get("rule_id")
-            self._send_json(403, body)
-            return
-        self._send_json(200, response.as_dict())
+        body = self.rfile.read(length) if length > 0 else b""
+        self._write(
+            routes.handle(self.service, "POST", self.path, self.headers, body)
+        )
 
 
 class ServingServer(ThreadingHTTPServer):

@@ -1,0 +1,299 @@
+"""Transport-agnostic HTTP route logic for the serving front door.
+
+Both front-door implementations — the threaded stdlib server and the
+selectors-based async server (``repro.serving.async_http``) — delegate
+every request to :func:`handle`, which returns a fully rendered
+:class:`Response` (status, extra headers, body bytes).  Keeping the
+logic here is what makes the two implementations *byte-identical* at the
+body level: there is exactly one piece of code that renders a 401, a
+403-policy block, or a translate payload, so the differential tests in
+``tests/test_http_differential.py`` lock equivalence instead of chasing
+two divergent copies.
+
+The route surface and semantics are documented in
+:mod:`repro.serving.http` (the original home of this logic).
+
+Transports remain responsible for wire-level concerns — request
+framing, Content-Length parsing, body size enforcement, keep-alive —
+but render transport-level errors through :func:`error_response` /
+:data:`BODY_TOO_LARGE` here so even those bodies match byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, urlparse
+
+from repro.serving.metrics import quantile_from_snapshot, series_key
+from repro.serving.service import (
+    QueueFullError,
+    ServiceStoppedError,
+    UnknownDatabaseError,
+)
+from repro.tenancy.controller import (
+    AuthenticationError,
+    QuotaExceededError,
+    RateLimitedError,
+)
+
+# One request body bound shared by both transports.
+MAX_BODY_BYTES = 64 * 1024
+
+_JSON = "application/json"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass(frozen=True)
+class Response:
+    """One rendered HTTP response, transport-ready."""
+
+    status: int
+    body: bytes
+    content_type: str = _JSON
+    headers: tuple[tuple[str, str], ...] = field(default=())
+
+
+def json_response(
+    status: int, payload: dict, *, headers: tuple[tuple[str, str], ...] = ()
+) -> Response:
+    return Response(
+        status,
+        json.dumps(payload).encode("utf-8"),
+        headers=headers,
+    )
+
+
+def error_response(
+    status: int,
+    message: str,
+    *,
+    retriable: bool | None = None,
+    headers: tuple[tuple[str, str], ...] = (),
+) -> Response:
+    payload: dict = {"error": message}
+    if retriable is not None:
+        payload["retriable"] = retriable
+    return json_response(status, payload, headers=headers)
+
+
+def body_too_large() -> Response:
+    """413 for request bodies over :data:`MAX_BODY_BYTES` (both impls)."""
+    return error_response(413, "request body exceeds 64 KiB")
+
+
+def _retry_after_header(seconds: float) -> str:
+    """Retry-After is an integer header; round up so clients never retry
+    early and immediately eat another 429."""
+    return str(max(1, math.ceil(seconds)))
+
+
+def tenant_latency_stats(service, tenant_id: str) -> dict:
+    """p50/p95/p99 (+count) of one tenant's in-service latency, in ms.
+
+    Works against both a single-process registry snapshot and the
+    cluster's ``{"fleet": ...}`` merged snapshot.
+    """
+    snap = service.metrics.snapshot()
+    snap = snap.get("fleet", snap)
+    hist = snap.get(series_key("tenant_latency_seconds", "tenant", tenant_id))
+    if not isinstance(hist, dict):
+        return {"count": 0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    return {
+        "count": hist.get("count", 0),
+        "p50_ms": 1000.0 * quantile_from_snapshot(hist, 0.50),
+        "p95_ms": 1000.0 * quantile_from_snapshot(hist, 0.95),
+        "p99_ms": 1000.0 * quantile_from_snapshot(hist, 0.99),
+    }
+
+
+def _api_key(headers) -> str | None:
+    """Extract the API key: ``Authorization: Bearer`` or ``X-API-Key``.
+
+    ``headers`` is any case-insensitive mapping with ``.get`` — the
+    stdlib ``email.message.Message`` and the async server's header view
+    both qualify.
+    """
+    auth = headers.get("Authorization") or ""
+    if auth.lower().startswith("bearer "):
+        return auth[len("bearer "):].strip() or None
+    key = headers.get("X-API-Key") or ""
+    return key.strip() or None
+
+
+def _service_ready(service) -> tuple[bool, str]:
+    if service is None:
+        return False, "service not attached (warming up)"
+    is_ready = getattr(service, "is_ready", None)
+    if is_ready is not None and not is_ready():
+        return False, "service is not ready"
+    return True, "ok"
+
+
+# --------------------------------------------------------------- GET routes
+
+
+def _tenant_usage_payload(service, controller, tenant_id: str) -> dict | None:
+    usage = controller.usage(tenant_id)
+    if usage is None:
+        return None
+    usage["latency"] = tenant_latency_stats(service, tenant_id)
+    return usage
+
+
+def _handle_tenants_get(service, path: str, headers) -> Response:
+    controller = getattr(service, "tenancy", None)
+    if controller is None:
+        return error_response(404, "tenancy is not enabled")
+    key = _api_key(headers)
+    if path == "/tenants":
+        if not controller.is_admin(key):
+            return error_response(403 if key else 401, "admin API key required")
+        overview = controller.overview()
+        for entry in overview["tenants"]:
+            if entry is not None:
+                entry["latency"] = tenant_latency_stats(service, entry["id"])
+        return json_response(200, overview)
+    # /tenants/<id>/usage
+    parts = path.strip("/").split("/")
+    if len(parts) != 3 or parts[2] != "usage":
+        return error_response(404, f"unknown path {path!r}")
+    tenant_id = parts[1]
+    if not controller.is_admin(key):
+        try:
+            tenant = controller.authenticate(key)
+        except AuthenticationError:
+            return error_response(401, "valid API key required")
+        if tenant.tenant_id != tenant_id:
+            return error_response(403, "key does not match this tenant")
+    payload = _tenant_usage_payload(service, controller, tenant_id)
+    if payload is None:
+        return error_response(404, f"unknown tenant {tenant_id!r}")
+    return json_response(200, payload)
+
+
+def _handle_get(service, target: str, headers) -> Response:
+    parsed = urlparse(target)
+    if parsed.path == "/livez":
+        return json_response(200, {"live": True})
+    if parsed.path == "/readyz":
+        ready, reason = _service_ready(service)
+        if ready:
+            return json_response(200, {"ready": True})
+        return json_response(
+            503, {"ready": False, "reason": reason, "retriable": True}
+        )
+    if parsed.path == "/healthz":
+        if service is None:
+            return json_response(200, {"status": "starting", "ready": False})
+        return json_response(200, service.health())
+    if parsed.path == "/metrics":
+        if service is None:
+            return Response(200, b"", _PROM)
+        params = parse_qs(parsed.query)
+        if params.get("format", [""])[0] == "json":
+            return json_response(200, service.metrics.snapshot())
+        return Response(
+            200, service.metrics.render_text().encode("utf-8"), _PROM
+        )
+    if parsed.path == "/tenants" or parsed.path.startswith("/tenants/"):
+        return _handle_tenants_get(service, parsed.path, headers)
+    return error_response(404, f"unknown path {parsed.path!r}")
+
+
+# -------------------------------------------------------------- POST routes
+
+
+def _handle_translate(service, headers, body: bytes) -> Response:
+    if service is None:
+        return error_response(503, "service is warming up", retriable=True)
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        return error_response(400, f"invalid JSON body: {exc}")
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("question"), str
+    ):
+        return error_response(400, 'body must include a string "question"')
+    tenant_kwargs: dict = {}
+    controller = getattr(service, "tenancy", None)
+    if controller is not None:
+        try:
+            tenant = controller.admit(_api_key(headers))
+        except AuthenticationError as exc:
+            return json_response(
+                401,
+                {"error": str(exc), "reason": "auth"},
+                headers=(("WWW-Authenticate", "Bearer"),),
+            )
+        except RateLimitedError as exc:
+            return json_response(
+                429,
+                {"error": str(exc), "reason": "rate_limited", "retriable": True},
+                headers=(("Retry-After", _retry_after_header(exc.retry_after_s)),),
+            )
+        except QuotaExceededError as exc:
+            return json_response(
+                429,
+                {"error": str(exc), "reason": "quota", "retriable": False},
+                headers=(("Retry-After", _retry_after_header(exc.retry_after_s)),),
+            )
+        tenant_kwargs = {
+            "tenant_id": tenant.tenant_id,
+            "tenant_weight": tenant.weight,
+        }
+    try:
+        response = service.translate(
+            payload["question"],
+            payload.get("database_id"),
+            beam_size=payload.get("beam_size"),
+            execute=bool(payload.get("execute", False)),
+            timeout_ms=payload.get("timeout_ms"),
+            inject_failure=bool(payload.get("inject_failure", False)),
+            dialect=payload.get("dialect"),
+            **tenant_kwargs,
+        )
+    except UnknownDatabaseError as exc:
+        return error_response(404, str(exc))
+    except (QueueFullError, ServiceStoppedError) as exc:
+        return error_response(503, str(exc), retriable=True)
+    except (TypeError, ValueError) as exc:
+        return error_response(400, f"bad request parameters: {exc}")
+    if getattr(response, "policy", None) is not None:
+        # Policy-blocked: a structured 4xx carrying the machine-readable
+        # rule id(s); the query was NOT executed.
+        body_payload = response.as_dict()
+        body_payload["reason"] = "policy"
+        body_payload["rule_id"] = response.policy.get("rule_id")
+        return json_response(403, body_payload)
+    return json_response(200, response.as_dict())
+
+
+# ------------------------------------------------------------- entry point
+
+
+def handle(
+    service, method: str, target: str, headers, body: bytes | None
+) -> Response:
+    """Route one fully-read request; never raises for expected errors.
+
+    ``headers`` must support case-insensitive ``.get(name)``; ``body``
+    is the complete (already de-chunked) request body, or ``None`` for
+    bodyless methods.  Wire-level failures (bad Content-Length,
+    oversized body) are the transport's to detect — render them with
+    :func:`error_response` / :func:`body_too_large` so bodies stay
+    identical across implementations.
+    """
+    if method == "GET":
+        return _handle_get(service, target, headers)
+    if method == "POST":
+        parsed = urlparse(target)
+        if parsed.path != "/translate":
+            return error_response(404, f"unknown path {parsed.path!r}")
+        if not body:
+            return error_response(400, "body required (<= 64 KiB)")
+        if len(body) > MAX_BODY_BYTES:
+            return body_too_large()
+        return _handle_translate(service, headers, body)
+    return error_response(405, f"method {method} not allowed")

@@ -4,6 +4,7 @@ a real forked 2-worker cluster (heartbeats, failover, deadline propagation).
 
 from __future__ import annotations
 
+import json
 import socket
 import sqlite3
 import threading
@@ -88,6 +89,30 @@ class TestProtocol:
             left.close()
             right.close()
 
+    def test_dribbled_frame_one_byte_at_a_time(self):
+        # A peer that trickles one byte per write must not confuse the
+        # stateless reader: recv_into loops until the frame completes.
+        left, right = socket.socketpair()
+        try:
+            frame = protocol.response_frame(3, {"sql": "SELECT 1", "k": "v" * 40})
+            body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+            payload = len(body).to_bytes(4, "big") + body
+            done = threading.Event()
+
+            def dribble():
+                for i in range(len(payload)):
+                    left.sendall(payload[i:i + 1])
+                done.set()
+
+            thread = threading.Thread(target=dribble, daemon=True)
+            thread.start()
+            assert protocol.recv_frame(right) == frame
+            done.wait(5.0)
+            thread.join(5.0)
+        finally:
+            left.close()
+            right.close()
+
     def test_budget_re_anchoring_is_clock_skew_immune(self):
         # Sender: 1.5 s left on its own clock.
         budget = protocol.remaining_budget_s(100.0 + 1.5, now=100.0)
@@ -97,6 +122,147 @@ class TestProtocol:
         assert deadline == pytest.approx(5001.5)
         # Expired budgets clamp at zero rather than going negative.
         assert protocol.remaining_budget_s(99.0, now=100.0) == 0.0
+
+
+class TestFrameConnection:
+    def _pair(self, **kwargs):
+        left, right = socket.socketpair()
+        return (
+            protocol.FrameConnection(left, **kwargs),
+            protocol.FrameConnection(right),
+        )
+
+    def test_json_round_trip(self):
+        sender, receiver = self._pair()
+        try:
+            frame = protocol.request_frame(
+                1, "count pets", "pets", beam_size=None, execute=False,
+                budget_s=2.0,
+            )
+            sender.send(frame)
+            assert receiver.recv() == frame
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_binary_fast_path_round_trips_large_fields(self):
+        sender, receiver = self._pair(binary=True)
+        try:
+            big_sql = 'SELECT "' + "x" * 4096 + '"'          # forces a blob
+            frame = protocol.response_frame(
+                9,
+                {
+                    "sql": big_sql,
+                    "rows": [[1, "a"], [2, "b" * 2048]],
+                    "raw": b"\x00\x01\xff" * 500,
+                    "small": "inline",
+                },
+            )
+            sender.send(frame)
+            got = receiver.recv()
+            # bytes fields come back as bytes, big strings as str — the
+            # fast path must be invisible to the application layer.
+            assert got["payload"]["sql"] == big_sql
+            assert got["payload"]["raw"] == b"\x00\x01\xff" * 500
+            assert got["payload"]["rows"][1][1] == "b" * 2048
+            assert got["payload"]["small"] == "inline"
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_binary_sender_without_large_fields_emits_plain_json(self):
+        sender, receiver = self._pair(binary=True)
+        try:
+            frame = protocol.ping_frame(4)
+            sender.send(frame)
+            assert receiver.recv() == frame
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_reserved_blob_key_refused(self):
+        sender, receiver = self._pair(binary=True)
+        try:
+            with pytest.raises(protocol.ProtocolError):
+                sender.send({"type": "x", "payload": {"\x00blob": [0, "s"]}})
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_dribbled_bytes_resume_across_timeouts(self):
+        # The satellite regression: a reader interrupted mid-frame
+        # (socket timeout standing in for EINTR) must resume cleanly,
+        # even when the peer dribbles one byte at a time.
+        left, right = socket.socketpair()
+        conn = protocol.FrameConnection(right)
+        right.settimeout(0.005)
+        try:
+            frame = protocol.response_frame(5, {"sql": "SELECT 1"})
+            body = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+            payload = len(body).to_bytes(4, "big") + body
+
+            def dribble():
+                for i in range(len(payload)):
+                    left.sendall(payload[i:i + 1])
+                    time.sleep(0.015)
+
+            thread = threading.Thread(target=dribble, daemon=True)
+            thread.start()
+            deadline = time.monotonic() + 10.0
+            timeouts = 0
+            while True:
+                try:
+                    got = conn.recv()
+                    break
+                except TimeoutError:
+                    timeouts += 1
+                    assert time.monotonic() < deadline, "dribble never completed"
+            assert got == frame
+            assert timeouts > 0, "test must actually interrupt mid-frame"
+            thread.join(5.0)
+        finally:
+            conn.close()
+            left.close()
+
+    def test_back_to_back_frames_reuse_the_buffer(self):
+        sender, receiver = self._pair(binary=True)
+        try:
+            frames = [
+                protocol.response_frame(i, {"sql": "S" * (1 << (i % 12))})
+                for i in range(32)
+            ]
+            def pump():
+                for frame in frames:
+                    sender.send(frame)
+            thread = threading.Thread(target=pump, daemon=True)
+            thread.start()
+            for frame in frames:
+                assert receiver.recv() == frame
+            thread.join(5.0)
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_eof_mid_frame_is_protocol_error(self):
+        left, right = socket.socketpair()
+        conn = protocol.FrameConnection(right)
+        try:
+            left.sendall((100).to_bytes(4, "big") + b"{")  # truncated body
+            left.close()
+            with pytest.raises(protocol.ProtocolError):
+                conn.recv()
+        finally:
+            conn.close()
+
+    def test_clean_eof_is_peer_closed(self):
+        left, right = socket.socketpair()
+        conn = protocol.FrameConnection(right)
+        left.close()
+        try:
+            with pytest.raises(protocol.PeerClosedError):
+                conn.recv()
+        finally:
+            conn.close()
 
 
 class TestHashRing:

@@ -1,0 +1,297 @@
+"""Differential lock: threaded vs async front door, byte-identical bodies.
+
+Both servers delegate to :mod:`repro.serving.routes`; this suite proves
+the delegation is airtight by running the full route matrix —
+translate (200/400/403/404/503), healthz/livez/readyz, metrics,
+tenants (incl. 401/403/429 admission paths) — against a *deterministic*
+fake service mounted behind both implementations at once, and comparing
+response bodies byte for byte.
+
+The service is fake on purpose: a real ``translate`` stamps wall-clock
+timings into the body, so two live calls never match bytewise.  The
+lock is about the front door, not the model — the fake pins every
+response so any divergence that shows up is transport-layer drift.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.serving import AsyncServingServer, MetricsRegistry, ServingServer
+from repro.serving.service import (
+    QueueFullError,
+    ServeResponse,
+    UnknownDatabaseError,
+)
+from repro.tenancy.controller import (
+    AuthenticationError,
+    QuotaExceededError,
+    RateLimitedError,
+)
+
+GOOD_KEY = "tenant-key-good"
+ADMIN_KEY = "tenant-key-admin"
+LIMITED_KEY = "tenant-key-limited"
+CAPPED_KEY = "tenant-key-capped"
+
+
+class _Tenant:
+    def __init__(self, tenant_id: str, weight: int = 1):
+        self.tenant_id = tenant_id
+        self.weight = weight
+
+
+class FakeTenancy:
+    """Deterministic admission control: outcomes keyed by API key."""
+
+    def is_admin(self, key):
+        return key == ADMIN_KEY
+
+    def authenticate(self, key):
+        if key == GOOD_KEY:
+            return _Tenant("acme")
+        raise AuthenticationError("unknown or disabled API key")
+
+    def admit(self, key):
+        if key == GOOD_KEY:
+            return _Tenant("acme")
+        if key == LIMITED_KEY:
+            raise RateLimitedError("tenant 'limited' over rate", 2.5)
+        if key == CAPPED_KEY:
+            raise QuotaExceededError("tenant 'capped' quota spent", 600.0)
+        raise AuthenticationError("unknown or disabled API key")
+
+    def overview(self):
+        return {"version": 1, "tenants": [{"id": "acme", "class": "gold"}]}
+
+    def usage(self, tenant_id):
+        if tenant_id == "acme":
+            return {"id": "acme", "requests_today": 3}
+        return None
+
+
+def _fixed_response(**overrides) -> ServeResponse:
+    response = ServeResponse(question="How many pets?", database_id="pets")
+    response.sql = "SELECT count(*) FROM pets"
+    response.engine = "heuristic"
+    response.timings = {"decode": 0.001}
+    response.queue_ms = 0.5
+    response.service_ms = 1.5
+    for key, value in overrides.items():
+        setattr(response, key, value)
+    return response
+
+
+class FakeService:
+    """Pinned-response stand-in with the duck-typed service surface."""
+
+    def __init__(self):
+        self.metrics = MetricsRegistry()
+        self.tenancy = FakeTenancy()
+
+    def is_ready(self):
+        return True
+
+    def health(self):
+        return {"status": "ok", "ready": True, "databases": ["pets"]}
+
+    def translate(self, question, database_id=None, **kwargs):
+        if database_id == "missing":
+            raise UnknownDatabaseError("unknown database 'missing'")
+        if question == "overload":
+            raise QueueFullError("queue full (64 deep)")
+        if question == "badparam":
+            raise ValueError("beam_size must be positive")
+        if question == "blocked":
+            return _fixed_response(
+                sql=None,
+                policy={"rule_id": "blocked-keyword", "violations": ["x"]},
+            )
+        return _fixed_response()
+
+
+@pytest.fixture(scope="module")
+def pair():
+    service = FakeService()
+    threaded = ServingServer(("127.0.0.1", 0), service)
+    asynced = AsyncServingServer(("127.0.0.1", 0), service)
+    threads = [
+        threading.Thread(target=threaded.serve_forever, daemon=True),
+        threading.Thread(target=asynced.serve_forever, daemon=True),
+    ]
+    for thread in threads:
+        thread.start()
+    yield threaded, asynced
+    for server in (threaded, asynced):
+        server.shutdown()
+        server.server_close()
+
+
+def _request(server, method, path, *, body=None, headers=None):
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def both(pair, method, path, *, body=None, headers=None):
+    """Issue the same request to both servers; assert status+body match."""
+    threaded, asynced = pair
+    status_a, body_a = _request(threaded, method, path, body=body, headers=headers)
+    status_b, body_b = _request(asynced, method, path, body=body, headers=headers)
+    assert status_a == status_b, (path, status_a, status_b, body_a, body_b)
+    assert body_a == body_b, (path, body_a, body_b)
+    return status_a, body_a
+
+
+def _post(pair, payload, *, key=None, raw=None):
+    headers = {"Content-Type": "application/json"}
+    if key:
+        headers["Authorization"] = f"Bearer {key}"
+    body = raw if raw is not None else json.dumps(payload).encode("utf-8")
+    return both(pair, "POST", "/translate", body=body, headers=headers)
+
+
+class TestGetMatrix:
+    def test_livez(self, pair):
+        status, body = both(pair, "GET", "/livez")
+        assert status == 200
+        assert json.loads(body) == {"live": True}
+
+    def test_readyz(self, pair):
+        status, _ = both(pair, "GET", "/readyz")
+        assert status == 200
+
+    def test_healthz(self, pair):
+        status, body = both(pair, "GET", "/healthz")
+        assert status == 200
+        assert json.loads(body)["databases"] == ["pets"]
+
+    def test_metrics_text(self, pair):
+        status, _ = both(pair, "GET", "/metrics")
+        assert status == 200
+
+    def test_metrics_json(self, pair):
+        status, _ = both(pair, "GET", "/metrics?format=json")
+        assert status == 200
+
+    def test_unknown_path(self, pair):
+        status, _ = both(pair, "GET", "/nope")
+        assert status == 404
+
+    def test_tenants_requires_key(self, pair):
+        status, _ = both(pair, "GET", "/tenants")
+        assert status == 401
+
+    def test_tenants_non_admin_forbidden(self, pair):
+        status, _ = both(
+            pair, "GET", "/tenants",
+            headers={"Authorization": f"Bearer {GOOD_KEY}"},
+        )
+        assert status == 403
+
+    def test_tenants_admin(self, pair):
+        status, body = both(
+            pair, "GET", "/tenants",
+            headers={"Authorization": f"Bearer {ADMIN_KEY}"},
+        )
+        assert status == 200
+        assert json.loads(body)["tenants"][0]["id"] == "acme"
+
+    def test_tenant_usage(self, pair):
+        status, _ = both(
+            pair, "GET", "/tenants/acme/usage",
+            headers={"Authorization": f"Bearer {GOOD_KEY}"},
+        )
+        assert status == 200
+
+    def test_tenant_usage_unknown(self, pair):
+        status, _ = both(
+            pair, "GET", "/tenants/ghost/usage",
+            headers={"Authorization": f"Bearer {ADMIN_KEY}"},
+        )
+        assert status == 404
+
+
+class TestTranslateMatrix:
+    def test_success(self, pair):
+        status, body = _post(
+            pair, {"question": "How many pets?", "database_id": "pets"},
+            key=GOOD_KEY,
+        )
+        assert status == 200
+        assert json.loads(body)["sql"] == "SELECT count(*) FROM pets"
+
+    def test_policy_block_403(self, pair):
+        status, body = _post(
+            pair, {"question": "blocked", "database_id": "pets"}, key=GOOD_KEY
+        )
+        assert status == 403
+        payload = json.loads(body)
+        assert payload["reason"] == "policy"
+        assert payload["rule_id"] == "blocked-keyword"
+
+    def test_unknown_database_404(self, pair):
+        status, _ = _post(
+            pair, {"question": "q", "database_id": "missing"}, key=GOOD_KEY
+        )
+        assert status == 404
+
+    def test_queue_full_503(self, pair):
+        status, body = _post(pair, {"question": "overload"}, key=GOOD_KEY)
+        assert status == 503
+        assert json.loads(body)["retriable"] is True
+
+    def test_bad_params_400(self, pair):
+        status, _ = _post(pair, {"question": "badparam"}, key=GOOD_KEY)
+        assert status == 400
+
+    def test_missing_question_400(self, pair):
+        status, _ = _post(pair, {"database_id": "pets"}, key=GOOD_KEY)
+        assert status == 400
+
+    def test_invalid_json_400(self, pair):
+        status, _ = _post(pair, None, key=GOOD_KEY, raw=b"{not json")
+        assert status == 400
+
+    def test_empty_body_400(self, pair):
+        status, _ = _post(pair, None, key=GOOD_KEY, raw=b"")
+        assert status == 400
+
+    def test_missing_key_401(self, pair):
+        status, body = _post(pair, {"question": "q"})
+        assert status == 401
+        assert json.loads(body)["reason"] == "auth"
+
+    def test_rate_limited_429(self, pair):
+        status, body = _post(pair, {"question": "q"}, key=LIMITED_KEY)
+        assert status == 429
+        assert json.loads(body)["reason"] == "rate_limited"
+
+    def test_quota_429(self, pair):
+        status, body = _post(pair, {"question": "q"}, key=CAPPED_KEY)
+        assert status == 429
+        assert json.loads(body)["reason"] == "quota"
+
+    def test_oversized_body_413(self, pair):
+        # Threaded closes without draining the body; async refuses from
+        # the Content-Length alone.  Both must answer 413, same body.
+        raw = json.dumps({"question": "x" * (70 * 1024)}).encode("utf-8")
+        status, body = _post(pair, None, key=GOOD_KEY, raw=raw)
+        assert status == 413
+        assert b"64 KiB" in body
+
+    def test_post_unknown_path_404(self, pair):
+        status, _ = both(
+            pair, "POST", "/nope",
+            body=b"{}", headers={"Content-Type": "application/json"},
+        )
+        assert status == 404
