@@ -1,0 +1,264 @@
+#!/usr/bin/env python
+"""Drift smoke test: live schema evolution under sustained load.
+
+Starts the serving stack in-process with a background KB refresher, then
+mutates the watched database — DDL (a new table) *and* content (rows
+with a value that did not exist at index-build time) — while client
+threads hammer /translate.  Passes only if:
+
+* zero requests fail (no 5xx — the swap is zero-downtime);
+* the index version visibly bumps in /healthz and the ``evolve_*``
+  refresh counters appear in the /metrics exposition;
+* ``POST /admin/refresh`` answers 200 with the refresh report;
+* a post-drift value query resolves against the NEW content (the
+  question names a value only the drifted rows contain);
+* the corpus file grew with validated examples referencing the new
+  table.
+
+Run with ``PYTHONPATH=src python scripts/drift_smoke.py``; exits 0 on
+success.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.db import Database
+from repro.evolve import KBRefresher
+from repro.index import IndexRegistry, set_default_registry
+from repro.serving import (
+    DatabaseRuntime,
+    ServingServer,
+    TranslationCache,
+    TranslationService,
+)
+
+LOAD_THREADS = 4
+LOAD_SECONDS = 4.0
+REFRESH_INTERVAL_S = 0.25
+
+QUESTIONS = (
+    "How many students are there?",
+    "List the name of all students.",
+    "Which students are from France?",
+    "What is the average age of students?",
+    "pets heavier than 10",
+)
+
+
+def make_database(path: Path) -> None:
+    connection = sqlite3.connect(path)
+    connection.executescript(
+        """
+        CREATE TABLE student (
+            stuid INTEGER PRIMARY KEY, name TEXT, age INTEGER,
+            home_country TEXT);
+        CREATE TABLE pet (
+            petid INTEGER PRIMARY KEY, pet_type TEXT, weight REAL);
+        INSERT INTO student VALUES
+            (1,'Ann Miller',22,'France'),(2,'Bob Smith',19,'France'),
+            (3,'Cid Rossi',25,'Italy'),(4,'Dana Levi',21,'Spain');
+        INSERT INTO pet VALUES (10,'Dog',12.0),(11,'Cat',3.5);
+        """
+    )
+    connection.commit()
+    connection.close()
+
+
+def post(url: str, route: str, body: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url + route,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def get(url: str, route: str) -> str:
+    with urllib.request.urlopen(url + route, timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
+class LoadGenerator:
+    """Client threads that hammer /translate and tally status codes."""
+
+    def __init__(self, url: str):
+        self.url = url
+        self.stop = threading.Event()
+        self.counts: dict[int, int] = {}
+        self.errors: list[str] = []
+        self._lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._run, args=(i,), daemon=True)
+            for i in range(LOAD_THREADS)
+        ]
+
+    def _run(self, seed: int) -> None:
+        i = seed
+        while not self.stop.is_set():
+            question = QUESTIONS[i % len(QUESTIONS)]
+            i += 1
+            try:
+                status, _body = post(self.url, "/translate", {
+                    "question": question, "database_id": "pets",
+                })
+            except Exception as exc:  # noqa: BLE001 - any transport failure fails the smoke
+                with self._lock:
+                    self.errors.append(repr(exc))
+                continue
+            with self._lock:
+                self.counts[status] = self.counts.get(status, 0) + 1
+            time.sleep(0.005)
+
+    def __enter__(self) -> "LoadGenerator":
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop.set()
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "pets.sqlite"
+        corpus_path = Path(tmp) / "corpus.jsonl"
+        make_database(path)
+
+        registry = IndexRegistry()
+        set_default_registry(registry)
+        database = Database.open(path)
+        service = TranslationService(
+            [DatabaseRuntime(database, database_id="pets")],
+            workers=4,
+            queue_size=256,
+            cache=TranslationCache(capacity=128, ttl_s=300.0),
+        ).start()
+        refresher = KBRefresher(
+            registry=registry,
+            interval_s=REFRESH_INTERVAL_S,
+            metrics=service.metrics,
+            corpus_path=corpus_path,
+        )
+        refresher.watch(database, database_id="pets")
+        refresher.attach_service(service)
+        refresher.start()
+        server = ServingServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            health = json.loads(get(server.url, "/healthz"))
+            version_before = health["evolve"]["versions"]["pets"]
+
+            with LoadGenerator(server.url) as load:
+                time.sleep(0.5)
+                # Drift arrives through a separate writer connection,
+                # exactly like an external ETL job: DDL + new content.
+                writer = sqlite3.connect(path)
+                writer.executescript(
+                    """
+                    CREATE TABLE clinic (
+                        clinicid INTEGER PRIMARY KEY, city TEXT,
+                        capacity INTEGER);
+                    INSERT INTO clinic VALUES (1,'Zurich',40),(2,'Basel',25);
+                    INSERT INTO student VALUES (5,'Gil Tembo',24,'Zanzibar');
+                    """
+                )
+                writer.commit()
+                writer.close()
+
+                # The background refresher must notice and swap on its own.
+                deadline = time.monotonic() + 20.0
+                version_after = version_before
+                while time.monotonic() < deadline:
+                    health = json.loads(get(server.url, "/healthz"))
+                    version_after = health["evolve"]["versions"]["pets"]
+                    if version_after > version_before:
+                        break
+                    time.sleep(0.1)
+                assert version_after > version_before, (
+                    f"index version never bumped (still {version_after})"
+                )
+                # Keep the load running across the post-swap window too.
+                time.sleep(max(0.0, LOAD_SECONDS - 2.0))
+
+            assert not load.errors, f"transport errors: {load.errors[:5]}"
+            bad = {s: n for s, n in load.counts.items() if s >= 500}
+            total = sum(load.counts.values())
+            assert not bad, f"5xx during drift: {bad} (of {total})"
+            assert total > 0, "load generator sent nothing"
+
+            # The new value resolves: 'Zanzibar' entered the database
+            # after the index was first built.
+            status, body = post(server.url, "/translate", {
+                "question": "Which students are from Zanzibar?",
+                "database_id": "pets", "execute": True,
+            })
+            assert status == 200, (status, body)
+            assert "Zanzibar" in body["sql"], body["sql"]
+            assert body["rows"], body
+            # And the new table is queryable end to end.
+            status, body = post(server.url, "/translate", {
+                "question": "How many rows are in clinic?",
+                "database_id": "pets", "execute": True,
+            })
+            assert status == 200, (status, body)
+
+            # The admin route forces a synchronous refresh and reports it.
+            status, body = post(server.url, "/admin/refresh", {})
+            assert status == 200, (status, body)
+            assert body["status"] == "ok", body
+            assert body["evolve"]["swaps"] >= 1, body
+
+            metrics = get(server.url, "/metrics")
+            for name in ("evolve_refresh_runs_total",
+                         "evolve_index_swap_seconds",
+                         "evolve_corpus_examples_total"):
+                assert name in metrics, f"{name} missing from /metrics"
+            runs = next(
+                float(line.rsplit(" ", 1)[1])
+                for line in metrics.splitlines()
+                if line.startswith("evolve_refresh_runs_total")
+            )
+            assert runs >= 1, metrics
+
+            # Corpus growth: validated examples referencing the new table.
+            lines = [
+                json.loads(line)
+                for line in corpus_path.read_text().splitlines()
+            ]
+            clinic = [line for line in lines if line["table"] == "clinic"]
+            assert clinic, f"no clinic examples in corpus ({len(lines)} lines)"
+            assert all(line["validated"] for line in lines), lines
+
+            print(
+                f"drift smoke OK: {total} requests, 0 failures, "
+                f"version {version_before}->{version_after}, "
+                f"{len(lines)} corpus examples ({len(clinic)} for clinic)"
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            refresher.stop()
+            service.stop()
+            database.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

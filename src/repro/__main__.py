@@ -3,6 +3,8 @@
 Commands:
 
 * ``corpus DIR``     — generate the synthetic Spider-like corpus to DIR.
+* ``corpus generate`` — derive a validated Q->SQL corpus from live
+                       SQLite databases (see ``repro.evolve.corpus``).
 * ``train DIR``      — train a model on a generated corpus and save it.
 * ``translate``      — translate one question against a SQLite database
                        with a trained model.
@@ -33,6 +35,88 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     print(f"wrote corpus to {args.directory}: "
           f"train={corpus.num_train} dev={corpus.num_dev} "
           f"databases={len(corpus.domains)}")
+    return 0
+
+
+def _cmd_corpus_generate(argv: list[str]) -> int:
+    """``repro corpus generate`` — schema-derived, validated examples.
+
+    Dispatched before argparse in :func:`main` because the legacy
+    ``corpus DIR`` positional would otherwise swallow ``generate`` as a
+    directory name.
+    """
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro corpus generate",
+        description="Derive a validated question->SQL corpus from live "
+                    "SQLite databases (see repro.evolve.corpus). Every "
+                    "emitted example is built as a repro.sql AST and "
+                    "validated against the policy engine and executor.",
+    )
+    parser.add_argument(
+        "--database", action="append", required=True, dest="databases",
+        metavar="[ID=]PATH",
+        help="SQLite file to derive from (repeatable); id defaults to "
+             "the file stem",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="JSONL",
+        help="append examples to this JSONL file (deduplicated across "
+             "runs); default: print to stdout",
+    )
+    parser.add_argument(
+        "--policy", default=None, metavar="JSON",
+        help="SQL policy config; examples the policy would block are "
+             "not emitted",
+    )
+    parser.add_argument(
+        "--tables", default=None, metavar="T1,T2",
+        help="restrict generation to these tables (default: all)",
+    )
+    parser.add_argument(
+        "--no-validate", action="store_true",
+        help="skip policy/executor validation (faster, but examples are "
+             "not guaranteed runnable)",
+    )
+    parser.add_argument("--max-value-examples", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    from repro.db import Database
+    from repro.evolve import CorpusWriter, generate_examples
+
+    policy = None
+    if args.policy is not None:
+        from repro.policy import PolicyConfigStore, PolicyEngine
+
+        policy = PolicyEngine(PolicyConfigStore.load(args.policy))
+    tables = None
+    if args.tables:
+        tables = [t.strip() for t in args.tables.split(",") if t.strip()]
+    writer = CorpusWriter(args.output) if args.output is not None else None
+    total = written = 0
+    for database_id, path in _parse_database_specs(args.databases):
+        database = Database.open(path)
+        try:
+            examples = generate_examples(
+                database,
+                database_id=database_id,
+                tables=tables,
+                policy=policy,
+                validate=not args.no_validate,
+                max_value_examples=args.max_value_examples,
+            )
+        finally:
+            database.close()
+        total += len(examples)
+        if writer is not None:
+            written += writer.append(examples)
+        else:
+            for example in examples:
+                print(json.dumps(example.as_dict()))
+    if writer is not None:
+        print(f"generated {total} example(s); wrote {written} new "
+              f"(deduplicated) to {args.output}")
     return 0
 
 
@@ -153,6 +237,25 @@ def _install_signal_handlers(shutdown) -> None:
     signal.signal(signal.SIGINT, _request_shutdown)
 
 
+def _install_sighup(callback) -> None:
+    """SIGHUP -> force a KB refresh (no-op where SIGHUP doesn't exist).
+
+    ``callback`` must be async-signal-safe in spirit: both wirings
+    (``KBRefresher.trigger`` and ``ClusterService.trigger_refresh``)
+    only flip an event / write a frame, never rebuild inline.
+    """
+    import signal
+
+    if not hasattr(signal, "SIGHUP"):
+        return
+
+    def _on_hup(signum, frame):
+        print("received SIGHUP; scheduling KB refresh ...", flush=True)
+        callback()
+
+    signal.signal(signal.SIGHUP, _on_hup)
+
+
 def _build_tenancy(args, metrics=None):
     """Build the TenancyController for ``--tenants`` (None when absent).
 
@@ -270,6 +373,24 @@ def _serve_single(args, pairs, server, shutdown) -> int:
     service.start()
     server.attach(service)
     service.mark_ready()
+    refresher = None
+    if args.kb_refresh_interval is not None:
+        from repro.evolve import KBRefresher
+
+        refresher = KBRefresher(
+            registry=registry,
+            interval_s=args.kb_refresh_interval,
+            metrics=metrics,
+            corpus_path=args.kb_corpus,
+            corpus_policy=policy,
+        )
+        for database_id, database in databases.items():
+            refresher.watch(database, database_id=database_id)
+        refresher.attach_service(service)
+        refresher.start()
+        _install_sighup(refresher.trigger)
+        print(f"kb refresher: polling every {args.kb_refresh_interval:g}s "
+              f"(force via SIGHUP or POST /admin/refresh)")
     print(f"serving {len(runtimes)} database(s): "
           f"{', '.join(sorted(service.runtimes))}")
     print("  endpoints: POST /translate  GET /healthz /livez /readyz /metrics"
@@ -277,6 +398,8 @@ def _serve_single(args, pairs, server, shutdown) -> int:
     try:
         _serve_until_signalled(server, shutdown)
     finally:
+        if refresher is not None:
+            refresher.stop()
         clean = service.drain(timeout=args.drain_s)
         print("drained cleanly" if clean else "drain timed out; stopped anyway")
         if tenancy is not None:
@@ -314,9 +437,16 @@ def _serve_cluster(args, pairs, server, shutdown) -> int:
         allow_failure_injection=args.allow_injection,
         policy_path=args.policy,
         dialect=args.dialect,
+        kb_refresh_interval_s=args.kb_refresh_interval,
+        kb_corpus_dir=args.kb_corpus,
     )
     cluster.start()
     server.attach(cluster)
+    if args.kb_refresh_interval is not None:
+        _install_sighup(cluster.trigger_refresh)
+        print(f"kb refresher: per-worker, polling every "
+              f"{args.kb_refresh_interval:g}s "
+              f"(force via SIGHUP or POST /admin/refresh)")
     if not cluster.wait_ready(timeout=300.0):
         print("warning: cluster not fully ready yet; serving anyway", flush=True)
     print(f"cluster of {args.workers} worker(s) serving "
@@ -338,6 +468,14 @@ def _serve_cluster(args, pairs, server, shutdown) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Pre-argparse dispatch: the legacy `corpus DIR` positional would
+    # swallow "generate" as a directory name, so the subcommand routes
+    # around the main parser entirely.
+    if list(argv[:2]) == ["corpus", "generate"]:
+        configure_cli_logging()
+        return _cmd_corpus_generate(list(argv[2:]))
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -448,6 +586,19 @@ def main(argv: list[str] | None = None) -> int:
         choices=("sqlite", "postgres", "mysql"),
         help="default SQL dialect for rendered responses (per-request "
              "override via the 'dialect' body field)",
+    )
+    serve.add_argument(
+        "--kb-refresh-interval", type=float, default=None, metavar="S",
+        help="live schema evolution: poll watched databases every S "
+             "seconds in the background and hot-swap indexes on drift "
+             "(zero downtime; force via SIGHUP or POST /admin/refresh). "
+             "In cluster mode each worker runs its own refresher.",
+    )
+    serve.add_argument(
+        "--kb-corpus", default=None, metavar="PATH",
+        help="grow a validated Q->SQL corpus (JSONL) as schemas drift; "
+             "single-process: a file, cluster: a directory (each worker "
+             "writes worker-<id>.jsonl). Requires --kb-refresh-interval.",
     )
     serve.set_defaults(func=_cmd_serve)
 

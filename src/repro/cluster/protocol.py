@@ -445,5 +445,15 @@ def ready_frame(worker_id: int, warm_s: float, databases: list[str]) -> dict:
     }
 
 
+def refresh_frame(database_id: str | None = None) -> dict:
+    """Ask a worker to force a KB refresh (all databases when id is None).
+
+    Fire-and-forget by design: the worker's refresher does the rebuild on
+    its own daemon thread and the result shows up in the health/metrics
+    it already reports with every pong.
+    """
+    return {"type": "refresh", "database_id": database_id}
+
+
 def shutdown_frame() -> dict:
     return {"type": "shutdown"}

@@ -252,6 +252,11 @@ class ClusterService:
         self.registry = metrics if metrics is not None else MetricsRegistry()
         self.metrics = _ClusterMetrics(self)
         self.tenancy = tenancy
+        # The /admin/refresh route broadcasts only when workers actually
+        # run a refresher (spec_defaults carry the interval to them).
+        self.refresh_enabled = (
+            spec_defaults.get("kb_refresh_interval_s") is not None
+        )
         self._ids = itertools.count(1)
         self._ping_ids = itertools.count(1)
         self._lock = make_rlock("ClusterService._lock")
@@ -818,6 +823,36 @@ class ClusterService:
                 for w, h in enumerate(self.handles)
             },
         }
+
+    # ------------------------------------------------------------ refresh
+
+    def trigger_refresh(self, database_id: str | None = None) -> int:
+        """Broadcast a KB-refresh frame to every READY worker.
+
+        Returns how many workers received the frame.  Each worker's
+        refresher rebuilds off-path and swaps locally; there is nothing
+        to wait for at the supervisor (SIGHUP and ``POST /admin/refresh``
+        both come through here).
+        """
+        sent = 0
+        for handle in self.handles:
+            with self._lock:
+                ready = handle.status is WorkerStatus.READY
+                conn = handle.conn
+            if not ready or conn is None:
+                continue
+            try:
+                with handle.send_lock:
+                    conn.send(protocol.refresh_frame(database_id))
+                sent += 1
+            except (OSError, protocol.ProtocolError):
+                # A broken socket here is a worker death in progress; the
+                # receiver's EOF path restarts it and the next trigger
+                # reaches the replacement.
+                self._log(
+                    f"refresh frame to worker {handle.worker_id} failed"
+                )
+        return sent
 
     # ------------------------------------------------------------- chaos
 

@@ -70,6 +70,12 @@ class WorkerSpec:
     per_tenant_depth: int | None = None
     policy_path: str | None = None  # JSON policy config (see repro.policy)
     dialect: str = "sqlite"         # default response dialect
+    # Live schema evolution (see repro.evolve): poll interval for the
+    # per-worker background KB refresher (None = disabled) and an
+    # optional directory for schema-driven corpus growth (each worker
+    # writes its own shard's examples to worker-<id>.jsonl there).
+    kb_refresh_interval_s: float | None = None
+    kb_corpus_dir: str | None = None
 
 
 class WorkerProcess:
@@ -98,6 +104,7 @@ class WorkerProcess:
 
             self.policy = PolicyEngine(PolicyConfigStore.load(spec.policy_path))
         self.service: TranslationService | None = None
+        self.refresher = None  # started in warm_and_start when configured
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, spec.max_inflight),
             thread_name_prefix=f"cluster-worker-{spec.worker_id}",
@@ -134,7 +141,33 @@ class WorkerProcess:
         )
         self.service.start()
         self.service.mark_ready()
+        if self.spec.kb_refresh_interval_s is not None:
+            self._start_refresher(shard)
         return time.perf_counter() - start
+
+    def _start_refresher(self, shard: dict[str, Database]) -> None:
+        """Per-worker background KB refresher over this worker's shard."""
+        from pathlib import Path
+
+        from repro.evolve import KBRefresher
+
+        corpus_path = None
+        if self.spec.kb_corpus_dir is not None:
+            corpus_path = (
+                Path(self.spec.kb_corpus_dir)
+                / f"worker-{self.spec.worker_id}.jsonl"
+            )
+        self.refresher = KBRefresher(
+            registry=self.registry,
+            interval_s=self.spec.kb_refresh_interval_s,
+            metrics=self.service.metrics,
+            corpus_path=corpus_path,
+            corpus_policy=self.policy,
+        )
+        for db_id, database in shard.items():
+            self.refresher.watch(database, database_id=db_id)
+        self.refresher.attach_service(self.service)
+        self.refresher.start()
 
     def _open_locked(self, db_id: str) -> Database:
         """Open (or reuse) a hosted database; caller holds ``_adopt_lock``."""
@@ -163,8 +196,13 @@ class WorkerProcess:
         with self._adopt_lock:
             if db_id in self.service.runtimes:
                 return True
-            runtime = self._make_runtime(db_id, self._open_locked(db_id))
+            database = self._open_locked(db_id)
+            runtime = self._make_runtime(db_id, database)
             self.service.add_runtime(runtime)
+        if self.refresher is not None:
+            # Failover traffic keeps flowing here until the sibling is
+            # back; the adopted database drifts like any other.
+            self.refresher.watch(database, database_id=db_id)
         return True
 
     # -------------------------------------------------------------- frames
@@ -243,10 +281,18 @@ class WorkerProcess:
                         ))
                     except OSError:
                         break
+                elif kind == "refresh":
+                    if self.refresher is not None:
+                        # Async trigger: the refresher's own thread does
+                        # the rebuild, so the frame loop stays responsive
+                        # to pings during a refresh.
+                        self.refresher.trigger()
                 elif kind == "shutdown":
                     break
         finally:
             self._pool.shutdown(wait=True)
+            if self.refresher is not None:
+                self.refresher.stop(timeout=5.0)
             if self.service is not None:
                 self.service.drain(timeout=5.0)
             with self._adopt_lock:

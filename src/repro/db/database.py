@@ -114,6 +114,16 @@ class Database:
     # ----------------------------------------------------- thread handling
 
     @property
+    def path(self) -> str | None:
+        """Filesystem path backing this database (``None`` = in-memory).
+
+        File-backed databases can be independently re-opened (the KB
+        refresher re-introspects schemas this way); in-memory ones only
+        exist through this object's connections.
+        """
+        return self._path
+
+    @property
     def connection(self) -> sqlite3.Connection:
         """The SQLite connection for the *current* thread.
 

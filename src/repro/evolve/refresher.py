@@ -1,0 +1,400 @@
+"""Background KB refresher: poll, rebuild off-path, swap with zero downtime.
+
+The :class:`KBRefresher` is a supervised daemon thread that closes the
+gap the registry's lazy rebuild leaves open: it polls every watched
+database through a :class:`~repro.evolve.watcher.SchemaWatcher` on a
+jittered interval, and when drift is detected it
+
+1. opens a *fresh* :class:`~repro.db.database.Database` from the file
+   (so DDL is re-introspected — new tables and columns appear in the
+   schema object),
+2. rebuilds the :class:`~repro.index.inverted.InvertedIndex` /
+   :class:`~repro.index.similarity.SimilaritySearcher` bundle and
+   pre-featurizes the new schema into each attached model's
+   :class:`~repro.model.featurize.SchemaFeatureCache` — all off the
+   request path,
+3. swaps the bundle into the :class:`~repro.index.registry.IndexRegistry`
+   under its existing lock with a version bump, and notifies every
+   attached :class:`~repro.serving.service.TranslationService` (which
+   rebinds its runtime under the per-runtime lock and invalidates the
+   database's translation-cache entries).
+
+No request ever blocks on a rebuild: while a rebuild is in flight the
+registry serves the previous entry (``mark_background_refresh`` arms the
+stale-serve path in ``get()``), and the swap itself is a dictionary
+assignment plus a handful of attribute rebinds — microseconds, measured
+by the ``evolve_index_swap_seconds`` histogram.
+
+Failures back off exponentially per database and never kill the thread;
+a manual refresh can be forced through :meth:`trigger` (async — SIGHUP
+handlers and cluster IPC frames use it) or :meth:`refresh_now`
+(synchronous — the ``POST /admin/refresh`` route uses it).
+
+When a :class:`~repro.evolve.corpus.CorpusWriter` is configured, each
+swap also emits validated Q->SQL examples for the touched tables, so the
+training corpus grows with the schema.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cluster.health import ExponentialBackoff
+from repro.concurrency import make_lock
+from repro.db.database import Database
+from repro.evolve.corpus import CorpusWriter, generate_examples
+from repro.evolve.watcher import DEFAULT_SAMPLE_ROWS, SchemaWatcher
+from repro.index.inverted import InvertedIndex
+from repro.index.registry import (
+    IndexEntry,
+    IndexRegistry,
+    database_fingerprint,
+    get_default_registry,
+)
+from repro.index.similarity import SimilaritySearcher
+from repro.logs import get_logger
+from repro.serving.metrics import MetricsRegistry
+
+_LOG = get_logger(__name__)
+
+DEFAULT_INTERVAL_S = 30.0
+# +/- fraction of the interval each sleep is jittered by, so a fleet of
+# workers polling the same files never thunders in lockstep.
+DEFAULT_JITTER = 0.2
+
+
+@dataclass
+class _WatchTarget:
+    """Refresher-side state for one watched database."""
+
+    database_id: str     # external routing id (what services key runtimes by)
+    registry_key: str    # schema name (what the IndexRegistry keys entries by)
+    path: str
+    database: Database   # the *serving* database whose schema gets swapped
+    watcher: SchemaWatcher
+    backoff: ExponentialBackoff
+    retry_at: float = 0.0  # monotonic; 0 = not backing off
+
+
+class KBRefresher:
+    """Supervised background refresher for live schema evolution.
+
+    Args:
+        registry: the index registry to swap rebuilt entries into
+            (defaults to the process-wide one).
+        interval_s: base polling interval; each sleep is jittered by
+            ``jitter`` so multiple refreshers never align.
+        metrics: registry for the ``evolve_*`` instruments — pass the
+            serving registry so they appear on the same ``/metrics``
+            exposition.
+        sample_rows: per-table content-hash window for the watchers.
+        corpus_path: JSONL file to grow with validated Q->SQL examples
+            on every swap (``None`` disables corpus growth).
+        corpus_policy: optional policy engine the generated examples are
+            validated against.
+    """
+
+    def __init__(
+        self,
+        registry: IndexRegistry | None = None,
+        *,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        metrics: MetricsRegistry | None = None,
+        sample_rows: int = DEFAULT_SAMPLE_ROWS,
+        jitter: float = DEFAULT_JITTER,
+        corpus_path: str | Path | None = None,
+        corpus_policy=None,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.registry = registry if registry is not None else get_default_registry()
+        self.interval_s = float(interval_s)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.sample_rows = sample_rows
+        self.jitter = max(0.0, min(0.9, jitter))
+        self.corpus = CorpusWriter(corpus_path) if corpus_path is not None else None
+        self.corpus_policy = corpus_policy
+        self._targets: dict[str, _WatchTarget] = {}  # guarded by: _lock
+        self._services: list = []  # guarded by: _lock
+        self._last_verdicts: dict[str, str] = {}  # guarded by: _lock
+        self._swaps = 0  # guarded by: _lock
+        self._force_pending = False  # guarded by: _lock
+        self._lock = make_lock("KBRefresher._lock")
+        # Serializes refresh cycles (the daemon's scheduled ones against
+        # manual refresh_now calls); never held while _lock is waited on
+        # by readers of stats().
+        self._cycle_lock = make_lock("KBRefresher._cycle_lock")
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        # RNG for sleep jitter only; results never depend on it.
+        self._rng = random.Random()
+        m = self.metrics
+        self._runs_total = m.counter(
+            "evolve_refresh_runs_total",
+            "background refresh polls (one per watched database per cycle)")
+        self._failures_total = m.counter(
+            "evolve_refresh_failures_total",
+            "refresh polls that raised (retried with backoff)")
+        self._swap_hist = m.histogram(
+            "evolve_index_swap_seconds",
+            "wall time of one atomic index swap (registry + runtimes)")
+        self._corpus_total = m.counter(
+            "evolve_corpus_examples_total",
+            "validated corpus examples emitted by schema-driven growth")
+        self._watched_gauge = m.gauge(
+            "evolve_watched_databases", "databases under drift watch")
+
+    # ------------------------------------------------------------- wiring
+
+    def watch(
+        self,
+        database: Database,
+        *,
+        database_id: str | None = None,
+        path: str | Path | None = None,
+    ) -> None:
+        """Put one served database under drift watch.
+
+        The database must be file-backed (or ``path`` given explicitly):
+        the watcher opens its own read-only connection and rebuilds are
+        re-introspected from the file, neither of which an in-memory
+        database supports.
+        """
+        resolved = str(path) if path is not None else database.path
+        if resolved is None:
+            raise ValueError(
+                "KBRefresher requires a file-backed database "
+                "(in-memory databases cannot be re-opened for rebuilds)"
+            )
+        db_id = database_id if database_id is not None else database.schema.name
+        target = _WatchTarget(
+            database_id=db_id,
+            registry_key=database.schema.name,
+            path=resolved,
+            database=database,
+            watcher=SchemaWatcher(resolved, sample_rows=self.sample_rows),
+            backoff=ExponentialBackoff(
+                initial=min(1.0, self.interval_s),
+                max_delay=max(self.interval_s * 8, 10.0),
+            ),
+        )
+        with self._lock:
+            self._targets[db_id] = target
+            self._watched_gauge.set(len(self._targets))
+        self.registry.mark_background_refresh(target.registry_key)
+
+    def attach_service(self, service) -> None:
+        """Notify ``service`` on every swap (and expose this refresher on
+        it for the admin route and ``/healthz``)."""
+        with self._lock:
+            if all(service is not existing for existing in self._services):
+                self._services.append(service)
+        service.refresher = self
+
+    # ---------------------------------------------------------- lifecycle
+
+    def start(self) -> "KBRefresher":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="kb-refresher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        self._stop.set()
+        self._wake.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+        self._thread = None
+        with self._lock:
+            targets = list(self._targets.values())
+        for target in targets:
+            self.registry.mark_background_refresh(target.registry_key, False)
+            target.watcher.close()
+
+    def __enter__(self) -> "KBRefresher":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ----------------------------------------------------------- triggers
+
+    def trigger(self) -> None:
+        """Schedule an out-of-band full refresh (non-blocking; safe from
+        signal handlers and the cluster IPC reader thread)."""
+        with self._lock:
+            self._force_pending = True
+        self._wake.set()
+
+    def refresh_now(
+        self, database_id: str | None = None, *, force: bool = True
+    ) -> list[dict]:
+        """Run one refresh cycle synchronously on the caller's thread.
+
+        ``force=True`` rebuilds and swaps even when the watcher reports
+        no drift (the admin-route contract: "refresh" always refreshes).
+        Returns one info dict per database that was swapped.
+        """
+        return self._run_cycle(only=database_id, force=force)
+
+    # --------------------------------------------------------------- loop
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            spread = self.interval_s * self.jitter
+            delay = self.interval_s + self._rng.uniform(-spread, spread)
+            self._wake.wait(timeout=max(0.05, delay))
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            with self._lock:
+                force = self._force_pending
+                self._force_pending = False
+            try:
+                self._run_cycle(force=force)
+            except Exception:
+                # The per-target path already counts and backs off; this
+                # guard only catches refresher bugs — the daemon must
+                # survive them (it is the zero-downtime mechanism).
+                self._failures_total.inc()
+                _LOG.exception("refresh cycle failed")
+
+    def _run_cycle(self, *, only: str | None = None, force: bool = False) -> list[dict]:
+        with self._cycle_lock:
+            with self._lock:
+                targets = [
+                    t for t in self._targets.values()
+                    if only is None or t.database_id == only
+                ]
+            swapped: list[dict] = []
+            for target in targets:
+                if self._stop.is_set():
+                    break
+                if not force and target.retry_at > time.monotonic():
+                    continue  # still backing off after a failure
+                self._runs_total.inc()
+                try:
+                    info = self._refresh_one(target, force=force)
+                    target.backoff.reset()
+                    target.retry_at = 0.0
+                except Exception as exc:
+                    self._failures_total.inc()
+                    delay = target.backoff.next_delay()
+                    target.retry_at = time.monotonic() + delay
+                    _LOG.warning(
+                        "refresh of %r failed (retrying in %.1fs): %s",
+                        target.database_id, delay, exc,
+                    )
+                    continue
+                if info is not None:
+                    swapped.append(info)
+            return swapped
+
+    # ------------------------------------------------------------ refresh
+
+    def _refresh_one(self, target: _WatchTarget, *, force: bool) -> dict | None:
+        report = target.watcher.poll(force_deep=force)
+        with self._lock:
+            self._last_verdicts[target.database_id] = report.verdict.value
+        if not report.changed and not force:
+            return None
+
+        # ---- build everything off the request path ----
+        fresh = Database.open(target.path)
+        try:
+            new_schema = fresh.schema
+            fingerprint = database_fingerprint(fresh)
+            index = InvertedIndex.build(fresh)
+            searcher = SimilaritySearcher(index)
+            entry = IndexEntry(
+                target.registry_key, fingerprint, index, searcher, "refreshed"
+            )
+            with self._lock:
+                services = list(self._services)
+            self._prefeaturize(services, target.database_id, new_schema)
+
+            # ---- the swap: dictionary assignment + attribute rebinds ----
+            start = time.perf_counter()
+            version = self.registry.swap(entry)
+            for service in services:
+                service.on_index_swap(target.database_id, entry, schema=new_schema)
+            swap_s = time.perf_counter() - start
+            self._swap_hist.observe(swap_s)
+            with self._lock:
+                self._swaps += 1
+
+            examples_added = self._grow_corpus(fresh, target, report)
+        finally:
+            fresh.close()
+
+        info = {
+            "database_id": target.database_id,
+            "verdict": report.verdict.value,
+            "version": version,
+            "swap_ms": round(1000.0 * swap_s, 3),
+            "corpus_examples": examples_added,
+            **report.as_dict(),
+        }
+        _LOG.info(
+            "swapped index for %r (verdict=%s, version=%d, %.2fms)",
+            target.database_id, report.verdict.value, version, 1000.0 * swap_s,
+        )
+        return info
+
+    def _prefeaturize(self, services, database_id: str, schema) -> None:
+        """Warm each attached model's schema-feature cache for the new
+        schema object, so the first post-swap request pays nothing."""
+        for service in services:
+            runtime = service.runtimes.get(database_id)
+            pipeline = getattr(runtime, "pipeline", None)
+            model = getattr(pipeline, "model", None)
+            cache = getattr(model, "schema_cache", None)
+            vocab = getattr(model, "vocab", None)
+            if cache is not None and vocab is not None:
+                cache.get(schema, vocab)
+
+    def _grow_corpus(self, fresh: Database, target: _WatchTarget, report) -> int:
+        if self.corpus is None:
+            return 0
+        touched = list(report.touched_tables)
+        examples = generate_examples(
+            fresh,
+            database_id=target.database_id,
+            tables=touched or None,  # full sweep on force / first swap
+            policy=self.corpus_policy,
+            validate=True,
+        )
+        added = self.corpus.append(examples)
+        if added:
+            self._corpus_total.inc(added)
+        return added
+
+    # -------------------------------------------------------------- stats
+
+    def stats(self) -> dict:
+        with self._lock:
+            targets = list(self._targets.values())
+            verdicts = dict(self._last_verdicts)
+            swaps = self._swaps
+        return {
+            "running": self._thread is not None and self._thread.is_alive(),
+            "interval_s": self.interval_s,
+            "watched": sorted(t.database_id for t in targets),
+            "swaps": swaps,
+            "last_verdicts": verdicts,
+            "versions": {
+                t.database_id: self.registry.version(t.registry_key)
+                for t in targets
+            },
+            "corpus_examples": self.corpus.written if self.corpus else None,
+        }

@@ -81,21 +81,35 @@ class IndexRegistry:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._entries: dict[str, IndexEntry] = {}  # guarded by: _lock
         self._key_locks: dict[str, object] = {}  # guarded by: _lock
+        self._versions: dict[str, int] = {}  # guarded by: _lock
+        self._refreshing: set[str] = set()  # guarded by: _lock
         self._lock = make_lock("IndexRegistry._lock")
         self.build_count = 0  # guarded by: _lock
         self.load_count = 0  # guarded by: _lock
         self.hit_count = 0  # guarded by: _lock
+        self.swap_count = 0  # guarded by: _lock
+        self.stale_hit_count = 0  # guarded by: _lock
 
     # --------------------------------------------------------------- core
 
     def get(self, database: Database, *, database_id: str | None = None) -> IndexEntry:
-        """The shared entry for ``database``, building or loading on miss."""
+        """The shared entry for ``database``, building or loading on miss.
+
+        When a background refresher has claimed the key (see
+        :meth:`mark_background_refresh`) a stale fingerprint does NOT
+        trigger an on-path rebuild: the old entry is served and the
+        refresher's swap delivers the fresh one — no request ever blocks
+        on a rebuild once a refresher is running.
+        """
         db_id = database_id if database_id is not None else database.schema.name
         fingerprint = database_fingerprint(database)
         with self._lock:
             entry = self._entries.get(db_id)
             if entry is not None and entry.fingerprint == fingerprint:
                 self.hit_count += 1
+                return entry
+            if entry is not None and db_id in self._refreshing:
+                self.stale_hit_count += 1
                 return entry
             key_lock = self._key_locks.setdefault(
                 db_id, make_lock(f"IndexRegistry.key[{db_id}]")
@@ -106,9 +120,13 @@ class IndexRegistry:
                 if entry is not None and entry.fingerprint == fingerprint:
                     self.hit_count += 1
                     return entry
+                if entry is not None and db_id in self._refreshing:
+                    self.stale_hit_count += 1
+                    return entry
             entry = self._load_or_build(database, db_id, fingerprint)
             with self._lock:
                 self._entries[db_id] = entry
+                self._versions[db_id] = self._versions.get(db_id, 0) + 1
             return entry
 
     def _cache_path(self, db_id: str) -> Path:
@@ -183,6 +201,34 @@ class IndexRegistry:
             else:
                 self._entries.pop(database_id, None)
 
+    def swap(self, entry: IndexEntry) -> int:
+        """Atomically publish a background-built entry; returns its version.
+
+        This is the zero-downtime half of the refresh protocol: the
+        builder did all its work off-path, so publishing is a single
+        dictionary assignment under the registry lock.  Readers either
+        see the old bundle or the new one, never a partial state.
+        """
+        with self._lock:
+            self._entries[entry.database_id] = entry
+            version = self._versions.get(entry.database_id, 0) + 1
+            self._versions[entry.database_id] = version
+            self.swap_count += 1
+            return version
+
+    def version(self, database_id: str) -> int:
+        """How many times this key's entry has been (re)built or swapped."""
+        with self._lock:
+            return self._versions.get(database_id, 0)
+
+    def mark_background_refresh(self, database_id: str, active: bool = True) -> None:
+        """Arm (or disarm) stale-serving for a key a refresher owns."""
+        with self._lock:
+            if active:
+                self._refreshing.add(database_id)
+            else:
+                self._refreshing.discard(database_id)
+
     def stats(self) -> dict:
         with self._lock:
             return {
@@ -190,6 +236,9 @@ class IndexRegistry:
                 "build_count": self.build_count,
                 "load_count": self.load_count,
                 "hit_count": self.hit_count,
+                "swap_count": self.swap_count,
+                "stale_hit_count": self.stale_hit_count,
+                "versions": dict(self._versions),
             }
 
     def __len__(self) -> int:

@@ -87,6 +87,8 @@ class Preprocessor:
             self.index = entry.index
             self._searcher = entry.searcher
         self._extractor = extractor or ValueExtractor()
+        self._generation_config = generation_config
+        self._validation_config = validation_config
         self._generator = CandidateGenerator(self._searcher, generation_config)
         self._validator = CandidateValidator(self.index, validation_config)
 
@@ -94,6 +96,27 @@ class Preprocessor:
     def searcher(self) -> SimilaritySearcher:
         """The shared similarity searcher (for metrics observers)."""
         return self._searcher
+
+    def rebind(
+        self,
+        index: InvertedIndex,
+        searcher: SimilaritySearcher | None = None,
+    ) -> None:
+        """Adopt a freshly built index/searcher bundle (background refresh).
+
+        Re-reads ``database.schema`` as well, so a refresher that swapped
+        a re-introspected schema onto the shared :class:`Database` gets
+        hints computed against the new tables/columns.  Callers are
+        responsible for serializing against in-flight :meth:`run` calls
+        (the serving runtime rebinds under its per-runtime lock).
+        """
+        self.index = index
+        self._searcher = (
+            searcher if searcher is not None else SimilaritySearcher(index)
+        )
+        self.schema = self.database.schema
+        self._generator = CandidateGenerator(self._searcher, self._generation_config)
+        self._validator = CandidateValidator(self.index, self._validation_config)
 
     # ------------------------------------------------------ ValueNet mode
 

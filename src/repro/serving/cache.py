@@ -72,6 +72,7 @@ class TranslationCache:
         self.misses = 0  # guarded by: _lock
         self.expirations = 0  # guarded by: _lock
         self.evictions = 0  # guarded by: _lock
+        self.invalidations = 0  # guarded by: _lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -110,6 +111,23 @@ class TranslationCache:
         with self._lock:
             self._entries.clear()
 
+    def invalidate_database(self, database_id: str) -> int:
+        """Drop every entry keyed to ``database_id``; returns the count.
+
+        Called on an index swap so no stale translation outlives a schema
+        change — entries of *other* databases are untouched (a global
+        ``clear()`` would needlessly cold-start every hot database on one
+        database's drift).
+        """
+        with self._lock:
+            doomed = [
+                key for key in self._entries if key.database_id == database_id
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidations += len(doomed)
+            return len(doomed)
+
     @property
     def hit_rate(self) -> float:
         with self._lock:
@@ -129,5 +147,6 @@ class TranslationCache:
                 "misses": self.misses,
                 "expirations": self.expirations,
                 "evictions": self.evictions,
+                "invalidations": self.invalidations,
                 "hit_rate": self.hits / total if total else 0.0,
             }

@@ -270,6 +270,53 @@ def _handle_translate(service, headers, body: bytes) -> Response:
     return json_response(200, response.as_dict())
 
 
+def _handle_admin_refresh(service, headers, body: bytes | None) -> Response:
+    """``POST /admin/refresh`` — force a KB refresh (admin-gated).
+
+    Body (optional JSON): ``{"database_id": ..., "wait": bool}``.  With
+    ``wait`` (the default) the refresh runs synchronously and the 200
+    body reports what was swapped; ``wait=false`` schedules it and
+    answers 202.  In cluster mode the supervisor broadcasts a refresh
+    frame to every READY worker (always 202 — workers refresh
+    asynchronously).
+    """
+    if service is None:
+        return error_response(503, "service is warming up", retriable=True)
+    controller = getattr(service, "tenancy", None)
+    if controller is not None:
+        key = _api_key(headers)
+        if not controller.is_admin(key):
+            return error_response(403 if key else 401, "admin API key required")
+    payload: dict = {}
+    if body:
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return error_response(400, f"invalid JSON body: {exc}")
+        if not isinstance(decoded, dict):
+            return error_response(400, "body must be a JSON object")
+        payload = decoded
+    database_id = payload.get("database_id")
+    refresher = getattr(service, "refresher", None)
+    if refresher is not None:  # single-process service with a KBRefresher
+        if payload.get("wait", True):
+            refreshed = refresher.refresh_now(database_id)
+            return json_response(
+                200,
+                {"status": "ok", "refreshed": refreshed,
+                 "evolve": refresher.stats()},
+            )
+        refresher.trigger()
+        return json_response(202, {"status": "scheduled"})
+    trigger = getattr(service, "trigger_refresh", None)
+    if trigger is None or not getattr(service, "refresh_enabled", False):
+        return error_response(
+            409, "refresh is not enabled (start with --kb-refresh-interval)"
+        )
+    workers = trigger(database_id)
+    return json_response(202, {"status": "scheduled", "workers": workers})
+
+
 # ------------------------------------------------------------- entry point
 
 
@@ -289,6 +336,10 @@ def handle(
         return _handle_get(service, target, headers)
     if method == "POST":
         parsed = urlparse(target)
+        if parsed.path == "/admin/refresh":
+            if body is not None and len(body) > MAX_BODY_BYTES:
+                return body_too_large()
+            return _handle_admin_refresh(service, headers, body)
         if parsed.path != "/translate":
             return error_response(404, f"unknown path {parsed.path!r}")
         if not body:

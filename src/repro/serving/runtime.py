@@ -182,6 +182,38 @@ class DatabaseRuntime:
             finally:
                 self.pipeline.beam_size = configured
 
+    def adopt_index(self, entry, *, schema=None):
+        """Swap in a background-built index bundle (and optionally a
+        re-introspected schema); returns the previously bound searcher.
+
+        Everything the translate path reads is rebound in ONE critical
+        section of the per-runtime lock — the same lock that serializes
+        :meth:`translate` — so a request either runs entirely against the
+        old bundle or entirely against the new one:
+
+        * ``database.schema`` is replaced on the shared object (the
+          pipeline passes it to the model per call, so pointer networks
+          see the new tables/columns immediately);
+        * the preprocessor rebinds index, searcher, generator, validator;
+        * the pipeline's SQL builder and the heuristic fallback are
+          rebuilt against the new schema;
+        * the cached PK/FK graph is reset.
+        """
+        from repro.postprocessing.sql_builder import SqlBuilder
+
+        with self._lock:
+            old_searcher = self.preprocessor.searcher
+            if schema is not None:
+                self.database.schema = schema
+            self.preprocessor.rebind(entry.index, entry.searcher)
+            if self.pipeline is not None and hasattr(self.pipeline, "builder"):
+                self.pipeline.builder = SqlBuilder(self.database.schema)
+            self.fallback = HeuristicBaseline(
+                self.database, preprocessor=self.preprocessor
+            )
+            self._graph = None
+        return old_searcher
+
     @property
     def schema_graph(self) -> SchemaGraph:
         """Lazily-built PK/FK graph (for policy checks and re-rendering)."""

@@ -258,6 +258,9 @@ class TranslationService:
         if ready:
             self._ready.set()
         self._runtime_lock = make_lock("TranslationService._runtime_lock")
+        # Set by KBRefresher.attach_service; read by the admin routes
+        # and health() only.
+        self.refresher = None
         # Epoch stamp is for human display only; uptime math uses the
         # monotonic twin below (see WALLCLOCK in docs/analysis-rules.md).
         self.started_at = time.time()
@@ -442,6 +445,38 @@ class TranslationService:
             ):
                 searcher.add_observer(self._on_value_search)
                 self._observed_searchers.append(searcher)
+
+    def on_index_swap(self, database_id: str, entry, *, schema=None) -> bool:
+        """Adopt a background-rebuilt index bundle for one database.
+
+        Called by the KB refresher after it published ``entry`` to the
+        registry.  Rebinds the runtime under its own lock, invalidates
+        exactly that database's cached translations, and re-wires the
+        value-search metrics observer from the old searcher to the new
+        one.  Returns False when this service does not host the database.
+        """
+        with self._runtime_lock:
+            runtime = self.runtimes.get(database_id)
+        adopt = getattr(runtime, "adopt_index", None)
+        if adopt is None:  # unknown database, or a test fake
+            return False
+        old_searcher = adopt(entry, schema=schema)
+        invalidate = getattr(self.cache, "invalidate_database", None)
+        if invalidate is not None:
+            invalidate(database_id)
+        else:  # duck-typed cache fakes only expose clear()
+            self.cache.clear()
+        with self._runtime_lock:
+            if any(s is old_searcher for s in self._observed_searchers):
+                self._observed_searchers = [
+                    s for s in self._observed_searchers if s is not old_searcher
+                ]
+                old_searcher.remove_observer(self._on_value_search)
+            new_searcher = entry.searcher
+            if all(s is not new_searcher for s in self._observed_searchers):
+                new_searcher.add_observer(self._on_value_search)
+                self._observed_searchers.append(new_searcher)
+        return True
 
     def __enter__(self) -> "TranslationService":
         return self.start()
@@ -899,4 +934,7 @@ class TranslationService:
             "queue_capacity": self._queue.maxsize,
             "queue_lanes": self._queue.lanes(),
             "cache": self.cache.stats(),
+            "evolve": (
+                self.refresher.stats() if self.refresher is not None else None
+            ),
         }
