@@ -3,16 +3,23 @@
 Exit codes: 0 clean, 1 findings (new violations, stale or unjustified
 baseline entries, parse errors), 2 usage error.  All terminal output in
 the analysis package lives here — the engine and rules return data.
+
+``--format`` selects the report shape: ``text`` (default, human),
+``json`` (one machine-readable document on stdout), or ``github``
+(GitHub Actions ``::error`` workflow commands, so findings annotate the
+PR diff directly).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.analysis.baseline import Baseline, build_baseline, diff_against_baseline
-from repro.analysis.engine import analyze_paths
+from repro.analysis.core import Violation
+from repro.analysis.engine import AnalysisResult, analyze_paths
 from repro.analysis.rules import rule_catalog
 
 _PACKAGE_ROOT = Path(__file__).resolve().parents[1]  # src/repro
@@ -48,6 +55,12 @@ def main(argv: list[str] | None = None) -> int:
         help="CI mode: additionally fail on baseline entries lacking a justification",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
     args = parser.parse_args(argv)
@@ -59,12 +72,12 @@ def main(argv: list[str] | None = None) -> int:
 
     paths = args.paths or [_PACKAGE_ROOT]
     result = analyze_paths(paths)
-    for err in result.parse_errors:
-        print(f"parse error: {err}", file=sys.stderr)
 
     baseline = Baseline.load(args.baseline)
 
     if args.write_baseline:
+        for err in result.parse_errors:
+            print(f"parse error: {err}", file=sys.stderr)
         keep = {e.fingerprint: e.justification for e in baseline.entries}
         fresh = build_baseline(result.violations, justifications=keep)
         fresh.save(args.baseline)
@@ -75,40 +88,113 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     diff = diff_against_baseline(result.violations, baseline)
-    failed = False
+    unjustified = baseline.unjustified() if args.check_baseline else []
+    failed = bool(
+        diff.new or diff.stale or unjustified or result.parse_errors
+    )
 
+    if args.format == "json":
+        _report_json(result, diff, unjustified, failed)
+    elif args.format == "github":
+        _report_github(result, diff, unjustified)
+    else:
+        _report_text(result, diff, unjustified, failed)
+    return 1 if failed else 0
+
+
+def _report_text(result, diff, unjustified, failed: bool) -> None:
+    for err in result.parse_errors:
+        print(f"parse error: {err}", file=sys.stderr)
     if diff.new:
-        failed = True
         print(f"{len(diff.new)} violation(s):")
         for violation, _ in diff.new:
             print(f"  {violation.render()}")
             if violation.source_line:
                 print(f"      {violation.source_line}")
-
     if diff.stale:
-        failed = True
         print(f"{len(diff.stale)} stale baseline entr(y/ies) — remove them:")
         for entry in diff.stale:
             print(f"  {entry.rule} {entry.path}:{entry.line} [{entry.fingerprint}]")
-
-    if args.check_baseline:
-        unjustified = baseline.unjustified()
-        if unjustified:
-            failed = True
-            print(f"{len(unjustified)} baseline entr(y/ies) lack a justification:")
-            for entry in unjustified:
-                print(f"  {entry.rule} {entry.path}:{entry.line} [{entry.fingerprint}]")
-
-    if result.parse_errors:
-        failed = True
-
+    if unjustified:
+        print(f"{len(unjustified)} baseline entr(y/ies) lack a justification:")
+        for entry in unjustified:
+            print(f"  {entry.rule} {entry.path}:{entry.line} [{entry.fingerprint}]")
     if not failed:
-        suppressed = len(diff.matched)
         print(
             f"clean: {result.files_checked} files, "
-            f"{len(rule_catalog())} rules, {suppressed} baselined finding(s)"
+            f"{len(rule_catalog())} rules, {len(diff.matched)} baselined finding(s)"
         )
-    return 1 if failed else 0
+
+
+def _report_json(result, diff, unjustified, failed: bool) -> None:
+    document = {
+        "ok": not failed,
+        "files_checked": result.files_checked,
+        "rules": [name for name, _ in rule_catalog()],
+        "violations": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "message": v.message,
+                "source_line": v.source_line,
+                "fingerprint": fingerprint,
+            }
+            for v, fingerprint in diff.new
+        ],
+        "stale_baseline": [
+            {"rule": e.rule, "path": e.path, "line": e.line,
+             "fingerprint": e.fingerprint}
+            for e in diff.stale
+        ],
+        "unjustified_baseline": [
+            {"rule": e.rule, "path": e.path, "line": e.line,
+             "fingerprint": e.fingerprint}
+            for e in unjustified
+        ],
+        "baselined": len(diff.matched),
+        "parse_errors": result.parse_errors,
+    }
+    json.dump(document, sys.stdout, indent=2)
+    print()
+
+
+def _github_path(result: AnalysisResult, violation: Violation) -> str:
+    """Repo-relative real path for workflow annotations.
+
+    Falls back to the logical path when the file lives outside the
+    repository checkout (e.g. test fixtures under ``/tmp``).
+    """
+    real = result.real_paths.get(violation.path)
+    if real is not None:
+        try:
+            return real.resolve().relative_to(_REPO_ROOT).as_posix()
+        except ValueError:
+            pass
+    return violation.path
+
+
+def _report_github(result: AnalysisResult, diff, unjustified) -> None:
+    for violation, _ in diff.new:
+        path = _github_path(result, violation)
+        print(
+            f"::error file={path},line={violation.line},"
+            f"title={violation.rule}::{violation.message}"
+        )
+    for entry in diff.stale:
+        print(
+            f"::error title=stale-baseline::{entry.rule} at "
+            f"{entry.path}:{entry.line} no longer fires — remove "
+            f"[{entry.fingerprint}] from the baseline"
+        )
+    for entry in unjustified:
+        print(
+            f"::error title=unjustified-baseline::{entry.rule} at "
+            f"{entry.path}:{entry.line} [{entry.fingerprint}] lacks a "
+            f"justification"
+        )
+    for err in result.parse_errors:
+        print(f"::error title=parse-error::{err}")
 
 
 if __name__ == "__main__":

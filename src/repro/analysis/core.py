@@ -57,15 +57,25 @@ class Rule:
 
     ``check_file`` runs once per file; ``finalize`` runs after every
     file has been seen and is where cross-file rules (METRICS-REG)
-    report.  Rule instances are created fresh for every engine run, so
-    they may accumulate state across ``check_file`` calls.
+    report.  Whole-program rules set ``requires_project`` and implement
+    ``check_project`` instead — the engine builds one shared
+    :class:`~repro.analysis.graph.ProjectContext` from the already
+    parsed files and hands the same instance to each of them.  Rule
+    instances are created fresh for every engine run, so they may
+    accumulate state across ``check_file`` calls.
     """
 
     name: str = ""
     description: str = ""
+    #: Set True for whole-program rules; the engine then calls
+    #: ``check_project`` once with the shared project graph.
+    requires_project: bool = False
 
     def check_file(self, ctx: "FileContext") -> list[Violation]:
-        raise NotImplementedError
+        return []
+
+    def check_project(self, project) -> list[Violation]:
+        return []
 
     def finalize(self) -> list[Violation]:
         return []

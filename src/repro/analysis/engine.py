@@ -3,14 +3,20 @@
 Keeps zero policy of its own — every check lives in
 :mod:`repro.analysis.rules`; every justified legacy finding lives in the
 committed baseline (:mod:`repro.analysis.baseline`).  The engine walks
-the files, builds one :class:`~repro.analysis.core.FileContext` each,
-runs every registered rule, filters suppressed findings, and returns the
-rest sorted by location.
+the files, builds one :class:`~repro.analysis.core.FileContext` each
+(each file is read and parsed exactly once per run — the per-file rules,
+the whole-program rules, and the suppression table all share the same
+AST), runs every registered rule, filters suppressed findings, and
+returns the rest sorted by location.
+
+Whole-program rules (``requires_project = True``) additionally receive a
+single shared :class:`~repro.analysis.graph.ProjectContext` built from
+those same parsed trees.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.core import FileContext, Rule, Violation
@@ -52,6 +58,12 @@ class AnalysisResult:
     violations: list[Violation]
     files_checked: int
     parse_errors: list[str]
+    #: How many source files were actually fed to ``ast.parse`` — the
+    #: parse-once guarantee test asserts this equals ``files_checked``
+    #: even with every per-file AND whole-program rule enabled.
+    files_parsed: int = 0
+    #: logical path -> real filesystem path (for ``--format github``).
+    real_paths: dict[str, Path] = field(default_factory=dict)
 
 
 def analyze_paths(
@@ -64,6 +76,7 @@ def analyze_paths(
         rules = all_rules()
 
     contexts: dict[str, FileContext] = {}
+    real_paths: dict[str, Path] = {}
     violations: list[Violation] = []
     parse_errors: list[str] = []
 
@@ -76,9 +89,19 @@ def analyze_paths(
             parse_errors.append(f"{path}: {exc}")
             continue
         contexts[ctx.logical_path] = ctx
+        real_paths[ctx.logical_path] = path
         violations.extend(ctx.suppression_problems)
         for rule in rules:
             violations.extend(rule.check_file(ctx))
+
+    if any(rule.requires_project for rule in rules):
+        from repro.analysis.graph import ProjectContext
+
+        project = ProjectContext(contexts)
+        for rule in rules:
+            if rule.requires_project:
+                violations.extend(rule.check_project(project))
+
     for rule in rules:
         violations.extend(rule.finalize())
 
@@ -91,5 +114,9 @@ def analyze_paths(
     ]
     kept.sort(key=lambda v: (v.path, v.line, v.rule))
     return AnalysisResult(
-        violations=kept, files_checked=len(files), parse_errors=parse_errors
+        violations=kept,
+        files_checked=len(files),
+        parse_errors=parse_errors,
+        files_parsed=len(contexts),
+        real_paths=real_paths,
     )

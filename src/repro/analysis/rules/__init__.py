@@ -8,11 +8,14 @@ adding a module here and listing its class in ``_RULE_CLASSES``.
 from __future__ import annotations
 
 from repro.analysis.core import Rule
+from repro.analysis.rules.deadline_prop import DeadlinePropRule
 from repro.analysis.rules.exc_swallow import ExcSwallowRule
 from repro.analysis.rules.grad_safe import GradSafeRule
+from repro.analysis.rules.layering import LayeringRule
 from repro.analysis.rules.lock_guard import LockGuardRule
 from repro.analysis.rules.metrics_reg import MetricsRegRule
 from repro.analysis.rules.no_print import NoPrintRule
+from repro.analysis.rules.taint_sql import TaintSqlRule
 from repro.analysis.rules.wallclock import WallclockRule
 
 _RULE_CLASSES: list[type[Rule]] = [
@@ -22,6 +25,9 @@ _RULE_CLASSES: list[type[Rule]] = [
     NoPrintRule,
     GradSafeRule,
     MetricsRegRule,
+    TaintSqlRule,
+    LayeringRule,
+    DeadlinePropRule,
 ]
 
 

@@ -1,0 +1,147 @@
+"""DEADLINE-PROP: a deadline accepted must be a deadline forwarded.
+
+The serving path carries a remaining-budget deadline end to end (HTTP
+``timeout_ms`` → scheduler → cluster ``budget_s`` frames → SQL executor
+``timeout_s``).  The chain is only as strong as its weakest call: one
+function that accepts a deadline but calls a deadline-aware callee
+without passing anything derived from it silently converts a bounded
+request into an unbounded one.
+
+The rule: for every function ``F`` that accepts a deadline-family
+parameter, every call from ``F`` to a project function that *also*
+accepts a deadline-family parameter must include at least one argument
+derived from ``F``'s deadline (the bare name, or a local computed from
+it — renaming and unit conversion like ``timeout_ms / 1000.0`` count).
+
+To keep the check precise rather than noisy, attribute calls
+(``obj.method(...)``) are only checked when the method name resolves to
+exactly one project function; plain-name calls resolve through imports
+and module scope as usual.  ``__init__`` is exempt on both sides —
+constructors store deadlines for later, they do not execute work under
+them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Rule, Violation
+from repro.analysis.graph import FunctionInfo, ProjectContext
+
+#: Exact parameter names in the deadline family...
+_FAMILY_EXACT = {
+    "deadline",
+    "deadline_s",
+    "budget_s",
+    "remaining_s",
+    "remaining_budget_s",
+    "timeout_s",
+    "timeout_ms",
+}
+#: ...and suffixes that mark domain-specific variants
+#: (``request_timeout_s``, ``drain_budget_s``, ...).
+_FAMILY_SUFFIXES = ("_timeout_s", "_timeout_ms", "_budget_s", "_deadline")
+
+
+def is_deadline_param(name: str) -> bool:
+    return name in _FAMILY_EXACT or name.endswith(_FAMILY_SUFFIXES)
+
+
+def deadline_params(fn: FunctionInfo) -> list[str]:
+    return [p for p in fn.params() if is_deadline_param(p)]
+
+
+class DeadlinePropRule(Rule):
+    name = "DEADLINE-PROP"
+    description = (
+        "functions accepting a deadline/budget parameter must forward it "
+        "to every callee that accepts one"
+    )
+    requires_project = True
+
+    def check_project(self, project: ProjectContext) -> list[Violation]:
+        violations: list[Violation] = []
+        for fn in project.functions.values():
+            if fn.name == "__init__":
+                continue
+            own = deadline_params(fn)
+            if not own:
+                continue
+            derived = self._derived_locals(fn, set(own))
+            for call in fn.calls:
+                callee = self._checked_callee(project, fn, call)
+                if callee is None or callee.name == "__init__":
+                    continue
+                callee_params = deadline_params(callee)
+                if not callee_params:
+                    continue
+                if self._forwards(call, set(own) | derived):
+                    continue
+                violations.append(Violation(
+                    rule=self.name,
+                    path=fn.path,
+                    line=call.lineno,
+                    message=(
+                        f"{fn.qualname!r} accepts {own[0]!r} but calls "
+                        f"{callee.qualname!r} (which accepts "
+                        f"{callee_params[0]!r}) without forwarding it — "
+                        f"the deadline is dropped here"
+                    ),
+                    source_line=fn.ctx.source_line(call.lineno),
+                ))
+        return violations
+
+    @staticmethod
+    def _checked_callee(
+        project: ProjectContext, fn: FunctionInfo, call: ast.Call
+    ) -> FunctionInfo | None:
+        resolved = project.resolve_call(call, fn.module)
+        if isinstance(call.func, ast.Attribute) and len(resolved) != 1:
+            return None  # ambiguous receiver: skip rather than guess
+        return resolved[0] if resolved else None
+
+    @staticmethod
+    def _derived_locals(fn: FunctionInfo, seeds: set[str]) -> set[str]:
+        """Locals computed (transitively) from a deadline parameter."""
+        derived: set[str] = set()
+        known = set(seeds)
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(fn.node):
+                if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    continue
+                value = node.value
+                if value is None:
+                    continue
+                if not any(
+                    isinstance(n, ast.Name) and n.id in known
+                    for n in ast.walk(value)
+                ):
+                    continue
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id not in known:
+                        known.add(target.id)
+                        derived.add(target.id)
+                        changed = True
+        return derived
+
+    @staticmethod
+    def _forwards(call: ast.Call, carriers: set[str]) -> bool:
+        """Does any argument expression mention a deadline carrier?"""
+        for expr in list(call.args) + [kw.value for kw in call.keywords]:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Name) and node.id in carriers:
+                    return True
+                # ``self.timeout_s`` / ``request.deadline_s``: forwarding
+                # a stored deadline attribute also counts.
+                if isinstance(node, ast.Attribute) and is_deadline_param(
+                    node.attr
+                ):
+                    return True
+        return False

@@ -1,0 +1,207 @@
+"""LAYERING: imports must respect the committed dependency order.
+
+``analysis-layers.toml`` at the repo root declares the package layers,
+lowest first.  A module may import its own layer or any lower layer;
+importing *up* is a back-edge — the shape of dependency that turned the
+metrics registry into a serving-package hostage (see PR 10) — and is a
+violation at the import line.  Lazy (function-body) imports count: the
+dependency is architectural whether or not it is paid at module import
+time.
+
+Two configuration drift checks keep the file honest on full-tree runs
+(detected by ``repro/__init__.py`` being among the analyzed files):
+
+* a ``repro.*`` module that matches no layer entry → UNLISTED
+  violation (new code must be placed in the order deliberately);
+* a layer entry that matches no analyzed module → STALE violation
+  (renames must update the config, or the guarantee silently erodes).
+
+Entry matching: exact module name, or dotted-prefix for entries with at
+least one dot (``repro.serving`` covers ``repro.serving.routes``); the
+longest match wins, so ``repro.evaluation.difficulty`` may sit in a
+lower layer than ``repro.evaluation``.  A single-segment entry such as
+``repro`` matches only the root package itself, never as a catch-all.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis.core import Rule, Violation
+from repro.analysis.graph import ProjectContext
+
+CONFIG_NAME = "analysis-layers.toml"
+
+
+def parse_layers_toml(text: str) -> list[dict]:
+    """Parse the layers config: ``[[layers]]`` tables with ``name`` and
+    ``modules`` keys.
+
+    Uses :mod:`tomllib` when available (Python >= 3.11); otherwise falls
+    back to a purpose-built reader for exactly this file's shape, so the
+    analysis job also runs on the CI matrix's 3.10 interpreter.
+    """
+    try:
+        import tomllib
+    except ImportError:
+        tomllib = None
+    if tomllib is not None:
+        data = tomllib.loads(text)
+        return list(data.get("layers", []))
+    return _parse_layers_fallback(text)
+
+
+def _parse_layers_fallback(text: str) -> list[dict]:
+    layers: list[dict] = []
+    current: dict | None = None
+    pending_list: list[str] | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if pending_list is not None:
+            pending_list.extend(re.findall(r'"([^"]*)"', line))
+            if "]" in line:
+                pending_list = None
+            continue
+        if not line or line.startswith("#"):
+            continue
+        if line == "[[layers]]":
+            current = {"name": "", "modules": []}
+            layers.append(current)
+            continue
+        if current is None or "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key == "name":
+            current["name"] = value.strip('"')
+        elif key == "modules":
+            current["modules"] = re.findall(r'"([^"]*)"', value)
+            if "[" in value and "]" not in value:
+                pending_list = current["modules"]
+    return layers
+
+
+def find_config(start: Path) -> Path | None:
+    """Walk up from ``start`` to the nearest ``analysis-layers.toml``."""
+    current = start if start.is_dir() else start.parent
+    for directory in [current, *current.parents]:
+        candidate = directory / CONFIG_NAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _match(module: str, entries: dict[str, int]) -> tuple[str, int] | None:
+    """Longest applicable entry for ``module`` → (entry, layer index)."""
+    best: tuple[str, int] | None = None
+    for entry, layer in entries.items():
+        if module == entry or ("." in entry and module.startswith(entry + ".")):
+            if best is None or len(entry) > len(best[0]):
+                best = (entry, layer)
+    return best
+
+
+class LayeringRule(Rule):
+    name = "LAYERING"
+    description = (
+        "module imports must follow the dependency order declared in "
+        "analysis-layers.toml (no back-edges, no unlisted modules)"
+    )
+    requires_project = True
+
+    def check_project(self, project: ProjectContext) -> list[Violation]:
+        if not project.contexts:
+            return []
+        any_ctx = next(iter(project.contexts.values()))
+        config_path = find_config(Path(any_ctx.path))
+        if config_path is None:
+            return []  # nothing declared, nothing to enforce
+        try:
+            layers = parse_layers_toml(config_path.read_text(encoding="utf-8"))
+        except Exception as exc:  # justified: config syntax errors surface as a LAYERING violation below
+            root_ctx = project.contexts.get("repro/__init__.py") or any_ctx
+            return [Violation(
+                rule=self.name,
+                path=root_ctx.logical_path,
+                line=1,
+                message=f"unparseable {CONFIG_NAME}: {exc}",
+                source_line=root_ctx.source_line(1),
+            )]
+
+        entries: dict[str, int] = {}
+        for index, layer in enumerate(layers):
+            for entry in layer.get("modules", []):
+                entries[entry] = index
+        layer_names = [layer.get("name", str(i)) for i, layer in enumerate(layers)]
+
+        violations: list[Violation] = []
+        full_tree = "repro/__init__.py" in project.contexts
+
+        # Unlisted modules.
+        module_layers: dict[str, tuple[str, int] | None] = {}
+        for module, ctx in project.modules.items():
+            if not (module == "repro" or module.startswith("repro.")):
+                continue
+            matched = _match(module, entries)
+            module_layers[module] = matched
+            if matched is None and full_tree:
+                violations.append(Violation(
+                    rule=self.name,
+                    path=ctx.logical_path,
+                    line=1,
+                    message=(
+                        f"module {module!r} matches no layer entry in "
+                        f"{CONFIG_NAME} — place it in the dependency "
+                        f"order explicitly"
+                    ),
+                    source_line=ctx.source_line(1),
+                ))
+
+        # Back-edges.
+        for record in project.imports:
+            if not (record.target == "repro"
+                    or record.target.startswith("repro.")):
+                continue
+            importer = module_layers.get(record.module)
+            imported = _match(record.target, entries)
+            if importer is None or imported is None:
+                continue  # unlisted is reported separately
+            if imported[1] > importer[1]:
+                ctx = project.contexts[record.path]
+                lazy = " (lazy import — still a dependency)" if record.lazy else ""
+                violations.append(Violation(
+                    rule=self.name,
+                    path=record.path,
+                    line=record.line,
+                    message=(
+                        f"back-edge: {record.module} (layer "
+                        f"{layer_names[importer[1]]!r}) imports "
+                        f"{record.target} (higher layer "
+                        f"{layer_names[imported[1]]!r}){lazy}"
+                    ),
+                    source_line=ctx.source_line(record.line),
+                ))
+
+        # Stale entries.
+        if full_tree:
+            root_ctx = project.contexts["repro/__init__.py"]
+            modules = set(project.modules)
+            for entry in entries:
+                alive = any(
+                    m == entry or ("." in entry and m.startswith(entry + "."))
+                    for m in modules
+                )
+                if not alive:
+                    violations.append(Violation(
+                        rule=self.name,
+                        path=root_ctx.logical_path,
+                        line=1,
+                        message=(
+                            f"stale entry in {CONFIG_NAME}: {entry!r} "
+                            f"matches no module in the tree"
+                        ),
+                        source_line=root_ctx.source_line(1),
+                    ))
+        return violations

@@ -16,6 +16,18 @@ from repro.candidates.types import ValueCandidate
 from repro.ner.heuristics import MONTHS, ordinal_to_int
 from repro.ner.types import ExtractedValue, SpanKind
 
+# Superlative phrasings that imply LIMIT 1 without a literal in the
+# question.  Shared with the preprocessing hint tagger (which marks the
+# same words as superlative question hints) — the set lives here, below
+# preprocessing in the import layering, because candidate generation is
+# the lower layer.
+SUPERLATIVE_KEYWORDS = {
+    "most", "least", "oldest", "youngest", "largest", "smallest", "highest",
+    "lowest", "biggest", "best", "worst", "latest", "earliest", "longest",
+    "shortest", "heaviest", "lightest", "top", "first", "last", "cheapest",
+    "fastest", "slowest", "newest",
+}
+
 _GENDER_MAP = {
     "female": ["F", "Female", "female"],
     "females": ["F", "Female", "female"],
@@ -77,8 +89,6 @@ def question_word_candidates(question_words: list[str]) -> list[ValueCandidate]:
     ("the oldest student") imply ``LIMIT 1`` without any literal in the
     question, so a candidate ``1`` is proposed for them.
     """
-    from repro.preprocessing.hints import SUPERLATIVE_KEYWORDS
-
     candidates: list[ValueCandidate] = []
     for word in question_words:
         lowered = word.lower()

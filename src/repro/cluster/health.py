@@ -1,7 +1,10 @@
-"""Supervision primitives: worker states, restart backoff, circuit breaker.
+"""Supervision primitives: worker states and the restart circuit breaker.
 
 Kept free of process/socket concerns so the policies are unit-testable
-with a fake clock; the supervisor composes them.
+with a fake clock; the supervisor composes them.  The restart delay
+schedule (:class:`ExponentialBackoff`) moved to :mod:`repro.concurrency`
+so non-cluster packages (the KB refresher) can use it without importing
+the cluster layer; it is re-exported here for compatibility.
 """
 
 from __future__ import annotations
@@ -10,6 +13,8 @@ import enum
 import time
 from collections import deque
 from collections.abc import Callable
+
+from repro.concurrency import ExponentialBackoff  # noqa: F401  (re-export)
 
 
 class WorkerStatus(enum.Enum):
@@ -21,36 +26,6 @@ class WorkerStatus(enum.Enum):
     RESTARTING = "restarting"  # dead; restart scheduled (backoff)
     BROKEN = "broken"          # circuit breaker tripped; no more restarts
     STOPPED = "stopped"        # deliberately shut down
-
-
-class ExponentialBackoff:
-    """Restart delay schedule: ``initial * factor**n`` capped at ``max_delay``."""
-
-    def __init__(
-        self,
-        *,
-        initial: float = 0.25,
-        factor: float = 2.0,
-        max_delay: float = 10.0,
-    ):
-        if initial <= 0 or factor < 1.0 or max_delay < initial:
-            raise ValueError("need initial > 0, factor >= 1, max_delay >= initial")
-        self.initial = initial
-        self.factor = factor
-        self.max_delay = max_delay
-        self._attempts = 0
-
-    def next_delay(self) -> float:
-        delay = min(self.max_delay, self.initial * (self.factor ** self._attempts))
-        self._attempts += 1
-        return delay
-
-    def reset(self) -> None:
-        self._attempts = 0
-
-    @property
-    def attempts(self) -> int:
-        return self._attempts
 
 
 class CircuitBreaker:

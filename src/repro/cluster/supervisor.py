@@ -48,7 +48,7 @@ from repro.concurrency import make_lock, make_rlock
 from repro.logs import get_logger
 from repro.cluster.router import HashRing
 from repro.cluster.worker import WorkerSpec, worker_entry
-from repro.serving.metrics import (
+from repro.metrics import (
     MetricsRegistry,
     merge_snapshots,
     render_snapshot_text,

@@ -1,4 +1,4 @@
-"""Lock factories: one place where every repro lock is constructed.
+"""Concurrency primitives: lock factories and retry backoff.
 
 Library modules build their locks through :func:`make_lock` /
 :func:`make_rlock` instead of calling ``threading.Lock()`` directly.
@@ -42,3 +42,33 @@ def make_rlock(name: str):
 
         return SanitizedLock(name, reentrant=True)
     return threading.RLock()
+
+
+class ExponentialBackoff:
+    """Restart delay schedule: ``initial * factor**n`` capped at ``max_delay``."""
+
+    def __init__(
+        self,
+        *,
+        initial: float = 0.25,
+        factor: float = 2.0,
+        max_delay: float = 10.0,
+    ):
+        if initial <= 0 or factor < 1.0 or max_delay < initial:
+            raise ValueError("need initial > 0, factor >= 1, max_delay >= initial")
+        self.initial = initial
+        self.factor = factor
+        self.max_delay = max_delay
+        self._attempts = 0
+
+    def next_delay(self) -> float:
+        delay = min(self.max_delay, self.initial * (self.factor ** self._attempts))
+        self._attempts += 1
+        return delay
+
+    def reset(self) -> None:
+        self._attempts = 0
+
+    @property
+    def attempts(self) -> int:
+        return self._attempts

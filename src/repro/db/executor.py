@@ -53,6 +53,7 @@ def reject_multi_statement(sql: str) -> None:
         i += 1
 
 
+# taint: sanitizer via check_sql (single choke point for generated SQL: multi-statement rejection always, policy gate when configured)
 def execute_with_budget(
     database: Database,
     sql: str,

@@ -14,6 +14,7 @@ from repro.errors import SchemaError
 from repro.schema.model import Column, ColumnType, ForeignKey, Schema, Table
 
 
+# taint: trusted (PRAGMA targets come from the database's own sqlite_master listing, not from callers)
 def introspect_schema(connection: sqlite3.Connection, *, name: str = "database") -> Schema:
     """Build a :class:`Schema` from SQLite metadata.
 

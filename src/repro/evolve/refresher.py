@@ -43,7 +43,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.cluster.health import ExponentialBackoff
+from repro.concurrency import ExponentialBackoff
 from repro.concurrency import make_lock
 from repro.db.database import Database
 from repro.evolve.corpus import CorpusWriter, generate_examples
@@ -57,7 +57,7 @@ from repro.index.registry import (
 )
 from repro.index.similarity import SimilaritySearcher
 from repro.logs import get_logger
-from repro.serving.metrics import MetricsRegistry
+from repro.metrics import MetricsRegistry
 
 _LOG = get_logger(__name__)
 

@@ -138,16 +138,21 @@ def _table_names(connection: sqlite3.Connection) -> list[tuple[str, str]]:
     return [(str(name), str(sql)) for name, sql in rows]
 
 
+# taint: trusted (table names come from sqlite_master of the polled file and are identifier-escaped before interpolation)
 def _table_snapshot(
     connection: sqlite3.Connection, name: str, sample_rows: int
 ) -> TableSnapshot:
+    # The name originates in the watched file's own sqlite_master, but a
+    # hostile file could still carry a quote in a table name — escape it
+    # so it cannot break out of the quoted identifier.
+    quoted = name.replace('"', '""')
     columns = tuple(
         (str(row[1]), str(row[2]))
-        for row in connection.execute(f'PRAGMA table_info("{name}")')
+        for row in connection.execute(f'PRAGMA table_info("{quoted}")')
     )
     try:
         row_count = int(
-            connection.execute(f'SELECT COUNT(*) FROM "{name}"').fetchone()[0]
+            connection.execute(f'SELECT COUNT(*) FROM "{quoted}"').fetchone()[0]
         )
     except sqlite3.Error:
         # A table racing its own DROP fingerprints as absent content; the
@@ -156,13 +161,13 @@ def _table_snapshot(
     digest = hashlib.sha256()
     try:
         cursor = connection.execute(
-            f'SELECT * FROM "{name}" ORDER BY rowid LIMIT {int(sample_rows)}'
+            f'SELECT * FROM "{quoted}" ORDER BY rowid LIMIT {int(sample_rows)}'
         )
     except sqlite3.Error:
         # WITHOUT ROWID tables: scan order is the primary key, which is
         # equally deterministic for an unchanged table.
         cursor = connection.execute(
-            f'SELECT * FROM "{name}" LIMIT {int(sample_rows)}'
+            f'SELECT * FROM "{quoted}" LIMIT {int(sample_rows)}'
         )
     for row in cursor:
         for value in row:

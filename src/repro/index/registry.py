@@ -38,6 +38,7 @@ from repro.index.persistence import load_bundle, save_bundle
 from repro.index.similarity import SimilaritySearcher
 
 
+# taint: trusted (COUNT targets are quoted identifiers from the database's own Schema object)
 def database_fingerprint(database: Database) -> str:
     """Cheap content fingerprint: schema shape + per-table row counts.
 

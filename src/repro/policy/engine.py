@@ -26,7 +26,7 @@ from repro.policy.rules import PolicyContext, PolicyViolation, all_rules, mask_s
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.schema.model import Schema
-    from repro.serving.metrics import MetricsRegistry
+    from repro.metrics import MetricsRegistry
 
 #: Metric label used when a request carries no tenant identity.
 ANONYMOUS_TENANT = "anonymous"
@@ -132,6 +132,7 @@ class PolicyEngine:
             violations.extend(rule.check(ctx))
         return violations
 
+    # taint: sanitizer via raise (rejects disallowed SQL by raising PolicyViolationError; nothing flows past a failure)
     def check_sql(
         self,
         sql: str,

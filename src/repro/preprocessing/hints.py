@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.candidates.heuristics import SUPERLATIVE_KEYWORDS  # noqa: F401  (re-export)
 from repro.candidates.types import ValueCandidate
 from repro.index.inverted import InvertedIndex
 from repro.schema.model import Column, Schema, Table
@@ -29,12 +30,6 @@ AGGREGATION_KEYWORDS = {
     "maximum", "max", "minimum", "min",
 }
 
-SUPERLATIVE_KEYWORDS = {
-    "most", "least", "oldest", "youngest", "largest", "smallest", "highest",
-    "lowest", "biggest", "best", "worst", "latest", "earliest", "longest",
-    "shortest", "heaviest", "lightest", "top", "first", "last", "cheapest",
-    "fastest", "slowest", "newest",
-}
 
 
 class QuestionHint(enum.Enum):

@@ -15,7 +15,7 @@ CLI with ``repro serve --http-impl {threaded,async}``.
 from repro.serving.async_http import AsyncServingServer
 from repro.serving.cache import CacheKey, TranslationCache, normalize_question
 from repro.serving.http import ServingRequestHandler, ServingServer
-from repro.serving.metrics import (
+from repro.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
     Gauge,

@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass, field
 from urllib.parse import parse_qs, urlparse
 
-from repro.serving.metrics import quantile_from_snapshot, series_key
+from repro.metrics import quantile_from_snapshot, series_key
 from repro.serving.service import (
     QueueFullError,
     ServiceStoppedError,

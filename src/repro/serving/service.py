@@ -33,7 +33,7 @@ from repro.pipeline.timing import STAGES
 from repro.pipeline.valuenet import TranslationResult
 from repro.policy.engine import PolicyViolationError
 from repro.serving.cache import CacheKey, TranslationCache
-from repro.serving.metrics import MetricsRegistry
+from repro.metrics import MetricsRegistry
 from repro.serving.runtime import DatabaseRuntime
 from repro.sql.dialect import DEFAULT_DIALECT, get_dialect
 from repro.tenancy.scheduler import FairQueue, LaneBacklogFull
@@ -612,6 +612,7 @@ class TranslationService:
             self._queue_depth.set(self._queue.qsize())
             self._process_batch(batch)
 
+    # taint: source (batch holds requests the HTTP thread queued; the queue hop breaks the static call chain)
     def _process_batch(self, batch: list[ServeRequest]) -> None:
         for _ in batch:
             self._inflight.inc()
@@ -889,7 +890,15 @@ class TranslationService:
             if execute is not None:
                 response.rows = execute(target)
             else:
-                response.rows = runtime.database.execute(target)
+                # Even the fake-runtime path goes through the budgeted
+                # executor: it is the one gate that unconditionally
+                # rejects multi-statement strings, and TAINT-SQL forbids
+                # handing generated SQL straight to the database.
+                from repro.db.executor import execute_with_budget
+
+                response.rows = execute_with_budget(
+                    runtime.database, target, timeout_s=None
+                )
         except PolicyViolationError as exc:
             # The runtime-level final gate fired (only reachable when the
             # service itself has no engine but the runtime does).

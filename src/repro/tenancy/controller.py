@@ -30,7 +30,7 @@ from repro.tenancy.quota import QuotaLedger
 from repro.tenancy.registry import Tenant, TenantRegistry
 
 if TYPE_CHECKING:
-    from repro.serving.metrics import MetricsRegistry
+    from repro.metrics import MetricsRegistry
 
 
 class TenancyError(ReproError):
@@ -69,7 +69,7 @@ class TenancyController:
     ):
         # Deferred import: repro.serving.http imports this module, so a
         # top-level import of repro.serving here would be circular.
-        from repro.serving.metrics import MetricsRegistry
+        from repro.metrics import MetricsRegistry
 
         self.registry = registry
         self.ledger = ledger if ledger is not None else QuotaLedger()
